@@ -1,0 +1,117 @@
+//! # rigid-baselines — comparator schedulers for rigid task graphs
+//!
+//! Every baseline the paper measures CatBatch against, built from scratch:
+//!
+//! * [`list_online`] — ASAP greedy list scheduling (Graham \[18\] / Li
+//!   \[25\]) under six priority policies. `Θ(P)`-competitive in the worst
+//!   case; the strawman of the paper's Figure 1.
+//! * [`shelf`] — NFDH and FFDH shelf packing for independent rigid tasks
+//!   (Coffman et al. \[8\]); reused by the strip-packing variant.
+//! * [`list_offline`] — offline list scheduling with global priorities
+//!   (Highest-Level-First and friends), the classic offline comparator.
+//! * [`offline_batch`] — the offline category-batch scheduler, the
+//!   `log₂(n+1) + 2`-style comparator in the spirit of Augustine et
+//!   al. \[1\] that CatBatch "almost matches".
+//! * [`optimal`] — exact branch-and-bound optimum for small instances,
+//!   used to certify true competitive ratios.
+//!
+//! ```
+//! use rigid_baselines::{asap, Optimal};
+//! use rigid_dag::{DagBuilder, StaticSource};
+//! use rigid_sim::engine;
+//! use rigid_time::Time;
+//!
+//! let inst = DagBuilder::new()
+//!     .task("a", Time::from_int(2), 1)
+//!     .task("b", Time::from_int(1), 2)
+//!     .edge("a", "b")
+//!     .build(2);
+//!
+//! // Greedy list scheduling runs it online...
+//! let greedy = engine::run(&mut StaticSource::new(inst.clone()), &mut asap());
+//! // ...and the exact solver certifies it is optimal here.
+//! assert_eq!(greedy.makespan(), Optimal::default().makespan(&inst));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod list_offline;
+pub mod list_online;
+pub mod offline_batch;
+pub mod optimal;
+pub mod priority;
+pub mod shelf;
+
+pub use list_offline::OfflineList;
+pub use list_online::{asap, ListScheduler};
+pub use offline_batch::OfflineBatch;
+pub use optimal::Optimal;
+pub use priority::Priority;
+pub use shelf::ShelfScheduler;
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rigid_dag::gen::{erdos_dag, independent, TaskSampler};
+    use rigid_dag::{analysis, StaticSource};
+    use rigid_sim::engine;
+    use rigid_sim::offline::run_offline;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every list policy produces feasible schedules and respects the
+        /// trivial P-competitiveness bound T ≤ P·Lb (any busy schedule).
+        #[test]
+        fn list_policies_feasible(seed in 0u64..3_000, n in 1usize..25, p in 1u32..9) {
+            let inst = erdos_dag(seed, n, 0.2, &TaskSampler::default_mix(), p);
+            let lb = analysis::lower_bound(&inst);
+            for priority in Priority::ALL {
+                let mut sched = ListScheduler::new(priority);
+                let r = engine::run(&mut StaticSource::new(inst.clone()), &mut sched);
+                prop_assert!(r.schedule.validate(&inst).is_empty());
+                prop_assert!(r.makespan() <= lb.mul_int(p as i64));
+            }
+        }
+
+        /// Shelf algorithms: feasible, and within the classic bounds
+        /// (NFDH ≤ 2·A/P + max height ≤ 3·Lb).
+        #[test]
+        fn shelves_within_bounds(seed in 0u64..3_000, n in 1usize..30, p in 1u32..9) {
+            let inst = independent(seed, n, &TaskSampler::default_mix(), p);
+            let st = analysis::stats(&inst);
+            let s = run_offline(&mut ShelfScheduler::nfdh(), &inst);
+            let bound = st.area.mul_int(2).div_int(p as i64) + st.max_len;
+            prop_assert!(s.makespan() <= bound);
+            prop_assert!(s.makespan() <= st.lower_bound.mul_int(3));
+            let f = run_offline(&mut ShelfScheduler::ffdh(), &inst);
+            prop_assert!(f.makespan() <= bound);
+        }
+
+        /// Exact optimum sits between the Graham bound and every
+        /// heuristic.
+        #[test]
+        fn optimum_brackets(seed in 0u64..500, n in 1usize..7, p in 1u32..4) {
+            let inst = erdos_dag(seed, n, 0.3, &TaskSampler::default_mix(), p);
+            let opt = Optimal::default().makespan(&inst);
+            let lb = analysis::lower_bound(&inst);
+            prop_assert!(opt >= lb);
+            let r = engine::run(&mut StaticSource::new(inst.clone()), &mut asap());
+            prop_assert!(opt <= r.makespan());
+            let ob = run_offline(&mut OfflineBatch::greedy(), &inst);
+            prop_assert!(opt <= ob.makespan());
+        }
+
+        /// Offline batch respects the offline approximation bound
+        /// log2(n+1) + 2.
+        #[test]
+        fn offline_batch_bound(seed in 0u64..3_000, n in 1usize..30) {
+            let inst = erdos_dag(seed, n, 0.2, &TaskSampler::default_mix(), 8);
+            let s = run_offline(&mut OfflineBatch::greedy(), &inst);
+            let ratio = s.makespan().ratio(analysis::lower_bound(&inst)).to_f64();
+            prop_assert!(ratio <= ((n + 1) as f64).log2() + 2.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Online ASAP list scheduling for rigid task DAGs (Graham \[18\] extended
+//! to rigid tasks by Li \[25\]).
+//!
+//! At every decision point the scheduler scans its ready list in priority
+//! order and starts every task that fits in the free processors. It never
+//! idles when something fits — which is exactly why it falls into the
+//! paper's Figure 1 trap and is `Θ(P)`-competitive in the worst case.
+
+use crate::priority::Priority;
+use rigid_dag::{ReleasedTask, TaskId};
+use rigid_sim::OnlineScheduler;
+use rigid_time::Time;
+
+/// One entry in the ready list.
+struct Ready {
+    key: crate::priority::PriorityKey,
+    id: TaskId,
+    procs: u32,
+}
+
+/// The ASAP greedy list scheduler.
+pub struct ListScheduler {
+    priority: Priority,
+    /// Ready tasks kept sorted best-first; FIFO among equal keys
+    /// (insertion keeps stability).
+    ready: Vec<Ready>,
+}
+
+impl ListScheduler {
+    /// Creates a list scheduler with the given priority policy.
+    pub fn new(priority: Priority) -> Self {
+        ListScheduler {
+            priority,
+            ready: Vec::new(),
+        }
+    }
+
+    /// The policy in use.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    fn insert_sorted(&mut self, id: TaskId, procs: u32, key: crate::priority::PriorityKey) {
+        // Position before the first strictly-worse entry; equal keys keep
+        // release order (stable FIFO tiebreak).
+        let pos = self
+            .ready
+            .iter()
+            .position(|other| key.better_than(&other.key))
+            .unwrap_or(self.ready.len());
+        self.ready.insert(pos, Ready { key, id, procs });
+    }
+}
+
+impl OnlineScheduler for ListScheduler {
+    fn name(&self) -> &'static str {
+        match self.priority {
+            Priority::Fifo => "list-fifo",
+            Priority::LongestFirst => "list-longest",
+            Priority::ShortestFirst => "list-shortest",
+            Priority::MostProcsFirst => "list-most-procs",
+            Priority::FewestProcsFirst => "list-fewest-procs",
+            Priority::LargestAreaFirst => "list-largest-area",
+        }
+    }
+
+    fn on_release(&mut self, task: &ReleasedTask, _now: Time) {
+        let key = self.priority.key(&task.spec);
+        self.insert_sorted(task.id, task.spec.procs, key);
+    }
+
+    fn on_complete(&mut self, _task: TaskId, _now: Time) {}
+
+    fn decide(&mut self, _now: Time, mut free: u32) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        self.ready.retain(|r| {
+            if r.procs <= free {
+                free -= r.procs;
+                out.push(r.id);
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+}
+
+/// Convenience: a fresh FIFO ASAP scheduler (the canonical strawman).
+pub fn asap() -> ListScheduler {
+    ListScheduler::new(Priority::Fifo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigid_dag::paper::intro_example;
+    use rigid_dag::{analysis, DagBuilder, StaticSource};
+    use rigid_sim::engine;
+
+    #[test]
+    fn list_schedules_chain_tightly() {
+        let inst = DagBuilder::new()
+            .task("a", Time::from_int(1), 1)
+            .task("b", Time::from_int(2), 2)
+            .edge("a", "b")
+            .build(4);
+        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut asap());
+        result.schedule.assert_valid(&inst);
+        assert_eq!(result.makespan(), Time::from_int(3));
+    }
+
+    /// Figure 1: on the intro example every ASAP policy has makespan
+    /// ≈ P(1 + ε) while the lower bound is ≈ 1 — the Θ(P) trap.
+    #[test]
+    fn figure1_asap_trap() {
+        let p = 8u32;
+        let eps = Time::from_ratio(1, 1000);
+        let inst = intro_example(p, eps);
+        for priority in Priority::ALL {
+            let mut sched = ListScheduler::new(priority);
+            let result = engine::run(&mut StaticSource::new(inst.clone()), &mut sched);
+            result.schedule.assert_valid(&inst);
+            // ASAP starts C_k immediately; B_k must wait for C_k to end:
+            // makespan ≥ P · 1 (each of the P unit-length C's serializes
+            // the ladder).
+            assert!(
+                result.makespan() >= Time::from_int(p as i64),
+                "{}: makespan {} unexpectedly small",
+                sched.name(),
+                result.makespan()
+            );
+        }
+        // The lower bound stays ≈ 1 + small.
+        let lb = analysis::lower_bound(&inst);
+        assert!(lb < Time::from_millis(1, 200));
+    }
+
+    #[test]
+    fn priorities_order_starts() {
+        // Two ready tasks, only one fits at a time: longest-first picks
+        // the long one first; shortest-first the short one.
+        let inst = DagBuilder::new()
+            .task("short", Time::from_int(1), 2)
+            .task("long", Time::from_int(5), 2)
+            .build(2);
+        let r_long = engine::run(
+            &mut StaticSource::new(inst.clone()),
+            &mut ListScheduler::new(Priority::LongestFirst),
+        );
+        let g = inst.graph();
+        let long_id = g.find_by_label("long").unwrap();
+        assert_eq!(
+            r_long.schedule.placement(long_id).unwrap().start,
+            Time::ZERO
+        );
+        let r_short = engine::run(
+            &mut StaticSource::new(inst.clone()),
+            &mut ListScheduler::new(Priority::ShortestFirst),
+        );
+        let short_id = g.find_by_label("short").unwrap();
+        assert_eq!(
+            r_short.schedule.placement(short_id).unwrap().start,
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    fn never_idles_when_fit_exists() {
+        // With plenty of free processors, everything ready starts at once.
+        let inst = DagBuilder::new()
+            .task("a", Time::from_int(1), 1)
+            .task("b", Time::from_int(2), 1)
+            .task("c", Time::from_int(3), 1)
+            .build(8);
+        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut asap());
+        for p in result.schedule.placements() {
+            assert_eq!(p.start, Time::ZERO);
+        }
+    }
+}

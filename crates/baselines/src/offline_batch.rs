@@ -1,0 +1,191 @@
+//! Offline category-batch scheduling — the offline comparator that
+//! CatBatch "almost matches".
+//!
+//! Augustine, Banerjee and Irani \[1\] gave a `log₂(n+1) + 2` approximation
+//! for strip packing with precedence constraints by a level-based
+//! divide-and-conquer. The same guarantee is obtained by the *offline*
+//! analog of CatBatch: with the whole instance in hand, compute every
+//! task's category, then process batches in increasing category value —
+//! either with the greedy `ScheduleIndep` step (free processor choice) or
+//! with NFDH (contiguous/strip variant). Knowing the batches in advance
+//! removes the online algorithm's discovery constraint; the batch
+//! structure is otherwise identical, which is precisely the paper's point
+//! that CatBatch "almost matches the best offline algorithm".
+
+use crate::shelf::ShelfScheduler;
+use catbatch::analysis::decompose;
+use rigid_dag::{Instance, TaskId};
+use rigid_sim::{OfflineScheduler, Schedule};
+use rigid_time::Time;
+
+/// How each batch of independent tasks is packed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchPacking {
+    /// Greedy list start (free processor choice) — matches Lemma 6.
+    Greedy,
+    /// NFDH shelves — the strip-packing-compatible variant (Remark 1).
+    Nfdh,
+}
+
+/// The offline batch scheduler.
+pub struct OfflineBatch {
+    packing: BatchPacking,
+}
+
+impl OfflineBatch {
+    /// Greedy per-batch packing.
+    pub fn greedy() -> Self {
+        OfflineBatch {
+            packing: BatchPacking::Greedy,
+        }
+    }
+
+    /// NFDH per-batch packing.
+    pub fn nfdh() -> Self {
+        OfflineBatch {
+            packing: BatchPacking::Nfdh,
+        }
+    }
+
+    /// Schedules one batch of independent tasks starting at `start`;
+    /// returns the batch finish time.
+    fn schedule_batch(
+        &self,
+        items: &[(TaskId, Time, u32)],
+        procs: u32,
+        start: Time,
+        out: &mut Schedule,
+    ) -> Time {
+        match self.packing {
+            BatchPacking::Nfdh => {
+                let (assign, height) = ShelfScheduler::nfdh().pack(items.to_vec(), procs);
+                let times: std::collections::HashMap<TaskId, Time> =
+                    assign.into_iter().collect();
+                for &(id, t, p) in items {
+                    let s = start + times[&id];
+                    out.place(id, s, s + t, p);
+                }
+                start + height
+            }
+            BatchPacking::Greedy => {
+                // Event-driven greedy: at batch start and at each finish,
+                // start every pending task that fits (ScheduleIndep,
+                // Algorithm 2 of the paper, executed offline).
+                let mut pending: Vec<(TaskId, Time, u32)> = items.to_vec();
+                let mut running: std::collections::BTreeMap<(Time, usize), u32> =
+                    std::collections::BTreeMap::new();
+                let mut free = procs;
+                let mut now = start;
+                let mut seq = 0usize;
+                let mut finish = start;
+                while !pending.is_empty() || !running.is_empty() {
+                    pending.retain(|&(id, t, p)| {
+                        if p <= free {
+                            free -= p;
+                            out.place(id, now, now + t, p);
+                            running.insert((now + t, seq), p);
+                            seq += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    match running.pop_first() {
+                        Some(((f, _), p)) => {
+                            now = f;
+                            free += p;
+                            finish = finish.max(f);
+                            // Release everything else finishing at the
+                            // same instant before re-scanning.
+                            while let Some((&(f2, s2), &p2)) = running.iter().next() {
+                                if f2 != now {
+                                    break;
+                                }
+                                running.remove(&(f2, s2));
+                                free += p2;
+                            }
+                        }
+                        None => {
+                            assert!(
+                                pending.is_empty(),
+                                "batch deadlock: tasks wider than P?"
+                            );
+                        }
+                    }
+                }
+                finish
+            }
+        }
+    }
+}
+
+impl OfflineScheduler for OfflineBatch {
+    fn name(&self) -> &'static str {
+        match self.packing {
+            BatchPacking::Greedy => "offline-batch-greedy",
+            BatchPacking::Nfdh => "offline-batch-nfdh",
+        }
+    }
+
+    fn schedule(&mut self, instance: &Instance) -> Schedule {
+        let d = decompose(instance);
+        let mut out = Schedule::new(instance.procs());
+        let mut t = Time::ZERO;
+        for tasks in d.categories.values() {
+            let items: Vec<(TaskId, Time, u32)> = tasks
+                .iter()
+                .map(|&id| {
+                    let s = instance.graph().spec(id);
+                    (id, s.time, s.procs)
+                })
+                .collect();
+            t = self.schedule_batch(&items, instance.procs(), t, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigid_dag::gen::{erdos_dag, TaskSampler};
+    use rigid_dag::paper::figure3;
+    use rigid_dag::analysis;
+    use rigid_sim::offline::run_offline;
+
+    #[test]
+    fn matches_online_catbatch_on_figure3() {
+        // The offline greedy-batch schedule of the Figure 3 example uses
+        // the same batches as online CatBatch; both finish at 15.2 (the
+        // offline variant may reorder inside batches, but batch barriers
+        // pin the boundaries here).
+        let inst = figure3();
+        let s = run_offline(&mut OfflineBatch::greedy(), &inst);
+        assert_eq!(s.makespan(), Time::from_millis(15, 200));
+    }
+
+    #[test]
+    fn nfdh_variant_feasible_and_batch_ordered() {
+        let inst = figure3();
+        let s = run_offline(&mut OfflineBatch::nfdh(), &inst);
+        // Feasibility is asserted by run_offline; also check it respects
+        // the Lemma 7-style bound with the NFDH constant.
+        let bound = catbatch::analysis::lemma7_bound(&inst);
+        assert!(s.makespan() <= bound);
+    }
+
+    #[test]
+    fn offline_batch_on_random_dags() {
+        for seed in 0..15u64 {
+            let inst = erdos_dag(seed, 30, 0.15, &TaskSampler::default_mix(), 8);
+            let s = run_offline(&mut OfflineBatch::greedy(), &inst);
+            let lb = analysis::lower_bound(&inst);
+            let ratio = s.makespan().ratio(lb).to_f64();
+            // log2(30+1) + 2 ≈ 6.95; use the paper's offline bound.
+            assert!(
+                ratio <= (31f64).log2() + 2.0 + 1e-9,
+                "seed {seed}: offline batch ratio {ratio}"
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Cost of running the adaptive adversary: how expensive is it to be
+//! attacked? Measures full adversarial runs (engine + adversary +
+//! scheduler) and the witness-schedule construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rigid_baselines::asap;
+use rigid_lowerbounds::chains::GadgetParams;
+use rigid_lowerbounds::zgraph::ZAdversary;
+use rigid_sim::engine;
+use rigid_time::Time;
+
+fn adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary");
+    for &p in &[4u32, 6, 8] {
+        let params = GadgetParams::new(p, 2, Time::from_ratio(1, 16 * p as i64));
+        group.bench_with_input(BenchmarkId::new("z_run_asap", p), &params, |b, params| {
+            b.iter(|| {
+                let mut adv = ZAdversary::new(*params);
+                let mut sched = asap();
+                engine::run(&mut adv, &mut sched).makespan()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("z_run_catbatch", p),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    let mut adv = ZAdversary::new(*params);
+                    let mut sched = catbatch::CatBatch::new();
+                    engine::run(&mut adv, &mut sched).makespan()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("witness", p), &params, |b, params| {
+            let mut adv = ZAdversary::new(*params);
+            let mut sched = asap();
+            let _ = engine::run(&mut adv, &mut sched);
+            b.iter(|| adv.witness_schedule().makespan())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = adversary
+}
+criterion_main!(benches);

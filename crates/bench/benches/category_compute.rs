@@ -1,0 +1,45 @@
+//! Microbenchmark of the category machinery: `compute_category` on
+//! intervals across scales, and the online criticality tracker feeding a
+//! long chain of releases.
+
+use catbatch::category::compute_category;
+use catbatch::CriticalityTracker;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rigid_dag::{ReleasedTask, TaskId, TaskSpec};
+use rigid_time::Time;
+use std::hint::black_box;
+
+fn category(c: &mut Criterion) {
+    // A mix of intervals: wide, narrow, deep (tiny tasks far from 0).
+    let intervals: Vec<(Time, Time)> = (0..512)
+        .map(|i| {
+            let s = Time::from_ratio(997 * i + 1, 640);
+            let t = Time::from_ratio((i % 97) + 1, 320);
+            (s, s + t)
+        })
+        .collect();
+    c.bench_function("compute_category_512_mixed", |b| {
+        b.iter(|| {
+            for &(s, f) in &intervals {
+                black_box(compute_category(black_box(s), black_box(f)));
+            }
+        })
+    });
+
+    c.bench_function("criticality_tracker_chain_1000", |b| {
+        b.iter(|| {
+            let mut tr = CriticalityTracker::new();
+            for i in 0..1000u32 {
+                let rel = ReleasedTask {
+                    id: TaskId(i),
+                    spec: TaskSpec::new(Time::from_ratio(3, 2), 1),
+                    preds: if i == 0 { vec![] } else { vec![TaskId(i - 1)] },
+                };
+                black_box(tr.on_release(&rel));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, category);
+criterion_main!(benches);

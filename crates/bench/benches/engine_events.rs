@@ -1,0 +1,42 @@
+//! Pure engine event throughput: independent unit tasks driven through
+//! the discrete-event loop with a trivial greedy scheduler isolate the
+//! engine's per-event cost from algorithmic work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rigid_baselines::asap;
+use rigid_dag::gen::{chains, independent, LengthDist, ProcDist, TaskSampler};
+use rigid_dag::StaticSource;
+use rigid_sim::engine;
+
+fn engine_events(c: &mut Criterion) {
+    let sampler = TaskSampler {
+        length: LengthDist::Constant(rigid_time::Time::ONE),
+        procs: ProcDist::Constant(1),
+    };
+    let mut group = c.benchmark_group("engine_events");
+    for &n in &[1_000usize, 10_000] {
+        let flat = independent(3, n, &sampler, 32);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("independent", n), &flat, |b, inst| {
+            b.iter(|| {
+                let mut src = StaticSource::new(inst.clone());
+                engine::run(&mut src, &mut asap()).makespan()
+            })
+        });
+        let deep = chains(3, 4, n / 4, &sampler, 32);
+        group.bench_with_input(BenchmarkId::new("chains", n), &deep, |b, inst| {
+            b.iter(|| {
+                let mut src = StaticSource::new(inst.clone());
+                engine::run(&mut src, &mut asap()).makespan()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine_events
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Cost of the random workload generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rigid_dag::gen::{erdos_dag, fork_join, layered, series_parallel, TaskSampler};
+
+fn generators(c: &mut Criterion) {
+    let sampler = TaskSampler::default_mix();
+    let mut group = c.benchmark_group("generators");
+    for &n in &[100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("erdos", n), &n, |b, &n| {
+            b.iter(|| erdos_dag(9, n, (4.0 / n as f64).min(1.0), &sampler, 16).len())
+        });
+        group.bench_with_input(BenchmarkId::new("layered", n), &n, |b, &n| {
+            b.iter(|| layered(9, n / 20 + 1, 20, &sampler, 16).len())
+        });
+        group.bench_with_input(BenchmarkId::new("fork_join", n), &n, |b, &n| {
+            b.iter(|| fork_join(9, n / 20 + 1, 18, &sampler, 16).len())
+        });
+        group.bench_with_input(BenchmarkId::new("series_parallel", n), &n, |b, &n| {
+            b.iter(|| series_parallel(9, n, &sampler, 16).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = generators
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! L-matrix analysis operations: entry evaluation, row sums and the
+//! top-n greedy sum used by the Theorem 1 checks.
+
+use catbatch::LMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rigid_time::Time;
+use std::hint::black_box;
+
+fn lmatrix_ops(c: &mut Criterion) {
+    let m = LMatrix::new(Time::from_ratio(6999, 1000));
+    c.bench_function("lmatrix_entries_10x64", |b| {
+        b.iter(|| {
+            let mut acc = Time::ZERO;
+            for i in 1..=10u32 {
+                for j in 1..=64u32 {
+                    acc += black_box(m.entry(i, j));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("lmatrix_top_n_sum_10000", |b| {
+        b.iter(|| black_box(m.top_n_sum(black_box(10_000))))
+    });
+    c.bench_function("lmatrix_row_sums_12", |b| {
+        b.iter(|| {
+            let mut acc = Time::ZERO;
+            for i in 1..=12u32 {
+                acc += black_box(m.row_sum(i));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, lmatrix_ops);
+criterion_main!(benches);

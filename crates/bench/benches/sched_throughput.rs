@@ -1,0 +1,44 @@
+//! End-to-end scheduler throughput: full engine runs of CatBatch, the
+//! strip variant and ASAP list scheduling across instance sizes and DAG
+//! shapes. This is the headline performance number for a user adopting
+//! the library: how long does scheduling n tasks take?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rigid_bench::Sched;
+use rigid_dag::gen::{erdos_dag, layered, TaskSampler};
+
+fn sched_throughput(c: &mut Criterion) {
+    let sampler = TaskSampler::default_mix();
+    let mut group = c.benchmark_group("sched_throughput");
+    for &n in &[100usize, 1_000, 5_000] {
+        let erdos = erdos_dag(7, n, (4.0 / n as f64).min(1.0), &sampler, 64);
+        let wide = layered(7, n / 50 + 1, 50, &sampler, 64);
+        group.throughput(Throughput::Elements(n as u64));
+        for sched in [
+            Sched::CatBatch,
+            Sched::CatBatchBackfill,
+            Sched::CatPrio,
+            Sched::CatBatchStrip,
+            Sched::List(rigid_baselines::Priority::Fifo),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-erdos", sched.name()), n),
+                &erdos,
+                |b, inst| b.iter(|| sched.run(inst).makespan()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-layered", sched.name()), n),
+                &wide,
+                |b, inst| b.iter(|| sched.run(inst).makespan()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sched_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation for DESIGN.md decision 1 (exact rational time): what does
+//! exactness cost relative to raw `f64` arithmetic?
+//!
+//! The workload mirrors what the engine does per event: additions
+//! (advancing finish times) and comparisons (ordering the event queue).
+//! The measured overhead is the price paid for deciding the paper's
+//! strict grid inequalities exactly; the experiment binaries show the
+//! decimals come out bit-exact in exchange.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rigid_time::Time;
+use std::hint::black_box;
+
+fn time_ablation(c: &mut Criterion) {
+    let rational: Vec<Time> = (1..=4096i64)
+        .map(|i| Time::from_ratio(i * 7 + 3, (i % 64) + 1))
+        .collect();
+    let floats: Vec<f64> = rational.iter().map(|t| t.to_f64()).collect();
+
+    c.bench_function("sum_4096_rational", |b| {
+        b.iter(|| {
+            let mut acc = Time::ZERO;
+            for &t in &rational {
+                acc += black_box(t);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("sum_4096_f64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &t in &floats {
+                acc += black_box(t);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("sort_4096_rational", |b| {
+        b.iter(|| {
+            let mut v = rational.clone();
+            v.sort();
+            black_box(v.len())
+        })
+    });
+    c.bench_function("sort_4096_f64", |b| {
+        b.iter(|| {
+            let mut v = floats.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            black_box(v.len())
+        })
+    });
+
+    // Dyadic-grid workload (what generators actually produce): same
+    // denominator keeps rational adds on the fast path.
+    let dyadic: Vec<Time> = (1..=4096i64)
+        .map(|i| Time::from_ratio(i * 13 + 5, 1 << 20))
+        .collect();
+    c.bench_function("sum_4096_dyadic_rational", |b| {
+        b.iter(|| {
+            let mut acc = Time::ZERO;
+            for &t in &dyadic {
+                acc += black_box(t);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, time_ablation);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs the full experiment suite (E01–E20), prints every report, and
+//! saves each one under `results/`.
+use std::fs;
+
+fn main() {
+    let save = std::env::args().all(|a| a != "--no-save");
+    if save {
+        let _ = fs::create_dir_all("results");
+    }
+    for (id, runner) in rigid_bench::experiments::all() {
+        println!("######## {id} ########");
+        let report = runner();
+        print!("{report}");
+        println!();
+        if save {
+            let path = format!("results/{id}.txt");
+            if let Err(e) = fs::write(&path, &report) {
+                eprintln!("warning: could not save {path}: {e}");
+            }
+        }
+    }
+}

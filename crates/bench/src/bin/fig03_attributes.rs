@@ -1,0 +1,4 @@
+//! Regenerates one paper artifact; see DESIGN.md experiment index.
+fn main() {
+    print!("{}", rigid_bench::experiments::figures::fig03_attributes());
+}

@@ -1,0 +1,4 @@
+//! Regenerates one paper artifact; see DESIGN.md experiment index.
+fn main() {
+    print!("{}", rigid_bench::experiments::theorems::thm4_p_over_2());
+}

@@ -1,0 +1,42 @@
+//! The experiment suite: one function per paper artifact (figure, table
+//! or theorem), each returning its printed report. See DESIGN.md's
+//! per-experiment index (E01–E16) for the mapping.
+
+pub mod ablations;
+pub mod compare;
+pub mod figures;
+pub mod gadgets;
+pub mod hunt;
+pub mod moldable_exp;
+pub mod theorems;
+pub mod timed;
+
+/// An experiment entry: stable id and runner.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Every experiment, in index order, as `(id, runner)` pairs.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("E01-fig01", figures::fig01_intro as fn() -> String),
+        ("E02-fig02", figures::fig02_lattice),
+        ("E03-fig03", figures::fig03_attributes),
+        ("E04-fig04", figures::fig04_lengths),
+        ("E05-fig05", figures::fig05_lmatrix),
+        ("E06-fig06", figures::fig06_catbatch_run),
+        ("E07-fig07", figures::fig07_lstar),
+        ("E08-fig08", gadgets::fig08_xgraph),
+        ("E09-fig09", gadgets::fig09_ygraph),
+        ("E10-fig10", gadgets::fig10_zgraph),
+        ("E11-thm1", theorems::thm1_ratio_n),
+        ("E12-thm2", theorems::thm2_ratio_mm),
+        ("E13-thm3", theorems::thm3_lower_bound),
+        ("E14-thm4", theorems::thm4_p_over_2),
+        ("E15-compare", compare::compare_schedulers),
+        ("E16-strip", compare::strip_packing),
+        ("E17-barrier", ablations::ablation_barrier),
+        ("E18-estimates", ablations::ablation_estimates),
+        ("E19-moldable", moldable_exp::moldable_catbatch),
+        ("E20-timed", timed::timed_releases),
+        ("E21-hunt", hunt::worst_case_hunt),
+    ]
+}

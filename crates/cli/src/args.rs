@@ -1,0 +1,286 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+/// A scheduler selectable from the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedChoice {
+    /// The paper's algorithm.
+    CatBatch,
+    /// Guarantee-preserving backfilling.
+    Backfill,
+    /// Work-conserving category priority.
+    CatPrio,
+    /// Contiguous strip variant.
+    Strip,
+    /// ASAP list scheduling, FIFO order.
+    ListFifo,
+    /// ASAP list scheduling, longest first.
+    ListLongest,
+}
+
+impl SchedChoice {
+    /// Parses a `--scheduler` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "catbatch" => Ok(SchedChoice::CatBatch),
+            "backfill" => Ok(SchedChoice::Backfill),
+            "catprio" => Ok(SchedChoice::CatPrio),
+            "strip" => Ok(SchedChoice::Strip),
+            "list-fifo" => Ok(SchedChoice::ListFifo),
+            "list-longest" => Ok(SchedChoice::ListLongest),
+            other => Err(format!(
+                "unknown scheduler {other:?} (try: catbatch, backfill, catprio, strip, list-fifo, list-longest)"
+            )),
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `schedule <file> [--scheduler S] [--gantt] [--trace]`
+    Schedule {
+        /// Instance file path.
+        file: String,
+        /// Scheduler to run.
+        scheduler: SchedChoice,
+        /// Print an ASCII Gantt chart.
+        gantt: bool,
+        /// Print the JSON event trace.
+        trace: bool,
+        /// Emit an SVG Gantt chart instead of the text report.
+        svg: bool,
+    },
+    /// `analyze <file>` — stats, attribute table, category decomposition.
+    Analyze {
+        /// Instance file path.
+        file: String,
+    },
+    /// `generate --family F --n N --procs P [--seed S]` — emit `.rigid`.
+    Generate {
+        /// Workload family name.
+        family: String,
+        /// Approximate task count.
+        n: usize,
+        /// Platform size.
+        procs: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `convert <file> --dot` — emit Graphviz DOT.
+    Convert {
+        /// Instance file path.
+        file: String,
+    },
+    /// `verify <file> <schedule.json>` — validate an externally produced
+    /// schedule against an instance.
+    Verify {
+        /// Instance file path.
+        file: String,
+        /// Schedule JSON path (as emitted by `--trace`-style tooling or
+        /// serde-serialized `rigid_sim::Schedule`).
+        schedule: String,
+    },
+    /// `help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+catbatch — online scheduling of rigid task graphs (SPAA'25 CatBatch)
+
+USAGE:
+  catbatch schedule <file.rigid> [--scheduler S] [--gantt] [--trace] [--svg]
+      run an online scheduler on an instance file
+      schedulers: catbatch (default), backfill, catprio, strip,
+                  list-fifo, list-longest
+  catbatch analyze <file.rigid>
+      instance statistics, attribute table and category decomposition
+  catbatch generate --family F --n N --procs P [--seed S]
+      emit a random instance in .rigid format to stdout
+      families: layered, erdos, fork_join, series_parallel, out_tree,
+                in_tree, chains, independent
+  catbatch convert <file.rigid> --dot
+      emit Graphviz DOT to stdout
+  catbatch verify <file.rigid> <schedule.json>
+      validate a schedule (serde JSON of rigid_sim::Schedule) against an
+      instance: capacity, precedence, completeness
+  catbatch help
+";
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<String, String> {
+    it.next()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Parses command-line arguments (without the program name).
+pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
+    let strs: Vec<&str> = args.iter().map(|s| s.as_ref()).collect();
+    let mut it = strs.iter().copied();
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("schedule") => {
+            let mut file = None;
+            let mut scheduler = SchedChoice::CatBatch;
+            let mut gantt = false;
+            let mut trace = false;
+            let mut svg = false;
+            while let Some(a) = it.next() {
+                match a {
+                    "--scheduler" => {
+                        scheduler = SchedChoice::parse(&take_value(a, &mut it)?)?;
+                    }
+                    "--gantt" => gantt = true,
+                    "--trace" => trace = true,
+                    "--svg" => svg = true,
+                    f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+                    other => return Err(format!("unexpected argument {other:?}")),
+                }
+            }
+            Ok(Command::Schedule {
+                file: file.ok_or("schedule needs an instance file")?,
+                scheduler,
+                gantt,
+                trace,
+                svg,
+            })
+        }
+        Some("analyze") => {
+            let file = it.next().ok_or("analyze needs an instance file")?;
+            Ok(Command::Analyze {
+                file: file.to_string(),
+            })
+        }
+        Some("generate") => {
+            let mut family = None;
+            let mut n = None;
+            let mut procs = None;
+            let mut seed = 0u64;
+            while let Some(a) = it.next() {
+                match a {
+                    "--family" => family = Some(take_value(a, &mut it)?),
+                    "--n" => {
+                        n = Some(
+                            take_value(a, &mut it)?
+                                .parse()
+                                .map_err(|_| "bad --n value".to_string())?,
+                        )
+                    }
+                    "--procs" => {
+                        procs = Some(
+                            take_value(a, &mut it)?
+                                .parse()
+                                .map_err(|_| "bad --procs value".to_string())?,
+                        )
+                    }
+                    "--seed" => {
+                        seed = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --seed value".to_string())?
+                    }
+                    other => return Err(format!("unexpected argument {other:?}")),
+                }
+            }
+            Ok(Command::Generate {
+                family: family.ok_or("generate needs --family")?,
+                n: n.ok_or("generate needs --n")?,
+                procs: procs.ok_or("generate needs --procs")?,
+                seed,
+            })
+        }
+        Some("verify") => {
+            let file = it.next().ok_or("verify needs an instance file")?;
+            let schedule = it.next().ok_or("verify needs a schedule JSON file")?;
+            Ok(Command::Verify {
+                file: file.to_string(),
+                schedule: schedule.to_string(),
+            })
+        }
+        Some("convert") => {
+            let mut file = None;
+            let mut dot = false;
+            for a in it {
+                match a {
+                    "--dot" => dot = true,
+                    f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+                    other => return Err(format!("unexpected argument {other:?}")),
+                }
+            }
+            if !dot {
+                return Err("convert currently requires --dot".into());
+            }
+            Ok(Command::Convert {
+                file: file.ok_or("convert needs an instance file")?,
+            })
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `catbatch help`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_schedule() {
+        let c = parse_args(&["schedule", "w.rigid", "--scheduler", "backfill", "--gantt"])
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Schedule {
+                file: "w.rigid".into(),
+                scheduler: SchedChoice::Backfill,
+                gantt: true,
+                trace: false,
+                svg: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_generate() {
+        let c = parse_args(&[
+            "generate", "--family", "layered", "--n", "50", "--procs", "8", "--seed", "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                family: "layered".into(),
+                n: 50,
+                procs: 8,
+                seed: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn help_default() {
+        assert_eq!(parse_args::<&str>(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_verify() {
+        let c = parse_args(&["verify", "w.rigid", "s.json"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Verify {
+                file: "w.rigid".into(),
+                schedule: "s.json".into()
+            }
+        );
+        assert!(parse_args(&["verify", "w.rigid"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse_args(&["frobnicate"]).is_err());
+        assert!(parse_args(&["schedule", "f", "--scheduler", "zzz"]).is_err());
+        assert!(parse_args(&["generate", "--n", "10"]).is_err());
+        assert!(parse_args(&["convert", "f"]).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Command implementations. Each takes parsed inputs and returns the
+//! text to print, so everything is unit-testable without touching the
+//! file system.
+
+use crate::args::{Command, SchedChoice, USAGE};
+use catbatch::analysis::{attribute_table, decompose, render_attribute_table};
+use catbatch::{category_length, CatBatch, CatBatchBackfill, CatPrio};
+use rigid_baselines::{ListScheduler, Priority};
+use rigid_dag::gen::TaskSampler;
+use rigid_dag::{analysis, format, gen, Instance, StaticSource};
+use rigid_sim::gantt::{render, GanttOptions};
+use rigid_sim::trace::Trace;
+use rigid_sim::{engine, metrics, OnlineScheduler};
+use rigid_strip::CatBatchStrip;
+
+/// Runs a parsed command against already-loaded file contents.
+/// `read_file` resolves a path to its text (injected for testability).
+pub fn run_command(
+    cmd: &Command,
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Schedule {
+            file,
+            scheduler,
+            gantt,
+            trace,
+            svg,
+        } => {
+            let inst = load(file, read_file)?;
+            schedule_cmd(&inst, *scheduler, *gantt, *trace, *svg)
+        }
+        Command::Analyze { file } => {
+            let inst = load(file, read_file)?;
+            Ok(analyze_cmd(&inst))
+        }
+        Command::Generate {
+            family,
+            n,
+            procs,
+            seed,
+        } => generate_cmd(family, *n, *procs, *seed),
+        Command::Convert { file } => {
+            let inst = load(file, read_file)?;
+            Ok(rigid_dag::io::to_dot(&inst))
+        }
+        Command::Verify { file, schedule } => {
+            let inst = load(file, read_file)?;
+            let text = read_file(schedule)?;
+            let sched: rigid_sim::Schedule = serde_json::from_str(&text)
+                .map_err(|e| format!("{schedule}: invalid schedule JSON: {e}"))?;
+            let violations = sched.validate(&inst);
+            if violations.is_empty() {
+                Ok(format!(
+                    "OK: feasible schedule, makespan {}, ratio to Lb {:.4}\n",
+                    sched.makespan(),
+                    sched
+                        .makespan()
+                        .ratio(analysis::lower_bound(&inst))
+                        .to_f64()
+                ))
+            } else {
+                let mut out = String::from("INVALID schedule:\n");
+                for v in violations {
+                    out.push_str(&format!("  - {v:?}\n"));
+                }
+                Err(out)
+            }
+        }
+    }
+}
+
+fn load(path: &str, read_file: &dyn Fn(&str) -> Result<String, String>) -> Result<Instance, String> {
+    let text = read_file(path)?;
+    format::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn build_scheduler(choice: SchedChoice, procs: u32) -> Box<dyn OnlineScheduler> {
+    match choice {
+        SchedChoice::CatBatch => Box::new(CatBatch::new()),
+        SchedChoice::Backfill => Box::new(CatBatchBackfill::new()),
+        SchedChoice::CatPrio => Box::new(CatPrio::new()),
+        SchedChoice::Strip => Box::new(CatBatchStrip::new(procs)),
+        SchedChoice::ListFifo => Box::new(ListScheduler::new(Priority::Fifo)),
+        SchedChoice::ListLongest => Box::new(ListScheduler::new(Priority::LongestFirst)),
+    }
+}
+
+fn schedule_cmd(
+    inst: &Instance,
+    choice: SchedChoice,
+    gantt: bool,
+    trace: bool,
+    svg: bool,
+) -> Result<String, String> {
+    let mut sched = build_scheduler(choice, inst.procs());
+    let name = sched.name();
+    let result = engine::run(&mut StaticSource::new(inst.clone()), sched.as_mut());
+    let violations = result.schedule.validate(inst);
+    if !violations.is_empty() {
+        return Err(format!("internal error: invalid schedule {violations:?}"));
+    }
+    if svg {
+        return Ok(rigid_sim::svg::render_svg(
+            &result.schedule,
+            inst.graph(),
+            &rigid_sim::svg::SvgOptions::default(),
+        ));
+    }
+    let m = metrics::metrics(&result.schedule, inst);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scheduler    : {name}\nn            : {}\nP            : {}\nmakespan     : {}\nlower bound  : {}\nratio        : {:.4}\nutilization  : {:.1}%\ntheorem 1    : ratio ≤ log2(n)+3 = {:.3}\n",
+        inst.len(),
+        inst.procs(),
+        m.makespan,
+        m.lower_bound,
+        m.ratio_to_lb.to_f64(),
+        m.avg_utilization * 100.0,
+        (inst.len() as f64).log2() + 3.0,
+    ));
+    if gantt {
+        out.push('\n');
+        out.push_str(&render(
+            &result.schedule,
+            inst.graph(),
+            &GanttOptions {
+                width: 90,
+                labels: true,
+            },
+        ));
+    }
+    if trace {
+        out.push('\n');
+        out.push_str(&Trace::from_run(&result).to_json());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn analyze_cmd(inst: &Instance) -> String {
+    let stats = analysis::stats(inst);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "n              : {}\nP              : {}\nedges          : {}\narea A         : {}\ncritical path C: {}\nlower bound Lb : {}\nM/m            : {:.3}\n\n",
+        stats.n,
+        stats.procs,
+        inst.graph().edge_count(),
+        stats.area,
+        stats.critical_path,
+        stats.lower_bound,
+        stats.length_ratio(),
+    ));
+    out.push_str("attribute table (paper Definitions 1-3):\n");
+    out.push_str(&render_attribute_table(&attribute_table(inst)));
+    let d = decompose(inst);
+    out.push_str(&format!(
+        "\ncategory batches ({}):\n",
+        d.batch_count()
+    ));
+    for (cat, tasks) in &d.categories {
+        out.push_str(&format!(
+            "  ζ = {:<8} L_ζ = {:<8} {} task(s)\n",
+            format!("{}", cat.value()),
+            format!("{}", category_length(*cat, d.critical_path)),
+            tasks.len()
+        ));
+    }
+    out
+}
+
+fn generate_cmd(family: &str, n: usize, procs: u32, seed: u64) -> Result<String, String> {
+    let sampler = TaskSampler::default_mix();
+    let width = (n as f64).sqrt().ceil() as usize;
+    let inst = match family {
+        "layered" => gen::layered(seed, n.div_ceil(width).max(1), width, &sampler, procs),
+        "erdos" => gen::erdos_dag(seed, n, (4.0 / n as f64).min(1.0), &sampler, procs),
+        "fork_join" => gen::fork_join(seed, n.div_ceil(width + 2).max(1), width, &sampler, procs),
+        "series_parallel" => gen::series_parallel(seed, n, &sampler, procs),
+        "out_tree" => gen::out_tree(seed, n, 3, &sampler, procs),
+        "in_tree" => gen::in_tree(seed, n, 3, &sampler, procs),
+        "chains" => gen::chains(seed, width.max(1), n.div_ceil(width).max(1), &sampler, procs),
+        "independent" => gen::independent(seed, n, &sampler, procs),
+        other => return Err(format!("unknown family {other:?}")),
+    };
+    Ok(format::write(&inst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    const SAMPLE: &str = "procs 4\ntask A 2 2\ntask B 1.5 3\nedge A B\n";
+
+    fn fs(path: &str) -> Result<String, String> {
+        match path {
+            "sample.rigid" => Ok(SAMPLE.to_string()),
+            _ => Err(format!("no such file {path:?}")),
+        }
+    }
+
+    #[test]
+    fn schedule_command_end_to_end() {
+        let cmd = parse_args(&["schedule", "sample.rigid", "--gantt"]).unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        assert!(out.contains("makespan     : 3.5"));
+        assert!(out.contains("scheduler    : catbatch"));
+        assert!(out.contains('A')); // gantt label
+    }
+
+    #[test]
+    fn schedule_with_every_scheduler() {
+        for s in [
+            "catbatch",
+            "backfill",
+            "catprio",
+            "strip",
+            "list-fifo",
+            "list-longest",
+        ] {
+            let cmd = parse_args(&["schedule", "sample.rigid", "--scheduler", s]).unwrap();
+            let out = run_command(&cmd, &fs).unwrap();
+            assert!(out.contains("makespan"), "{s}");
+        }
+    }
+
+    #[test]
+    fn schedule_trace_is_json() {
+        let cmd = parse_args(&["schedule", "sample.rigid", "--trace"]).unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        assert!(out.contains("\"Released\""));
+        assert!(out.contains("\"Completed\""));
+    }
+
+    #[test]
+    fn analyze_command() {
+        let cmd = parse_args(&["analyze", "sample.rigid"]).unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        assert!(out.contains("critical path C: 3.5"));
+        assert!(out.contains("attribute table"));
+        assert!(out.contains("category batches"));
+    }
+
+    #[test]
+    fn generate_parses_back() {
+        let cmd = parse_args(&[
+            "generate", "--family", "erdos", "--n", "20", "--procs", "4", "--seed", "9",
+        ])
+        .unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        let inst = rigid_dag::format::parse(&out).unwrap();
+        assert_eq!(inst.len(), 20);
+        assert_eq!(inst.procs(), 4);
+    }
+
+    #[test]
+    fn generate_every_family() {
+        for family in [
+            "layered",
+            "erdos",
+            "fork_join",
+            "series_parallel",
+            "out_tree",
+            "in_tree",
+            "chains",
+            "independent",
+        ] {
+            let cmd = parse_args(&[
+                "generate", "--family", family, "--n", "15", "--procs", "4",
+            ])
+            .unwrap();
+            let out = run_command(&cmd, &fs).unwrap();
+            assert!(
+                rigid_dag::format::parse(&out).is_ok(),
+                "family {family} emitted unparseable output"
+            );
+        }
+    }
+
+    #[test]
+    fn convert_emits_dot() {
+        let cmd = parse_args(&["convert", "sample.rigid", "--dot"]).unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn verify_accepts_valid_and_rejects_invalid() {
+        use rigid_sim::Schedule;
+        use rigid_time::Time;
+        let inst = rigid_dag::format::parse(SAMPLE).unwrap();
+        let g = inst.graph();
+        let a = g.find_by_label("A").unwrap();
+        let b = g.find_by_label("B").unwrap();
+        let mut good = Schedule::new(4);
+        good.place(a, Time::ZERO, Time::from_int(2), 2);
+        good.place(b, Time::from_int(2), Time::from_millis(3, 500), 3);
+        let mut bad = Schedule::new(4);
+        bad.place(a, Time::ZERO, Time::from_int(2), 2);
+        bad.place(b, Time::ZERO, Time::from_millis(1, 500), 3); // precedence!
+        let good_json = serde_json::to_string(&good).unwrap();
+        let bad_json = serde_json::to_string(&bad).unwrap();
+        let fs2 = move |path: &str| -> Result<String, String> {
+            match path {
+                "sample.rigid" => Ok(SAMPLE.to_string()),
+                "good.json" => Ok(good_json.clone()),
+                "bad.json" => Ok(bad_json.clone()),
+                _ => Err("no such file".into()),
+            }
+        };
+        let ok = run_command(
+            &parse_args(&["verify", "sample.rigid", "good.json"]).unwrap(),
+            &fs2,
+        )
+        .unwrap();
+        assert!(ok.starts_with("OK"));
+        let err = run_command(
+            &parse_args(&["verify", "sample.rigid", "bad.json"]).unwrap(),
+            &fs2,
+        )
+        .unwrap_err();
+        assert!(err.contains("PrecedenceViolated"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let cmd = parse_args(&["analyze", "nope.rigid"]).unwrap();
+        assert!(run_command(&cmd, &fs).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_command(&Command::Help, &fs).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

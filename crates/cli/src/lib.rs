@@ -1,0 +1,22 @@
+//! # catbatch-cli — command-line front end
+//!
+//! A small, dependency-free CLI over the workspace:
+//!
+//! ```text
+//! catbatch schedule workflow.rigid --scheduler catbatch --gantt
+//! catbatch analyze  workflow.rigid
+//! catbatch generate --family layered --n 100 --procs 16 --seed 7
+//! catbatch convert  workflow.rigid --dot
+//! ```
+//!
+//! All command logic lives in this library (returning strings) so it is
+//! unit-testable; `main.rs` only does I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command};
+pub use commands::run_command;

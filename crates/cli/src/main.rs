@@ -1,0 +1,27 @@
+//! The `catbatch` binary: thin I/O shell over `catbatch_cli`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match catbatch_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let read_file = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+    };
+    match catbatch_cli::run_command(&cmd, &read_file) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

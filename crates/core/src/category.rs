@@ -1,0 +1,314 @@
+//! Power level, longitude and category (the paper's Definitions 2–3).
+//!
+//! Given a task's criticality interval `(s∞, f∞)`, its **power level** is
+//!
+//! ```text
+//! χ = max { χ' ∈ ℤ : ∃ λ ∈ ℕ, s∞ < λ·2^χ' < f∞ }
+//! ```
+//!
+//! — the highest dyadic resolution at which a grid point falls strictly
+//! inside the interval. The multiplier `λ` at that level is unique and odd
+//! (Lemma 2), and the **category** is the grid point itself,
+//! `ζ = λ·2^χ`. Tasks sharing a category have overlapping criticalities
+//! and are therefore independent; tasks connected by a dependency have
+//! strictly increasing categories (Lemma 5). CatBatch batches tasks by
+//! category and processes batches in increasing `ζ`.
+
+use rigid_time::{Pow2, Time};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A category `ζ = λ·2^χ`, stored as the exact pair `(χ, λ)`.
+///
+/// Ordering is by the value `λ·2^χ`; since `λ` is always odd, distinct
+/// `(χ, λ)` pairs have distinct values, so this order is total and agrees
+/// with equality on the pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Category {
+    /// Power level `χ` (any sign).
+    pub chi: i32,
+    /// Longitude `λ` (odd, positive).
+    pub lambda: i64,
+}
+
+impl Category {
+    /// Constructs a category from its power level and longitude.
+    ///
+    /// # Panics
+    /// Panics if `λ` is not odd and positive (Lemma 2 guarantees oddness).
+    pub fn new(chi: i32, lambda: i64) -> Self {
+        assert!(lambda > 0, "longitude must be positive, got {lambda}");
+        assert!(lambda % 2 == 1, "longitude must be odd, got {lambda}");
+        Category { chi, lambda }
+    }
+
+    /// The category value `ζ = λ·2^χ` as an exact `Time`.
+    pub fn value(&self) -> Time {
+        Pow2::new(self.chi).grid_point(self.lambda)
+    }
+
+    /// The power level as a [`Pow2`].
+    pub fn pow2(&self) -> Pow2 {
+        Pow2::new(self.chi)
+    }
+
+    /// The category's *bracket* `((λ−1)·2^χ, (λ+1)·2^χ)`: by Lemma 2,
+    /// every task of this category has `s∞` in the left half and `f∞` in
+    /// the right half of this interval.
+    pub fn bracket(&self) -> (Time, Time) {
+        let p = self.pow2();
+        (p.grid_point(self.lambda - 1), p.grid_point(self.lambda + 1))
+    }
+
+    /// The two categories one power level below whose brackets tile this
+    /// one: `(χ−1, 2λ−1)` and `(χ−1, 2λ+1)` (the dyadic lattice of the
+    /// paper's Figure 2).
+    pub fn children(&self) -> (Category, Category) {
+        (
+            Category::new(self.chi - 1, 2 * self.lambda - 1),
+            Category::new(self.chi - 1, 2 * self.lambda + 1),
+        )
+    }
+
+    /// The category one power level above whose bracket contains this
+    /// one's.
+    pub fn parent(&self) -> Category {
+        // One of (λ−1)/2, (λ+1)/2 is odd (they are consecutive integers).
+        let lo = (self.lambda - 1) / 2;
+        let hi = (self.lambda + 1) / 2;
+        if lo % 2 == 1 {
+            Category::new(self.chi + 1, lo)
+        } else {
+            Category::new(self.chi + 1, hi)
+        }
+    }
+}
+
+impl PartialOrd for Category {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Category {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare λ·2^χ without materializing huge numbers: align exponents.
+        // λ1·2^χ1 ? λ2·2^χ2  ⇔  λ1·2^(χ1−χ2) ? λ2 (for χ1 ≥ χ2).
+        let (a, b) = (self, other);
+        let (hi, lo, swap) = if a.chi >= b.chi { (a, b, false) } else { (b, a, true) };
+        let shift = (hi.chi - lo.chi) as u32;
+        let ord = if shift >= 64 {
+            // hi's value is at least 2^64 times λ_hi ≥ huge; strictly
+            // greater than any i64 λ_lo.
+            Ordering::Greater
+        } else {
+            match (hi.lambda as i128).checked_shl(shift) {
+                Some(v) => v.cmp(&(lo.lambda as i128)),
+                None => Ordering::Greater,
+            }
+        };
+        if swap { ord.reverse() } else { ord }
+    }
+}
+
+impl fmt::Debug for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ζ={} (λ={}, χ={})", self.value(), self.lambda, self.chi)
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+/// Computes the category of a task from its criticality interval
+/// (the core of the paper's Algorithm 1, `ComputeCat`).
+///
+/// # Panics
+/// Panics if the interval is empty (`f∞ ≤ s∞`) or starts before 0.
+pub fn compute_category(s_inf: Time, f_inf: Time) -> Category {
+    assert!(
+        f_inf > s_inf,
+        "criticality interval must be non-empty: ({s_inf}, {f_inf})"
+    );
+    assert!(!s_inf.is_negative(), "criticality cannot start before 0");
+
+    // The largest candidate power level: χ with 2^χ < f∞ (for any larger
+    // χ, even λ = 1 overshoots).
+    let mut chi = Pow2::largest_below(f_inf).exponent();
+    loop {
+        let p = Pow2::new(chi);
+        // Smallest multiple of 2^χ strictly greater than s∞.
+        let lambda = p.next_multiple_after(s_inf);
+        if p.grid_point(lambda as i64) < f_inf {
+            // Found the maximal level. Lemma 2: λ is odd.
+            debug_assert!(lambda % 2 == 1, "Lemma 2 violated: λ = {lambda} even");
+            return Category::new(chi, lambda as i64);
+        }
+        chi -= 1;
+        // Termination: once 2^χ < f∞ − s∞, the next multiple after s∞ is
+        // at most s∞ + 2^χ < f∞. The assert below is a safety net against
+        // arithmetic bugs.
+        assert!(chi >= -1000, "compute_category failed to converge");
+    }
+}
+
+/// Convenience: the category of a task given its criticality.
+pub fn category_of(crit: &rigid_dag::analysis::Criticality) -> Category {
+    compute_category(crit.start, crit.finish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: i64, ms: i64) -> Time {
+        Time::from_millis(i, ms)
+    }
+
+    /// The full attribute table of the paper's Figure 3.
+    #[test]
+    fn figure3_categories() {
+        // (label, s∞, f∞, λ, χ, ζ as (num, den))
+        let table = [
+            ("A", t(0, 0), t(6, 0), 1, 2, (4, 1)),
+            ("B", t(0, 0), t(2, 0), 1, 0, (1, 1)),
+            ("C", t(0, 0), t(2, 500), 1, 1, (2, 1)),
+            ("D", t(0, 0), t(3, 0), 1, 1, (2, 1)),
+            ("E", t(2, 0), t(4, 800), 1, 2, (4, 1)),
+            ("F", t(3, 0), t(3, 600), 7, -1, (7, 2)),
+            ("G", t(3, 0), t(3, 800), 7, -1, (7, 2)),
+            ("H", t(4, 800), t(6, 0), 5, 0, (5, 1)),
+            ("I", t(3, 600), t(4, 200), 1, 2, (4, 1)),
+            ("J", t(6, 0), t(6, 800), 13, -1, (13, 2)),
+            ("K", t(4, 200), t(5, 600), 5, 0, (5, 1)),
+        ];
+        for (label, s, f, lambda, chi, (zn, zd)) in table {
+            let c = compute_category(s, f);
+            assert_eq!(c.lambda, lambda, "λ of {label}");
+            assert_eq!(c.chi, chi, "χ of {label}");
+            assert_eq!(c.value(), Time::from_ratio(zn, zd), "ζ of {label}");
+        }
+    }
+
+    #[test]
+    fn boundary_points_are_excluded() {
+        // Interval (0, 2): the point 2 = 1·2^1 is NOT strictly inside, so
+        // the category must be ζ = 1 (χ = 0), not ζ = 2.
+        let c = compute_category(Time::ZERO, Time::from_int(2));
+        assert_eq!((c.chi, c.lambda), (0, 1));
+        // Interval (0, 2 + tiny): now 2 IS inside.
+        let c2 = compute_category(Time::ZERO, Time::from_ratio(2001, 1000));
+        assert_eq!((c2.chi, c2.lambda), (1, 1));
+    }
+
+    #[test]
+    fn tiny_interval_deep_level() {
+        // Interval (1, 1 + 1/1024): grid points of 2^-10 hit inside? The
+        // interval (1, 1.0009765625): contains 1 + 1/1024 exclusive? The
+        // point 1·2^0 = 1 is excluded (equal to s∞). Deepest levels needed.
+        let s = Time::ONE;
+        let f = Time::ONE + Time::from_ratio(1, 1024);
+        let c = compute_category(s, f);
+        // λ·2^χ ∈ (1, 1+2^-10): the largest χ is -11 with λ = 2^11+1 = 2049.
+        assert_eq!(c.chi, -11);
+        assert_eq!(c.lambda, 2049);
+        assert!(c.value() > s && c.value() < f);
+    }
+
+    #[test]
+    fn ordering_matches_values() {
+        let a = Category::new(2, 1); // 4
+        let b = Category::new(0, 5); // 5
+        let c = Category::new(-1, 7); // 3.5
+        let d = Category::new(-1, 13); // 6.5
+        let mut v = [a, b, c, d];
+        v.sort();
+        assert_eq!(v, [c, a, b, d]);
+    }
+
+    #[test]
+    fn ordering_extreme_exponent_gap() {
+        let big = Category::new(100, 1);
+        let small = Category::new(-100, 7);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_lambda_rejected() {
+        let _ = Category::new(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_interval_rejected() {
+        let _ = compute_category(Time::ONE, Time::ONE);
+    }
+
+    #[test]
+    fn category_value_strictly_inside_interval() {
+        // ζ ∈ (s∞, f∞) by definition; exercise a spread of intervals.
+        let cases = [
+            (t(0, 0), t(0, 1)),
+            (t(0, 999), t(1, 1)),
+            (t(5, 250), t(5, 750)),
+            (t(127, 0), t(129, 0)),
+            (t(0, 0), t(1000, 0)),
+        ];
+        for (s, f) in cases {
+            let c = compute_category(s, f);
+            assert!(c.value() > s && c.value() < f, "ζ outside ({s}, {f})");
+        }
+    }
+
+    #[test]
+    fn lattice_children_tile_bracket() {
+        for (chi, lambda) in [(0, 1i64), (0, 5), (2, 3), (-1, 13), (1, 7)] {
+            let c = Category::new(chi, lambda);
+            let (lo, hi) = c.bracket();
+            let (left, right) = c.children();
+            assert_eq!(left.bracket().0, lo);
+            assert_eq!(left.bracket().1, c.value());
+            assert_eq!(right.bracket().0, c.value());
+            assert_eq!(right.bracket().1, hi);
+            // Both children report this category as their parent.
+            assert_eq!(left.parent(), c);
+            assert_eq!(right.parent(), c);
+        }
+    }
+
+    #[test]
+    fn parent_bracket_contains_child_bracket() {
+        for (chi, lambda) in [(0, 1i64), (0, 3), (0, 5), (-2, 9), (3, 11)] {
+            let c = Category::new(chi, lambda);
+            let p = c.parent();
+            assert_eq!(p.chi, chi + 1);
+            let (clo, chi_t) = c.bracket();
+            let (plo, phi) = p.bracket();
+            assert!(plo <= clo && chi_t <= phi, "nesting for {c:?}");
+        }
+    }
+
+    #[test]
+    fn lemma2_brackets() {
+        // (λ−1)·2^χ ≤ s∞ and f∞ ≤ (λ+1)·2^χ.
+        let cases = [
+            (t(2, 0), t(4, 800)),
+            (t(3, 600), t(4, 200)),
+            (t(4, 800), t(6, 0)),
+            (t(0, 10), t(0, 30)),
+        ];
+        for (s, f) in cases {
+            let c = compute_category(s, f);
+            let p = c.pow2();
+            assert!(p.grid_point(c.lambda - 1) <= s, "left bracket for ({s},{f})");
+            assert!(f <= p.grid_point(c.lambda + 1), "right bracket for ({s},{f})");
+        }
+    }
+}

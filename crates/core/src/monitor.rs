@@ -1,0 +1,201 @@
+//! Live guarantee monitoring for online runs.
+//!
+//! Operators of an online scheduler cannot know the final instance, but
+//! they can know what the theory promises *conditioned on what has been
+//! revealed so far*. [`GuaranteeMonitor`] ingests the release stream and
+//! maintains:
+//!
+//! * the revealed task count `n`, area `A`, and critical path `C`;
+//! * the revealed Graham bound `Lb = max(A/P, C)`;
+//! * the **conditional Lemma 7 bound**: if no further task is revealed,
+//!   CatBatch finishes by `2A/P + Σ_ζ L_ζ(C)` over the revealed
+//!   categories;
+//! * the Theorem 1 ratio guarantee `log₂(n) + 3`.
+//!
+//! All quantities are monotone under new revelations except the L-matrix
+//! terms, which are recomputed against the current revealed `C` (category
+//! lengths grow as `C` grows, so the conditional bound stays valid).
+
+use crate::attributes::CriticalityTracker;
+use crate::category::{compute_category, Category};
+use crate::lmatrix::category_length;
+use rigid_dag::ReleasedTask;
+use rigid_time::Time;
+use std::collections::BTreeSet;
+
+/// Tracks the revealed portion of an instance and the bounds it implies.
+#[derive(Debug)]
+pub struct GuaranteeMonitor {
+    procs: u32,
+    tracker: CriticalityTracker,
+    categories: BTreeSet<Category>,
+    area: Time,
+    n: usize,
+}
+
+impl GuaranteeMonitor {
+    /// Creates a monitor for a platform of `procs` processors.
+    pub fn new(procs: u32) -> Self {
+        assert!(procs >= 1);
+        GuaranteeMonitor {
+            procs,
+            tracker: CriticalityTracker::new(),
+            categories: BTreeSet::new(),
+            area: Time::ZERO,
+            n: 0,
+        }
+    }
+
+    /// Ingests one released task (call alongside the scheduler's
+    /// `on_release`).
+    pub fn on_release(&mut self, task: &ReleasedTask) {
+        let crit = self.tracker.on_release(task);
+        self.categories
+            .insert(compute_category(crit.start, crit.finish));
+        self.area += task.spec.area();
+        self.n += 1;
+    }
+
+    /// Revealed task count.
+    pub fn revealed_tasks(&self) -> usize {
+        self.n
+    }
+
+    /// Revealed area `A`.
+    pub fn revealed_area(&self) -> Time {
+        self.area
+    }
+
+    /// Revealed critical-path length `C` (max `f∞` so far).
+    pub fn revealed_critical_path(&self) -> Time {
+        self.tracker.revealed_critical_path()
+    }
+
+    /// Revealed Graham bound `max(A/P, C)`.
+    pub fn revealed_lower_bound(&self) -> Time {
+        self.area
+            .div_int(self.procs as i64)
+            .max(self.revealed_critical_path())
+    }
+
+    /// Number of distinct revealed categories (the number of batches
+    /// CatBatch will have formed so far).
+    pub fn revealed_categories(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// The conditional Lemma 7 completion bound: if nothing further is
+    /// revealed, CatBatch finishes by `2A/P + Σ L_ζ(C)`.
+    ///
+    /// Returns `None` before the first release.
+    pub fn conditional_makespan_bound(&self) -> Option<Time> {
+        if self.n == 0 {
+            return None;
+        }
+        let c = self.revealed_critical_path();
+        let lengths: Time = self
+            .categories
+            .iter()
+            .map(|&cat| category_length(cat, c))
+            .sum();
+        Some(self.area.mul_int(2).div_int(self.procs as i64) + lengths)
+    }
+
+    /// The Theorem 1 guarantee for the revealed task count:
+    /// `log₂(n) + 3`.
+    pub fn ratio_guarantee(&self) -> f64 {
+        assert!(self.n >= 1, "no tasks revealed yet");
+        (self.n as f64).log2() + 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CatBatch;
+    use rigid_dag::gen::{erdos_dag, TaskSampler};
+    use rigid_dag::paper::figure3;
+    use rigid_dag::{InstanceSource, StaticSource, TaskId};
+    use rigid_sim::{engine, OnlineScheduler};
+    use rigid_time::Time;
+
+    /// A scheduler wrapper that feeds the monitor from the release
+    /// stream while delegating to CatBatch.
+    struct Monitored {
+        inner: CatBatch,
+        monitor: GuaranteeMonitor,
+    }
+
+    impl OnlineScheduler for Monitored {
+        fn name(&self) -> &'static str {
+            "monitored-catbatch"
+        }
+        fn on_release(&mut self, t: &ReleasedTask, now: Time) {
+            self.monitor.on_release(t);
+            self.inner.on_release(t, now);
+        }
+        fn on_complete(&mut self, t: TaskId, now: Time) {
+            self.inner.on_complete(t, now);
+        }
+        fn decide(&mut self, now: Time, free: u32) -> Vec<TaskId> {
+            self.inner.decide(now, free)
+        }
+    }
+
+    #[test]
+    fn final_bound_dominates_actual_makespan() {
+        let inst = figure3();
+        let mut sched = Monitored {
+            inner: CatBatch::new(),
+            monitor: GuaranteeMonitor::new(inst.procs()),
+        };
+        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut sched);
+        let bound = sched.monitor.conditional_makespan_bound().unwrap();
+        assert!(result.makespan() <= bound);
+        // After full revelation the monitor agrees with the offline view.
+        assert_eq!(sched.monitor.revealed_tasks(), 11);
+        assert_eq!(sched.monitor.revealed_categories(), 6);
+        assert_eq!(
+            sched.monitor.revealed_critical_path(),
+            Time::from_millis(6, 800)
+        );
+        assert_eq!(bound, crate::analysis::lemma7_bound(&inst));
+    }
+
+    #[test]
+    fn monitor_tracks_partial_revelation() {
+        let inst = figure3();
+        let mut src = StaticSource::new(inst);
+        let mut monitor = GuaranteeMonitor::new(4);
+        assert!(monitor.conditional_makespan_bound().is_none());
+        let initial = src.initial();
+        for rel in &initial {
+            monitor.on_release(rel);
+        }
+        // Roots A-D revealed: n = 4.
+        assert_eq!(monitor.revealed_tasks(), 4);
+        assert!(monitor.revealed_lower_bound() > Time::ZERO);
+        let early = monitor.conditional_makespan_bound().unwrap();
+        assert!(early.is_positive());
+        assert!((monitor.ratio_guarantee() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_holds_across_random_runs() {
+        for seed in 0..8u64 {
+            let inst = erdos_dag(seed, 30, 0.2, &TaskSampler::default_mix(), 8);
+            let mut sched = Monitored {
+                inner: CatBatch::new(),
+                monitor: GuaranteeMonitor::new(8),
+            };
+            let result = engine::run(&mut StaticSource::new(inst.clone()), &mut sched);
+            let bound = sched.monitor.conditional_makespan_bound().unwrap();
+            assert!(result.makespan() <= bound, "seed {seed}");
+            let ratio = result
+                .makespan()
+                .ratio(rigid_dag::analysis::lower_bound(&inst))
+                .to_f64();
+            assert!(ratio <= sched.monitor.ratio_guarantee() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! A fluent, label-based builder for small hand-written DAGs.
+//!
+//! The paper examples and many tests describe graphs by task letters
+//! ("B must run after A"); `DagBuilder` lets those be written directly.
+
+use crate::graph::{Instance, TaskGraph};
+use crate::task::{TaskId, TaskSpec};
+use rigid_time::Time;
+use std::collections::HashMap;
+
+/// Builds a [`TaskGraph`] using string labels for tasks.
+#[derive(Default)]
+pub struct DagBuilder {
+    graph: TaskGraph,
+    by_label: HashMap<String, TaskId>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DagBuilder::default()
+    }
+
+    /// Adds a task with a label, execution time and processor requirement.
+    ///
+    /// # Panics
+    /// Panics if the label is already used.
+    pub fn task(mut self, label: &str, time: Time, procs: u32) -> Self {
+        let id = self
+            .graph
+            .add_task(TaskSpec::new(time, procs).with_label(label));
+        let prev = self.by_label.insert(label.to_string(), id);
+        assert!(prev.is_none(), "duplicate task label {label:?}");
+        self
+    }
+
+    /// Adds a precedence edge `from → to` by label.
+    ///
+    /// # Panics
+    /// Panics if either label is unknown.
+    pub fn edge(mut self, from: &str, to: &str) -> Self {
+        let f = *self
+            .by_label
+            .get(from)
+            .unwrap_or_else(|| panic!("unknown task label {from:?}"));
+        let t = *self
+            .by_label
+            .get(to)
+            .unwrap_or_else(|| panic!("unknown task label {to:?}"));
+        self.graph.add_edge(f, t);
+        self
+    }
+
+    /// Adds edges from one task to many successors.
+    pub fn edges_to(mut self, from: &str, tos: &[&str]) -> Self {
+        for to in tos {
+            self = self.edge(from, to);
+        }
+        self
+    }
+
+    /// Finishes building and returns the raw graph.
+    pub fn build_graph(self) -> TaskGraph {
+        self.graph
+    }
+
+    /// Finishes building and validates a full instance on `procs`
+    /// processors.
+    pub fn build(self, procs: u32) -> Instance {
+        Instance::new(self.graph, procs)
+    }
+
+    /// Looks up a task id by label (available while building).
+    pub fn id(&self, label: &str) -> Option<TaskId> {
+        self.by_label.get(label).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_labeled_graph() {
+        let inst = DagBuilder::new()
+            .task("A", Time::from_int(1), 1)
+            .task("B", Time::from_int(2), 2)
+            .task("C", Time::from_int(1), 1)
+            .edge("A", "B")
+            .edges_to("B", &["C"])
+            .build(4);
+        let g = inst.graph();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let a = g.find_by_label("A").unwrap();
+        let c = g.find_by_label("C").unwrap();
+        assert!(g.has_path(a, c));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate task label")]
+    fn duplicate_label_panics() {
+        let _ = DagBuilder::new()
+            .task("A", Time::ONE, 1)
+            .task("A", Time::ONE, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task label")]
+    fn unknown_label_panics() {
+        let _ = DagBuilder::new().task("A", Time::ONE, 1).edge("A", "Z");
+    }
+}

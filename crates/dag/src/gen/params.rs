@@ -1,0 +1,239 @@
+//! Random samplers for rigid task parameters `(t, p)`.
+//!
+//! Sampled lengths are snapped onto the dyadic `2^-20` grid (see
+//! [`Time::from_f64_snapped`]) so that all downstream arithmetic stays
+//! exact with small denominators.
+
+use crate::task::TaskSpec;
+use rand::Rng;
+use rigid_time::Time;
+
+/// Distribution of task execution times.
+#[derive(Clone, Debug)]
+pub enum LengthDist {
+    /// Uniform on `[min, max]`.
+    Uniform {
+        /// Lower bound (inclusive), must be > 0.
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// Log-uniform on `[min, max]`: heavy spread across scales, the
+    /// regime where the `log(M/m)` bound matters.
+    LogUniform {
+        /// Lower bound (inclusive), must be > 0.
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// All tasks share one exact length.
+    Constant(Time),
+    /// Uniformly one of the given exact lengths.
+    Choice(Vec<Time>),
+}
+
+impl LengthDist {
+    /// Draws one execution time.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Time {
+        match self {
+            LengthDist::Uniform { min, max } => {
+                assert!(*min > 0.0 && max >= min, "invalid Uniform bounds");
+                let x = rng.random_range(*min..=*max);
+                positive_snap(x, *min)
+            }
+            LengthDist::LogUniform { min, max } => {
+                assert!(*min > 0.0 && max >= min, "invalid LogUniform bounds");
+                let (lo, hi) = (min.ln(), max.ln());
+                let x = rng.random_range(lo..=hi).exp();
+                positive_snap(x, *min)
+            }
+            LengthDist::Constant(t) => {
+                assert!(t.is_positive(), "constant length must be positive");
+                *t
+            }
+            LengthDist::Choice(v) => {
+                assert!(!v.is_empty(), "empty length choice set");
+                v[rng.random_range(0..v.len())]
+            }
+        }
+    }
+}
+
+/// Snaps to the dyadic grid, guarding against snapping all the way to zero.
+fn positive_snap(x: f64, floor_hint: f64) -> Time {
+    let t = Time::from_f64_snapped(x);
+    if t.is_positive() {
+        t
+    } else {
+        // The requested value was below grid resolution; use the smallest
+        // representable positive grid step or the hint, whichever is larger.
+        Time::from_f64_snapped(floor_hint.max(1.0 / (1u64 << 20) as f64))
+            .max(Time::from_ratio(1, 1 << 20))
+    }
+}
+
+/// Distribution of processor requirements.
+#[derive(Clone, Debug)]
+pub enum ProcDist {
+    /// Uniform integer on `[min, max]` (clamped to `[1, P]`).
+    Uniform {
+        /// Lower bound (inclusive).
+        min: u32,
+        /// Upper bound (inclusive).
+        max: u32,
+    },
+    /// A power of two `2^k ≤ P`, `k` uniform — the classic HPC job-size mix.
+    PowersOfTwo,
+    /// `1` with probability `1 − p_full`, `P` with probability `p_full`
+    /// (the paper's lower-bound gadgets use exactly this mix).
+    Bimodal {
+        /// Probability of requiring all `P` processors.
+        p_full: f64,
+    },
+    /// Every task requires the same count (clamped to `[1, P]`).
+    Constant(u32),
+    /// At most `⌈q·P⌉` processors, uniform — the `q`-fraction regime of
+    /// Li's list-scheduling bound.
+    FractionCap {
+        /// Cap fraction `q ∈ (0, 1]`.
+        q: f64,
+    },
+}
+
+impl ProcDist {
+    /// Draws one processor requirement for a platform of size `procs`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, procs: u32) -> u32 {
+        assert!(procs >= 1);
+        let p = match self {
+            ProcDist::Uniform { min, max } => {
+                let lo = (*min).clamp(1, procs);
+                let hi = (*max).clamp(lo, procs);
+                rng.random_range(lo..=hi)
+            }
+            ProcDist::PowersOfTwo => {
+                let kmax = 31 - procs.leading_zeros(); // floor(log2 P)
+                1u32 << rng.random_range(0..=kmax)
+            }
+            ProcDist::Bimodal { p_full } => {
+                if rng.random_bool(p_full.clamp(0.0, 1.0)) {
+                    procs
+                } else {
+                    1
+                }
+            }
+            ProcDist::Constant(c) => *c,
+            ProcDist::FractionCap { q } => {
+                assert!(*q > 0.0 && *q <= 1.0, "q must be in (0, 1]");
+                let cap = ((procs as f64 * q).ceil() as u32).clamp(1, procs);
+                rng.random_range(1..=cap)
+            }
+        };
+        p.clamp(1, procs)
+    }
+}
+
+/// Joint sampler for task specs.
+#[derive(Clone, Debug)]
+pub struct TaskSampler {
+    /// Execution-time distribution.
+    pub length: LengthDist,
+    /// Processor-requirement distribution.
+    pub procs: ProcDist,
+}
+
+impl TaskSampler {
+    /// A reasonable default: lengths uniform in `[0.5, 4]`, processor
+    /// counts a power-of-two mix.
+    pub fn default_mix() -> Self {
+        TaskSampler {
+            length: LengthDist::Uniform { min: 0.5, max: 4.0 },
+            procs: ProcDist::PowersOfTwo,
+        }
+    }
+
+    /// Draws one task spec for a platform of size `procs`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, procs: u32) -> TaskSpec {
+        TaskSpec::new(self.length.sample(rng), self.procs.sample(rng, procs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_lengths_in_range() {
+        let d = LengthDist::Uniform { min: 0.5, max: 4.0 };
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = d.sample(&mut r);
+            assert!(t >= Time::from_ratio(499, 1000) && t <= Time::from_ratio(4001, 1000));
+        }
+    }
+
+    #[test]
+    fn log_uniform_spans_scales() {
+        let d = LengthDist::LogUniform {
+            min: 0.01,
+            max: 100.0,
+        };
+        let mut r = rng();
+        let samples: Vec<f64> = (0..500).map(|_| d.sample(&mut r).to_f64()).collect();
+        let small = samples.iter().filter(|&&x| x < 0.1).count();
+        let large = samples.iter().filter(|&&x| x > 10.0).count();
+        assert!(small > 20 && large > 20, "log-uniform should span scales");
+    }
+
+    #[test]
+    fn powers_of_two_valid() {
+        let d = ProcDist::PowersOfTwo;
+        let mut r = rng();
+        for _ in 0..200 {
+            let p = d.sample(&mut r, 13);
+            assert!(p.is_power_of_two() && p <= 13);
+        }
+    }
+
+    #[test]
+    fn bimodal_is_one_or_p() {
+        let d = ProcDist::Bimodal { p_full: 0.5 };
+        let mut r = rng();
+        for _ in 0..100 {
+            let p = d.sample(&mut r, 8);
+            assert!(p == 1 || p == 8);
+        }
+    }
+
+    #[test]
+    fn fraction_cap_respected() {
+        let d = ProcDist::FractionCap { q: 0.25 };
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(d.sample(&mut r, 16) <= 4);
+        }
+    }
+
+    #[test]
+    fn constant_clamped() {
+        let d = ProcDist::Constant(100);
+        let mut r = rng();
+        assert_eq!(d.sample(&mut r, 8), 8);
+    }
+
+    #[test]
+    fn sampler_produces_valid_specs() {
+        let s = TaskSampler::default_mix();
+        let mut r = rng();
+        for _ in 0..100 {
+            let spec = s.sample(&mut r, 16);
+            assert!(spec.time.is_positive());
+            assert!(spec.procs >= 1 && spec.procs <= 16);
+        }
+    }
+}

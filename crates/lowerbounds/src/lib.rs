@@ -1,0 +1,48 @@
+//! # rigid-lowerbounds — the adversarial constructions of Section 6
+//!
+//! Machine-checkable versions of the paper's lower-bound machinery:
+//!
+//! * [`chains`] — the alternating chains `L^i_P(K)` (Definition 6);
+//! * [`xgraph`] — `X_P(K)` (Definition 7, Figure 8) with the Lemma 8
+//!   bound `T_opt > P·K^(P−1) − (P−1)·K^(P−2)`;
+//! * [`ygraph`] — `Y^i_P(K)` (Definition 8, Figure 9) with its exact
+//!   optimum (Lemma 9) realized by a constructive schedule;
+//! * [`zgraph`] — the **adaptive adversary** `Z^Alg_P(K)` (Definition 9,
+//!   Figure 10): an [`InstanceSource`](rigid_dag::InstanceSource) that
+//!   watches the scheduler run and attaches each next layer to the task
+//!   it completed last, plus the Lemma 11 offline witness schedule;
+//! * [`theorems`] — the Theorem 3/4 parameter recipes and analytic
+//!   ratio floors.
+//!
+//! ## Example: attacking a scheduler
+//!
+//! ```
+//! use rigid_lowerbounds::chains::GadgetParams;
+//! use rigid_lowerbounds::zgraph::{ZAdversary, lemma10_bound};
+//! use rigid_baselines::asap;
+//! use rigid_sim::engine;
+//! use rigid_time::Time;
+//!
+//! let params = GadgetParams::new(3, 2, Time::from_ratio(1, 48));
+//! let mut adversary = ZAdversary::new(params);
+//! let result = engine::run(&mut adversary, &mut asap());
+//!
+//! // Any online algorithm pays at least the Lemma 10 bound...
+//! assert!(result.makespan() >= lemma10_bound(&params));
+//! // ...while the offline witness finishes far sooner.
+//! let witness = adversary.witness_schedule();
+//! witness.assert_valid(&adversary.committed_instance());
+//! assert!(witness.makespan() < result.makespan());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chains;
+pub mod theorems;
+pub mod xgraph;
+pub mod ygraph;
+pub mod zgraph;
+
+pub use chains::GadgetParams;
+pub use zgraph::ZAdversary;

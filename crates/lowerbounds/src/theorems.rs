@@ -1,0 +1,112 @@
+//! The headline lower-bound statements (Theorems 3 and 4) as checkable
+//! quantities.
+//!
+//! Theorem 3: for any constant `C`, no online algorithm is
+//! `(log₂(n)/5 + C)`-competitive, nor `(log₂(M/m)/5 + C)`-competitive.
+//! Theorem 4: no online algorithm is `(P/2 − μ)`-competitive for any
+//! `μ > 0`.
+//!
+//! Both are driven by the `Z^Alg_P(K)` adversary with specific parameter
+//! choices; the functions here reproduce those choices and the resulting
+//! analytic quantities so experiments can compare measured ratios against
+//! them.
+
+use crate::chains::GadgetParams;
+use rigid_time::Time;
+
+/// Theorem 3's canonical parameters: `K = 2`, `ε = 1/(16P)`.
+pub fn theorem3_params(p: u32) -> GadgetParams {
+    GadgetParams::new(p, 2, Time::from_ratio(1, 16 * p as i64))
+}
+
+/// Total task count of `Z^Alg_P(2)`: `n = 2P(2^P − 1)`.
+pub fn theorem3_task_count(p: u32) -> u64 {
+    2 * p as u64 * ((1u64 << p) - 1)
+}
+
+/// The length ratio `M/m = 2^(P−1) / (1/(16P)) = 8P·2^P` of the
+/// Theorem 3 instance.
+pub fn theorem3_length_ratio(p: u32) -> f64 {
+    8.0 * p as f64 * (1u64 << p) as f64
+}
+
+/// The analytic ratio floor proved in Theorem 3's derivation:
+/// `T_Alg/T_Opt > (P + 1) / (2(2 + 4Pε))` with `ε = 1/(16P)`, i.e.
+/// `(P + 1)/4.5`.
+pub fn theorem3_ratio_floor(p: u32) -> f64 {
+    (p as f64 + 1.0) / 4.5
+}
+
+/// The Theorem 3 target expression `log₂(n)/5 + C`: returns the measured
+/// margin `ratio − log₂(n)/5`, which must diverge as `P` grows.
+pub fn theorem3_margin_n(ratio: f64, n: u64) -> f64 {
+    ratio - (n as f64).log2() / 5.0
+}
+
+/// Same margin against `log₂(M/m)/5`.
+pub fn theorem3_margin_mm(ratio: f64, length_ratio: f64) -> f64 {
+    ratio - length_ratio.log2() / 5.0
+}
+
+/// Theorem 4's parameter recipe for a target slack `μ`: `K > (P−1)/μ`
+/// and `ε < μ/(P²K)`; returns the gadget parameters.
+pub fn theorem4_params(p: u32, mu: f64) -> GadgetParams {
+    assert!(mu > 0.0 && p >= 1);
+    let k = (((p as f64 - 1.0) / mu).floor() as u32 + 1).max(2);
+    // ε strictly below μ/(P²K): take half of it on an exact grid.
+    let denom = (2.0 * (p as f64).powi(2) * k as f64 / mu).ceil() as i64 + 1;
+    GadgetParams::new(p, k, Time::from_ratio(1, denom))
+}
+
+/// The analytic lower ratio of Theorem 4's derivation:
+/// `(P − (P−1)/K) / (2(1 + PKε))`.
+pub fn theorem4_ratio_floor(params: &GadgetParams) -> f64 {
+    let p = params.p as f64;
+    let k = params.k as f64;
+    let eps = params.eps.to_f64();
+    (p - (p - 1.0) / k) / (2.0 * (1.0 + p * k * eps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem3_counts() {
+        // P=5, K=2: n = 10·31 = 310 (the paper's 2P(2^P − 1)).
+        assert_eq!(theorem3_task_count(5), 310);
+        let params = theorem3_params(5);
+        assert_eq!(params.eps, Time::from_ratio(1, 80));
+        let adv_total = crate::zgraph::ZAdversary::new(params).task_count() as u64;
+        assert_eq!(adv_total, theorem3_task_count(5));
+    }
+
+    #[test]
+    fn theorem3_floor_grows_linearly() {
+        assert!(theorem3_ratio_floor(10) > theorem3_ratio_floor(5));
+        assert!((theorem3_ratio_floor(8) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem4_recipe_satisfies_constraints() {
+        for (p, mu) in [(3u32, 0.5f64), (4, 0.25), (6, 1.0)] {
+            let params = theorem4_params(p, mu);
+            assert!(params.k as f64 > (p as f64 - 1.0) / mu, "K constraint");
+            assert!(
+                params.eps.to_f64() < mu / ((p as f64).powi(2) * params.k as f64),
+                "ε constraint"
+            );
+            // The floor must exceed P/2 − μ.
+            assert!(
+                theorem4_ratio_floor(&params) > p as f64 / 2.0 - mu,
+                "floor too small for P={p}, μ={mu}"
+            );
+        }
+    }
+
+    #[test]
+    fn margins_positive_when_ratio_beats_fifth_of_log() {
+        assert!(theorem3_margin_n(3.0, 310) > 0.0);
+        assert!(theorem3_margin_mm(3.0, theorem3_length_ratio(5)) > 0.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The discrete-event online scheduling engine.
+//!
+//! The engine is the "platform" of the paper's model: it owns the clock
+//! and the processor pool, reveals tasks through an
+//! [`rigid_dag::InstanceSource`], asks an
+//! [`OnlineScheduler`] what to start at every decision point, and records
+//! the resulting [`Schedule`]. It enforces the model's rules with
+//! assertions: a scheduler cannot start unknown, already-started, or
+//! oversubscribing tasks, and a task completes exactly `t` after it
+//! started — no preemption, no termination, no modification.
+
+use crate::schedule::Schedule;
+use crate::scheduler::OnlineScheduler;
+use rigid_dag::{InstanceSource, ReleasedTask, TaskGraph, TaskId};
+use rigid_time::Time;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The outcome of a run: the schedule, reconstruction of everything the
+/// source revealed, and per-task release instants.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The recorded schedule (already capacity-checked by construction;
+    /// validate against an instance for precedence checks).
+    pub schedule: Schedule,
+    /// The graph of all released tasks, rebuilt from the release stream.
+    /// For a static source this equals the original instance graph up to
+    /// task-id renumbering (ids here follow release order); for an adaptive
+    /// source this is the instance the adversary committed to. Use
+    /// [`revealed_ids`](Self::revealed_ids) to map run ids to graph ids.
+    pub revealed: TaskGraph,
+    /// Maps the run's task ids (as used in `schedule`) to ids in
+    /// `revealed`.
+    pub revealed_ids: HashMap<TaskId, TaskId>,
+    /// Platform size.
+    pub procs: u32,
+    /// When each task was released (became ready).
+    pub release_times: BTreeMap<TaskId, Time>,
+    /// Number of decision points the scheduler was consulted at.
+    pub decisions: u64,
+}
+
+impl RunResult {
+    /// Makespan of the run.
+    pub fn makespan(&self) -> Time {
+        self.schedule.makespan()
+    }
+}
+
+/// Internal record of a released task.
+struct Known {
+    spec_procs: u32,
+    spec_time: Time,
+    started: bool,
+}
+
+/// Runs `scheduler` against `source` until every revealed task completes.
+///
+/// # Panics
+/// Panics if the scheduler deadlocks (tasks are ready but it never starts
+/// them while the machine is otherwise idle), starts an unknown or
+/// already-started task, or oversubscribes the processors — all of which
+/// indicate a scheduler bug, not a legal outcome of the model.
+pub fn run(source: &mut dyn InstanceSource, scheduler: &mut dyn OnlineScheduler) -> RunResult {
+    let procs = source.procs();
+    assert!(procs >= 1);
+
+    let mut schedule = Schedule::new(procs);
+    let mut revealed = TaskGraph::new();
+    // The source allocates dense ids; map them to the rebuilt graph (ids
+    // must arrive in order for the rebuild to preserve them).
+    let mut id_map: HashMap<TaskId, TaskId> = HashMap::new();
+    let mut release_times: BTreeMap<TaskId, Time> = BTreeMap::new();
+
+    let mut known: HashMap<TaskId, Known> = HashMap::new();
+    let mut running: BTreeMap<(Time, u64), (TaskId, u32)> = BTreeMap::new();
+    let mut start_seq: u64 = 0;
+    let mut completion_index: u64 = 0;
+    let mut free: u32 = procs;
+    let mut decisions: u64 = 0;
+
+    let mut now = Time::ZERO;
+
+    let mut pending_releases: Vec<ReleasedTask> = source.initial();
+
+    loop {
+        // Ingest releases.
+        for rel in pending_releases.drain(..) {
+            let new_id = revealed.add_task(rel.spec.clone());
+            id_map.insert(rel.id, new_id);
+            for &p in &rel.preds {
+                let mapped = *id_map
+                    .get(&p)
+                    .expect("released task references unknown predecessor");
+                revealed.add_edge(mapped, new_id);
+            }
+            release_times.insert(rel.id, now);
+            let dup = known.insert(
+                rel.id,
+                Known {
+                    spec_procs: rel.spec.procs,
+                    spec_time: rel.spec.time,
+                    started: false,
+                },
+            );
+            assert!(dup.is_none(), "task {} released twice", rel.id);
+            scheduler.on_release(&rel, now);
+        }
+
+        // Ask the scheduler what to start now. Repeat until it passes,
+        // since starting a task may change what it wants (some schedulers
+        // return one task per call).
+        loop {
+            decisions += 1;
+            let to_start = scheduler.decide(now, free);
+            if to_start.is_empty() {
+                break;
+            }
+            let mut seen = HashSet::new();
+            for id in to_start {
+                assert!(seen.insert(id), "decide returned {id} twice");
+                let k = known
+                    .get_mut(&id)
+                    .unwrap_or_else(|| panic!("scheduler started unknown task {id}"));
+                assert!(!k.started, "scheduler started {id} twice");
+                assert!(
+                    k.spec_procs <= free,
+                    "scheduler oversubscribed: task {id} needs {} procs, {} free",
+                    k.spec_procs,
+                    free
+                );
+                k.started = true;
+                free -= k.spec_procs;
+                let finish = now + k.spec_time;
+                schedule.place(id, now, finish, k.spec_procs);
+                running.insert((finish, start_seq), (id, k.spec_procs));
+                start_seq += 1;
+            }
+        }
+
+        let next_completion = running.iter().next().map(|(&(f, _), _)| f);
+        let next_arrival = source.next_timed_release(now);
+
+        match (next_completion, next_arrival) {
+            (None, None) => {
+                // Nothing runs and nothing will arrive. If tasks remain
+                // unstarted the scheduler is stuck; if the source still
+                // holds completion-driven tasks it will never release
+                // them.
+                let unstarted: Vec<TaskId> = known
+                    .iter()
+                    .filter(|(_, k)| !k.started)
+                    .map(|(id, _)| *id)
+                    .collect();
+                assert!(
+                    unstarted.is_empty(),
+                    "scheduler deadlock: machine idle but tasks {unstarted:?} unstarted"
+                );
+                assert!(
+                    !source.expects_more(),
+                    "source still holds unreleased tasks after all completions"
+                );
+                break;
+            }
+            (None, Some(arrival)) => {
+                // Idle machine; the clock jumps to the next arrival.
+                now = arrival;
+                pending_releases.extend(source.timed_releases(now));
+            }
+            (Some(finish), arrival) => {
+                if arrival.map(|a| a < finish).unwrap_or(false) {
+                    // The clock reaches a release before any completion.
+                    now = arrival.expect("checked");
+                    pending_releases.extend(source.timed_releases(now));
+                } else {
+                    // Advance to the earliest completion; process all
+                    // completions at that instant before deciding again.
+                    now = finish;
+                    while let Some((&(f, seq), &(id, p))) = running.iter().next() {
+                        if f != now {
+                            break;
+                        }
+                        running.remove(&(f, seq));
+                        free += p;
+                        scheduler.on_complete(id, now);
+                        let newly = source.on_complete(id, completion_index);
+                        completion_index += 1;
+                        pending_releases.extend(newly);
+                    }
+                    // Clock arrivals landing exactly at this instant join
+                    // the same decision round.
+                    pending_releases.extend(source.timed_releases(now));
+                }
+            }
+        }
+    }
+
+    RunResult {
+        schedule,
+        revealed,
+        revealed_ids: id_map,
+        procs,
+        release_times,
+        decisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigid_dag::{DagBuilder, Instance, StaticSource};
+
+    /// A trivial greedy scheduler: start any ready task that fits, FIFO.
+    struct Greedy {
+        queue: Vec<(TaskId, u32)>,
+    }
+
+    impl Greedy {
+        fn new() -> Self {
+            Greedy { queue: Vec::new() }
+        }
+    }
+
+    impl OnlineScheduler for Greedy {
+        fn name(&self) -> &'static str {
+            "test-greedy"
+        }
+        fn on_release(&mut self, task: &ReleasedTask, _now: Time) {
+            self.queue.push((task.id, task.spec.procs));
+        }
+        fn on_complete(&mut self, _task: TaskId, _now: Time) {}
+        fn decide(&mut self, _now: Time, mut free: u32) -> Vec<TaskId> {
+            let mut out = Vec::new();
+            self.queue.retain(|&(id, p)| {
+                if p <= free {
+                    free -= p;
+                    out.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            out
+        }
+    }
+
+    fn chain() -> Instance {
+        DagBuilder::new()
+            .task("a", Time::from_int(2), 2)
+            .task("b", Time::from_int(1), 4)
+            .task("c", Time::from_int(3), 1)
+            .edge("a", "b")
+            .build(4)
+    }
+
+    #[test]
+    fn greedy_runs_chain() {
+        let inst = chain();
+        let mut src = StaticSource::new(inst.clone());
+        let mut sched = Greedy::new();
+        let result = run(&mut src, &mut sched);
+        result.schedule.assert_valid(&inst);
+        // a:[0,2] c:[0,3] b:[2? no — b needs 4 procs, c holds 1 until 3] ⇒
+        // b:[3,4]. Makespan 4.
+        assert_eq!(result.makespan(), Time::from_int(4));
+        assert_eq!(result.revealed.len(), 3);
+        assert_eq!(result.release_times[&inst.graph().find_by_label("b").unwrap()], Time::from_int(2));
+    }
+
+    #[test]
+    fn revealed_graph_matches_instance() {
+        let inst = chain();
+        let mut src = StaticSource::new(inst.clone());
+        let mut sched = Greedy::new();
+        let result = run(&mut src, &mut sched);
+        assert_eq!(result.revealed.len(), inst.graph().len());
+        assert_eq!(result.revealed.edge_count(), inst.graph().edge_count());
+    }
+
+    /// A scheduler that refuses to schedule anything: must be detected as
+    /// a deadlock rather than looping forever.
+    struct Lazy;
+    impl OnlineScheduler for Lazy {
+        fn name(&self) -> &'static str {
+            "lazy"
+        }
+        fn on_release(&mut self, _t: &ReleasedTask, _now: Time) {}
+        fn on_complete(&mut self, _t: TaskId, _now: Time) {}
+        fn decide(&mut self, _now: Time, _free: u32) -> Vec<TaskId> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn lazy_scheduler_detected() {
+        let inst = chain();
+        let mut src = StaticSource::new(inst);
+        let mut sched = Lazy;
+        let _ = run(&mut src, &mut sched);
+    }
+
+    /// A scheduler that oversubscribes.
+    struct Hog {
+        pending: Vec<TaskId>,
+    }
+    impl OnlineScheduler for Hog {
+        fn name(&self) -> &'static str {
+            "hog"
+        }
+        fn on_release(&mut self, t: &ReleasedTask, _now: Time) {
+            self.pending.push(t.id);
+        }
+        fn on_complete(&mut self, _t: TaskId, _now: Time) {}
+        fn decide(&mut self, _now: Time, _free: u32) -> Vec<TaskId> {
+            std::mem::take(&mut self.pending)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn oversubscription_detected() {
+        // Two tasks of 3 procs on P=4, no deps: Hog starts both at once.
+        let inst = DagBuilder::new()
+            .task("x", Time::from_int(1), 3)
+            .task("y", Time::from_int(1), 3)
+            .build(4);
+        let mut src = StaticSource::new(inst);
+        let mut sched = Hog {
+            pending: Vec::new(),
+        };
+        let _ = run(&mut src, &mut sched);
+    }
+
+    #[test]
+    fn timed_releases_respected() {
+        use rigid_dag::source::TimedSource;
+        use rigid_dag::TaskSpec;
+        // Two unit tasks arriving at t=0 and t=5 on one processor: the
+        // second cannot start before 5 even though the machine idles
+        // from 1 to 5.
+        let mut src = TimedSource::new(
+            vec![
+                (Time::ZERO, TaskSpec::new(Time::ONE, 1)),
+                (Time::from_int(5), TaskSpec::new(Time::ONE, 1)),
+            ],
+            1,
+        );
+        let result = run(&mut src, &mut Greedy::new());
+        assert_eq!(result.makespan(), Time::from_int(6));
+        assert_eq!(result.release_times[&TaskId(1)], Time::from_int(5));
+        assert_eq!(
+            result.schedule.placement(TaskId(1)).unwrap().start,
+            Time::from_int(5)
+        );
+    }
+
+    #[test]
+    fn timed_arrival_during_execution() {
+        use rigid_dag::source::TimedSource;
+        use rigid_dag::TaskSpec;
+        // Arrival at t=1 while a long task runs: it queues and starts on
+        // the other processor immediately at its release.
+        let mut src = TimedSource::new(
+            vec![
+                (Time::ZERO, TaskSpec::new(Time::from_int(4), 1)),
+                (Time::ONE, TaskSpec::new(Time::from_int(2), 1)),
+            ],
+            2,
+        );
+        let result = run(&mut src, &mut Greedy::new());
+        assert_eq!(
+            result.schedule.placement(TaskId(1)).unwrap().start,
+            Time::ONE
+        );
+        assert_eq!(result.makespan(), Time::from_int(4));
+    }
+
+    #[test]
+    fn empty_instance_runs() {
+        let inst = Instance::new(rigid_dag::TaskGraph::new(), 2);
+        let mut src = StaticSource::new(inst);
+        let mut sched = Greedy::new();
+        let result = run(&mut src, &mut sched);
+        assert_eq!(result.makespan(), Time::ZERO);
+        assert!(result.schedule.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_completions_processed_together() {
+        // Two equal tasks finish at the same instant; their joint
+        // successor must be released exactly once at that instant.
+        let inst = DagBuilder::new()
+            .task("u", Time::from_int(2), 1)
+            .task("v", Time::from_int(2), 1)
+            .task("w", Time::from_int(1), 2)
+            .edge("u", "w")
+            .edge("v", "w")
+            .build(2);
+        let mut src = StaticSource::new(inst.clone());
+        let mut sched = Greedy::new();
+        let result = run(&mut src, &mut sched);
+        result.schedule.assert_valid(&inst);
+        assert_eq!(result.makespan(), Time::from_int(3));
+    }
+}

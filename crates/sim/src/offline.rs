@@ -1,0 +1,64 @@
+//! Offline scheduling support.
+//!
+//! An [`OfflineScheduler`] sees the whole instance up front (graph and all
+//! task parameters) and produces a [`Schedule`] directly — the comparison
+//! regime for competitive analysis. The engine is not involved; the
+//! schedule is validated after the fact.
+
+use crate::schedule::Schedule;
+use rigid_dag::Instance;
+
+/// A scheduler with full advance knowledge of the instance.
+pub trait OfflineScheduler {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Produces a complete schedule for the instance. Implementations must
+    /// return feasible schedules; harnesses validate with
+    /// [`Schedule::validate`].
+    fn schedule(&mut self, instance: &Instance) -> Schedule;
+}
+
+/// Runs an offline scheduler and asserts the result is feasible.
+pub fn run_offline(scheduler: &mut dyn OfflineScheduler, instance: &Instance) -> Schedule {
+    let s = scheduler.schedule(instance);
+    s.assert_valid(instance);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigid_dag::DagBuilder;
+    use rigid_time::Time;
+
+    /// Trivial offline scheduler: everything sequentially in topological
+    /// order. Always feasible, never good.
+    struct Sequential;
+    impl OfflineScheduler for Sequential {
+        fn name(&self) -> &'static str {
+            "sequential"
+        }
+        fn schedule(&mut self, instance: &Instance) -> Schedule {
+            let mut s = Schedule::new(instance.procs());
+            let mut now = Time::ZERO;
+            for id in instance.graph().topological_order().unwrap() {
+                let t = instance.graph().spec(id).time;
+                s.place(id, now, now + t, instance.graph().spec(id).procs);
+                now += t;
+            }
+            s
+        }
+    }
+
+    #[test]
+    fn sequential_is_feasible() {
+        let inst = DagBuilder::new()
+            .task("a", Time::from_int(1), 2)
+            .task("b", Time::from_int(2), 3)
+            .edge("a", "b")
+            .build(4);
+        let s = run_offline(&mut Sequential, &inst);
+        assert_eq!(s.makespan(), Time::from_int(3));
+    }
+}

@@ -1,0 +1,300 @@
+//! Schedules: per-task placements, makespan, and validation.
+//!
+//! A [`Schedule`] is the output artifact of every scheduler in the
+//! workspace. Validation checks the two feasibility conditions of the
+//! paper's Section 3.1: at most `P` processors in use at every instant,
+//! and every task starting only after all of its predecessors finished.
+
+use rigid_dag::{Instance, TaskId};
+use rigid_time::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One scheduled task: its start/finish instants and processor demand.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The task.
+    pub task: TaskId,
+    /// Start instant `s ≥ 0`.
+    pub start: Time,
+    /// Finish instant `s + t`.
+    pub finish: Time,
+    /// Processors used (`p` of the rigid task).
+    pub procs: u32,
+}
+
+impl Placement {
+    /// Returns `true` if the task is running at instant `x` (open
+    /// interval, matching the paper's `s < x < s + t`).
+    pub fn running_at(&self, x: Time) -> bool {
+        self.start < x && x < self.finish
+    }
+}
+
+/// A complete schedule on `P` processors.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    procs: u32,
+    placements: BTreeMap<TaskId, Placement>,
+}
+
+/// A violation found by [`Schedule::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A task starts before one of its predecessors finishes.
+    PrecedenceViolated {
+        /// The offending task.
+        task: TaskId,
+        /// The predecessor that had not finished.
+        pred: TaskId,
+    },
+    /// More than `P` processors in use during some interval.
+    CapacityExceeded {
+        /// Start of the overloaded interval.
+        at: Time,
+        /// Processors demanded there.
+        used: u64,
+    },
+    /// A task present in the instance is missing from the schedule.
+    MissingTask(TaskId),
+    /// A placement's duration does not equal the task's execution time,
+    /// or its processor count does not match the spec.
+    SpecMismatch(TaskId),
+    /// A task starts before time zero.
+    NegativeStart(TaskId),
+}
+
+impl Schedule {
+    /// Creates an empty schedule for a platform of `procs` processors.
+    pub fn new(procs: u32) -> Self {
+        assert!(procs >= 1);
+        Schedule {
+            procs,
+            placements: BTreeMap::new(),
+        }
+    }
+
+    /// Platform size `P`.
+    pub fn procs(&self) -> u32 {
+        self.procs
+    }
+
+    /// Records a placement.
+    ///
+    /// # Panics
+    /// Panics if the task was already placed or the interval is empty.
+    pub fn place(&mut self, task: TaskId, start: Time, finish: Time, procs: u32) {
+        assert!(finish > start, "empty placement interval for {task}");
+        let prev = self.placements.insert(
+            task,
+            Placement {
+                task,
+                start,
+                finish,
+                procs,
+            },
+        );
+        assert!(prev.is_none(), "task {task} placed twice");
+    }
+
+    /// The placement of a task, if scheduled.
+    pub fn placement(&self, task: TaskId) -> Option<&Placement> {
+        self.placements.get(&task)
+    }
+
+    /// Iterates over all placements in task-id order.
+    pub fn placements(&self) -> impl Iterator<Item = &Placement> + '_ {
+        self.placements.values()
+    }
+
+    /// Number of placed tasks.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Returns `true` if nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// The makespan `max (s_i + t_i)` (zero for an empty schedule).
+    pub fn makespan(&self) -> Time {
+        self.placements
+            .values()
+            .map(|p| p.finish)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// The processor-usage step function: instants where usage changes and
+    /// the usage on the interval starting there, as `(instant, used)` pairs
+    /// sorted by time. The final pair has usage 0.
+    pub fn usage_profile(&self) -> Vec<(Time, u64)> {
+        let mut deltas: BTreeMap<Time, i64> = BTreeMap::new();
+        for p in self.placements.values() {
+            *deltas.entry(p.start).or_insert(0) += p.procs as i64;
+            *deltas.entry(p.finish).or_insert(0) -= p.procs as i64;
+        }
+        let mut out = Vec::with_capacity(deltas.len());
+        let mut cur: i64 = 0;
+        for (t, d) in deltas {
+            cur += d;
+            debug_assert!(cur >= 0);
+            out.push((t, cur as u64));
+        }
+        out
+    }
+
+    /// Validates the schedule against an instance. Returns all violations
+    /// (empty means feasible and complete).
+    pub fn validate(&self, instance: &Instance) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let g = instance.graph();
+
+        for id in g.task_ids() {
+            match self.placements.get(&id) {
+                None => violations.push(Violation::MissingTask(id)),
+                Some(p) => {
+                    let spec = g.spec(id);
+                    if p.finish - p.start != spec.time || p.procs != spec.procs {
+                        violations.push(Violation::SpecMismatch(id));
+                    }
+                    if p.start.is_negative() {
+                        violations.push(Violation::NegativeStart(id));
+                    }
+                    for &pred in g.preds(id) {
+                        if let Some(pp) = self.placements.get(&pred) {
+                            if pp.finish > p.start {
+                                violations.push(Violation::PrecedenceViolated { task: id, pred });
+                            }
+                        }
+                        // A missing predecessor is reported as MissingTask.
+                    }
+                }
+            }
+        }
+
+        for (t, used) in self.usage_profile() {
+            if used > self.procs as u64 {
+                violations.push(Violation::CapacityExceeded { at: t, used });
+            }
+        }
+
+        violations
+    }
+
+    /// Panicking variant of [`validate`](Schedule::validate), for tests.
+    pub fn assert_valid(&self, instance: &Instance) {
+        let v = self.validate(instance);
+        assert!(v.is_empty(), "schedule violations: {v:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigid_dag::{DagBuilder, TaskSpec};
+
+    fn chain_instance() -> Instance {
+        DagBuilder::new()
+            .task("a", Time::from_int(2), 2)
+            .task("b", Time::from_int(1), 3)
+            .edge("a", "b")
+            .build(4)
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let inst = chain_instance();
+        let g = inst.graph();
+        let a = g.find_by_label("a").unwrap();
+        let b = g.find_by_label("b").unwrap();
+        let mut s = Schedule::new(4);
+        s.place(a, Time::ZERO, Time::from_int(2), 2);
+        s.place(b, Time::from_int(2), Time::from_int(3), 3);
+        assert!(s.validate(&inst).is_empty());
+        assert_eq!(s.makespan(), Time::from_int(3));
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let inst = chain_instance();
+        let g = inst.graph();
+        let a = g.find_by_label("a").unwrap();
+        let b = g.find_by_label("b").unwrap();
+        let mut s = Schedule::new(4);
+        s.place(a, Time::ZERO, Time::from_int(2), 2);
+        s.place(b, Time::from_int(1), Time::from_int(2), 3);
+        let v = s.validate(&inst);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::PrecedenceViolated { task, pred } if *task == b && *pred == a)));
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let mut g = rigid_dag::TaskGraph::new();
+        let a = g.add_task(TaskSpec::new(Time::from_int(2), 3));
+        let b = g.add_task(TaskSpec::new(Time::from_int(2), 3));
+        let inst = Instance::new(g, 4);
+        let mut s = Schedule::new(4);
+        s.place(a, Time::ZERO, Time::from_int(2), 3);
+        s.place(b, Time::from_int(1), Time::from_int(3), 3);
+        let v = s.validate(&inst);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::CapacityExceeded { used: 6, .. })));
+    }
+
+    #[test]
+    fn touching_intervals_do_not_overlap() {
+        // Usage at the exact boundary instant: a finishes at 2, b starts at
+        // 2 — both demand 3 of 4 procs; this must be feasible (open
+        // intervals).
+        let mut g = rigid_dag::TaskGraph::new();
+        let a = g.add_task(TaskSpec::new(Time::from_int(2), 3));
+        let b = g.add_task(TaskSpec::new(Time::from_int(1), 3));
+        let inst = Instance::new(g, 4);
+        let mut s = Schedule::new(4);
+        s.place(a, Time::ZERO, Time::from_int(2), 3);
+        s.place(b, Time::from_int(2), Time::from_int(3), 3);
+        assert!(s.validate(&inst).is_empty());
+    }
+
+    #[test]
+    fn missing_and_mismatched_tasks_detected() {
+        let inst = chain_instance();
+        let g = inst.graph();
+        let a = g.find_by_label("a").unwrap();
+        let mut s = Schedule::new(4);
+        s.place(a, Time::ZERO, Time::from_int(5), 2); // wrong duration
+        let v = s.validate(&inst);
+        assert!(v.iter().any(|x| matches!(x, Violation::SpecMismatch(t) if *t == a)));
+        assert!(v.iter().any(|x| matches!(x, Violation::MissingTask(_))));
+    }
+
+    #[test]
+    fn usage_profile_steps() {
+        let mut s = Schedule::new(4);
+        s.place(TaskId(0), Time::ZERO, Time::from_int(2), 1);
+        s.place(TaskId(1), Time::from_int(1), Time::from_int(3), 2);
+        let profile = s.usage_profile();
+        assert_eq!(
+            profile,
+            vec![
+                (Time::ZERO, 1),
+                (Time::from_int(1), 3),
+                (Time::from_int(2), 2),
+                (Time::from_int(3), 0),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_place_panics() {
+        let mut s = Schedule::new(2);
+        s.place(TaskId(0), Time::ZERO, Time::ONE, 1);
+        s.place(TaskId(0), Time::ONE, Time::from_int(2), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! The online scheduler interface.
+//!
+//! The engine drives a scheduler through three callbacks. At every decision
+//! point (time zero, and after each batch of simultaneous completions and
+//! releases) it calls [`OnlineScheduler::decide`], which returns the tasks
+//! to start *right now*. Returning an empty list is a legal and meaningful
+//! move: it is the deliberate idling that the paper shows to be necessary
+//! (no ASAP heuristic can be better than `Ω(P)`-competitive, Figure 1),
+//! and it is how CatBatch holds back tasks of future categories.
+
+use rigid_dag::{ReleasedTask, TaskId};
+use rigid_time::Time;
+
+/// An online scheduler for rigid task graphs.
+///
+/// Information flow honours the paper's online model: the scheduler only
+/// ever hears about tasks through [`on_release`](Self::on_release), which
+/// fires when the task becomes ready. The engine guarantees:
+///
+/// * `on_release(task)` precedes any other mention of `task`;
+/// * `on_complete(task)` fires exactly once, after the task ran to
+///   completion;
+/// * `decide` may only start released, unstarted tasks whose combined
+///   demand fits in the currently free processors (violations panic).
+pub trait OnlineScheduler {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// A task just became ready (all predecessors complete). `now` is the
+    /// current simulation time.
+    fn on_release(&mut self, task: &ReleasedTask, now: Time);
+
+    /// A task just completed.
+    fn on_complete(&mut self, task: TaskId, now: Time);
+
+    /// Asked at every decision point: which tasks should start now?
+    /// `free_procs` processors are currently idle. The returned tasks are
+    /// started simultaneously at `now`; their total demand must not exceed
+    /// `free_procs`.
+    fn decide(&mut self, now: Time, free_procs: u32) -> Vec<TaskId>;
+}
+
+/// A scheduler together with run bookkeeping; used by generic harnesses.
+pub trait SchedulerFactory {
+    /// The scheduler type produced.
+    type Scheduler: OnlineScheduler;
+    /// Creates a fresh scheduler for a platform of `procs` processors.
+    fn create(&self, procs: u32) -> Self::Scheduler;
+}
+
+impl<F, S> SchedulerFactory for F
+where
+    F: Fn(u32) -> S,
+    S: OnlineScheduler,
+{
+    type Scheduler = S;
+    fn create(&self, procs: u32) -> S {
+        self(procs)
+    }
+}

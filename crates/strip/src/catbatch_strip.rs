@@ -1,0 +1,205 @@
+//! CatBatch-Strip: the online strip-packing variant of CatBatch
+//! (the paper's Remark 1).
+//!
+//! Identical category batching, but inside each batch the greedy
+//! `ScheduleIndep` is replaced by NFDH so every task receives a
+//! **contiguous** processor interval `[x, x+w)`. Shelves of a batch run
+//! one after another (shelf `k+1` starts when shelf `k`'s tallest — and
+//! therefore last — task completes), which realizes the NFDH geometry in
+//! time. Remark 1's analysis carries over: per batch the height is at
+//! most `2·area/P + L_ζ`, so the Theorem 1/2 competitive ratios hold for
+//! online strip packing with precedence constraints too.
+
+use crate::packing::{PlacedRect, StripPacking};
+use crate::shelf_pack::Rect;
+use catbatch::category::{compute_category, Category};
+use catbatch::CriticalityTracker;
+use rigid_dag::{ReleasedTask, TaskId};
+use rigid_sim::OnlineScheduler;
+use rigid_time::Time;
+use std::collections::BTreeMap;
+
+/// One shelf awaiting execution: tasks with committed x-positions.
+struct Shelf {
+    tasks: Vec<(TaskId, u32, u32)>, // (id, x, width)
+}
+
+struct CurrentBatch {
+    shelves: Vec<Shelf>,
+    next_shelf: usize,
+    running: usize,
+}
+
+/// The online CatBatch-Strip scheduler.
+///
+/// After a run, [`packing`](CatBatchStrip::packing) returns the committed
+/// contiguous packing (y-coordinates are the actual start instants).
+pub struct CatBatchStrip {
+    procs: u32,
+    tracker: CriticalityTracker,
+    batches: BTreeMap<Category, Vec<Rect>>,
+    current: Option<CurrentBatch>,
+    packing: StripPacking,
+    specs: BTreeMap<TaskId, Time>,
+}
+
+impl CatBatchStrip {
+    /// Creates a CatBatch-Strip scheduler for a strip of width `procs`.
+    pub fn new(procs: u32) -> Self {
+        CatBatchStrip {
+            procs,
+            tracker: CriticalityTracker::new(),
+            batches: BTreeMap::new(),
+            current: None,
+            packing: StripPacking::new(procs),
+            specs: BTreeMap::new(),
+        }
+    }
+
+    /// The contiguous packing committed so far (complete after the run).
+    pub fn packing(&self) -> &StripPacking {
+        &self.packing
+    }
+
+    /// Packs a batch with NFDH, producing shelves with x-positions.
+    fn pack_batch(&self, mut rects: Vec<Rect>) -> Vec<Shelf> {
+        rects.sort_by_key(|r| std::cmp::Reverse(r.height));
+        let mut shelves: Vec<Shelf> = Vec::new();
+        let mut cursor: u32 = 0;
+        for r in rects {
+            assert!(r.width <= self.procs);
+            let fits_current = !shelves.is_empty() && cursor + r.width <= self.procs;
+            if !fits_current {
+                shelves.push(Shelf { tasks: Vec::new() });
+                cursor = 0;
+            }
+            let shelf = shelves.last_mut().expect("just ensured");
+            shelf.tasks.push((r.id, cursor, r.width));
+            cursor += r.width;
+        }
+        shelves
+    }
+}
+
+impl OnlineScheduler for CatBatchStrip {
+    fn name(&self) -> &'static str {
+        "catbatch-strip"
+    }
+
+    fn on_release(&mut self, task: &ReleasedTask, _now: Time) {
+        let crit = self.tracker.on_release(task);
+        let cat = compute_category(crit.start, crit.finish);
+        self.specs.insert(task.id, task.spec.time);
+        self.batches.entry(cat).or_default().push(Rect {
+            id: task.id,
+            width: task.spec.procs,
+            height: task.spec.time,
+        });
+    }
+
+    fn on_complete(&mut self, _task: TaskId, _now: Time) {
+        let cur = self.current.as_mut().expect("completion outside batch");
+        assert!(cur.running > 0);
+        cur.running -= 1;
+        if cur.running == 0 && cur.next_shelf >= cur.shelves.len() {
+            self.current = None;
+        }
+    }
+
+    fn decide(&mut self, now: Time, free: u32) -> Vec<TaskId> {
+        if self.current.is_none() {
+            match self.batches.pop_first() {
+                Some((_cat, rects)) => {
+                    self.current = Some(CurrentBatch {
+                        shelves: self.pack_batch(rects),
+                        next_shelf: 0,
+                        running: 0,
+                    });
+                }
+                None => return Vec::new(),
+            }
+        }
+        let cur = self.current.as_mut().expect("just ensured");
+        // A shelf starts only on an empty machine (shelf barrier).
+        if cur.running > 0 || cur.next_shelf >= cur.shelves.len() {
+            return Vec::new();
+        }
+        assert_eq!(free, self.procs, "shelf start on a busy machine");
+        let shelf = &cur.shelves[cur.next_shelf];
+        cur.next_shelf += 1;
+        cur.running = shelf.tasks.len();
+        let mut out = Vec::with_capacity(shelf.tasks.len());
+        for &(id, x, w) in &shelf.tasks {
+            self.packing.place(PlacedRect {
+                id,
+                x,
+                width: w,
+                y: now,
+                height: self.specs[&id],
+            });
+            out.push(id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigid_dag::gen::{erdos_dag, TaskSampler};
+    use rigid_dag::paper::figure3;
+    use rigid_dag::{analysis, StaticSource};
+    use rigid_sim::engine;
+
+    #[test]
+    fn figure3_strip_run_is_contiguous_and_feasible() {
+        let inst = figure3();
+        let mut cbs = CatBatchStrip::new(inst.procs());
+        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+        result.schedule.assert_valid(&inst);
+        cbs.packing().assert_valid();
+        assert_eq!(cbs.packing().len(), inst.len());
+        // The strip height equals the schedule makespan.
+        assert_eq!(cbs.packing().height(), result.makespan());
+    }
+
+    #[test]
+    fn strip_respects_lemma7_with_nfdh_constant() {
+        // Remark 1: NFDH per batch gives height ≤ 2·area + max height per
+        // batch, so the total is ≤ 2A/P + Σ L_ζ, same as Lemma 7.
+        let inst = figure3();
+        let bound = catbatch::analysis::lemma7_bound(&inst);
+        let mut cbs = CatBatchStrip::new(inst.procs());
+        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+        assert!(result.makespan() <= bound);
+    }
+
+    #[test]
+    fn random_dags_strip_valid() {
+        for seed in 0..10u64 {
+            let inst = erdos_dag(seed, 25, 0.15, &TaskSampler::default_mix(), 8);
+            let mut cbs = CatBatchStrip::new(8);
+            let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+            result.schedule.assert_valid(&inst);
+            cbs.packing().assert_valid();
+            // Theorem 1 ratio bound holds for the strip variant too.
+            let ratio = result
+                .makespan()
+                .ratio(analysis::lower_bound(&inst))
+                .to_f64();
+            assert!(ratio <= (25f64).log2() + 3.0 + 1e-9, "seed {seed}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn single_wide_task() {
+        let inst = rigid_dag::DagBuilder::new()
+            .task("w", Time::from_int(2), 4)
+            .build(4);
+        let mut cbs = CatBatchStrip::new(4);
+        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+        assert_eq!(result.makespan(), Time::from_int(2));
+        let r = &cbs.packing().rects()[0];
+        assert_eq!((r.x, r.width), (0, 4));
+    }
+}

@@ -1,0 +1,199 @@
+//! Strip packings: rectangles with explicit coordinates and geometric
+//! validation.
+//!
+//! Strip packing is the paper's sibling problem (Section 1): rectangles
+//! of width `w` (processors, out of a strip of width `P`) and height `t`
+//! (time) must be placed without overlap, minimizing the total height.
+//! Unlike rigid scheduling, the processor interval must be **contiguous**:
+//! a placement is `[x, x+w) × [y, y+t)`.
+
+use rigid_dag::TaskId;
+use rigid_time::Time;
+use serde::{Deserialize, Serialize};
+
+/// One placed rectangle.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedRect {
+    /// Originating task.
+    pub id: TaskId,
+    /// Left edge: first processor index used.
+    pub x: u32,
+    /// Width: number of contiguous processors.
+    pub width: u32,
+    /// Bottom edge: start time.
+    pub y: Time,
+    /// Height: execution time.
+    pub height: Time,
+}
+
+impl PlacedRect {
+    /// Right edge (exclusive).
+    pub fn x_end(&self) -> u32 {
+        self.x + self.width
+    }
+
+    /// Top edge (exclusive).
+    pub fn y_end(&self) -> Time {
+        self.y + self.height
+    }
+
+    /// Returns `true` if the open interiors of two rectangles intersect.
+    pub fn overlaps(&self, other: &PlacedRect) -> bool {
+        self.x < other.x_end()
+            && other.x < self.x_end()
+            && self.y < other.y_end()
+            && other.y < self.y_end()
+    }
+}
+
+/// A complete strip packing in a strip of integer width `strip_width`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StripPacking {
+    strip_width: u32,
+    rects: Vec<PlacedRect>,
+}
+
+/// A geometric violation found by [`StripPacking::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StripViolation {
+    /// Two rectangles overlap.
+    Overlap(TaskId, TaskId),
+    /// A rectangle pokes out of the strip.
+    OutOfStrip(TaskId),
+    /// A rectangle sits below y = 0.
+    NegativeY(TaskId),
+}
+
+impl StripPacking {
+    /// Creates an empty packing for a strip of the given width.
+    pub fn new(strip_width: u32) -> Self {
+        assert!(strip_width >= 1);
+        StripPacking {
+            strip_width,
+            rects: Vec::new(),
+        }
+    }
+
+    /// The strip width (`P`).
+    pub fn strip_width(&self) -> u32 {
+        self.strip_width
+    }
+
+    /// Adds a rectangle.
+    pub fn place(&mut self, rect: PlacedRect) {
+        self.rects.push(rect);
+    }
+
+    /// All rectangles.
+    pub fn rects(&self) -> &[PlacedRect] {
+        &self.rects
+    }
+
+    /// Number of rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Returns `true` if nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The packing height (max top edge).
+    pub fn height(&self) -> Time {
+        self.rects
+            .iter()
+            .map(|r| r.y_end())
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Total rectangle area `Σ w·t`.
+    pub fn area(&self) -> Time {
+        self.rects
+            .iter()
+            .map(|r| r.height.mul_int(r.width as i64))
+            .sum()
+    }
+
+    /// Geometric validation: inside the strip, above 0, pairwise
+    /// non-overlapping.
+    pub fn validate(&self) -> Vec<StripViolation> {
+        let mut out = Vec::new();
+        for r in &self.rects {
+            if r.x_end() > self.strip_width {
+                out.push(StripViolation::OutOfStrip(r.id));
+            }
+            if r.y.is_negative() {
+                out.push(StripViolation::NegativeY(r.id));
+            }
+        }
+        // Sweep by x-column would be faster; the O(n²) pairwise check is
+        // fine at the sizes validated in tests.
+        for (a_idx, a) in self.rects.iter().enumerate() {
+            for b in &self.rects[a_idx + 1..] {
+                if a.overlaps(b) {
+                    out.push(StripViolation::Overlap(a.id, b.id));
+                }
+            }
+        }
+        out
+    }
+
+    /// Panicking validation for tests.
+    pub fn assert_valid(&self) {
+        let v = self.validate();
+        assert!(v.is_empty(), "strip violations: {v:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(id: u32, x: u32, w: u32, y: i64, h: i64) -> PlacedRect {
+        PlacedRect {
+            id: TaskId(id),
+            x,
+            width: w,
+            y: Time::from_int(y),
+            height: Time::from_int(h),
+        }
+    }
+
+    #[test]
+    fn non_overlapping_valid() {
+        let mut p = StripPacking::new(4);
+        p.place(rect(0, 0, 2, 0, 3));
+        p.place(rect(1, 2, 2, 0, 3));
+        p.place(rect(2, 0, 4, 3, 1));
+        p.assert_valid();
+        assert_eq!(p.height(), Time::from_int(4));
+        assert_eq!(p.area(), Time::from_int(16));
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut p = StripPacking::new(4);
+        p.place(rect(0, 0, 3, 0, 2));
+        p.place(rect(1, 2, 2, 1, 2));
+        let v = p.validate();
+        assert_eq!(v, vec![StripViolation::Overlap(TaskId(0), TaskId(1))]);
+    }
+
+    #[test]
+    fn touching_edges_do_not_overlap() {
+        let mut p = StripPacking::new(4);
+        p.place(rect(0, 0, 2, 0, 2));
+        p.place(rect(1, 2, 2, 0, 2)); // shares x edge
+        p.place(rect(2, 0, 2, 2, 1)); // shares y edge
+        p.assert_valid();
+    }
+
+    #[test]
+    fn out_of_strip_detected() {
+        let mut p = StripPacking::new(4);
+        p.place(rect(0, 3, 2, 0, 1));
+        assert_eq!(p.validate(), vec![StripViolation::OutOfStrip(TaskId(0))]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Contiguous shelf packers for independent rectangles: NFDH and FFDH
+//! with explicit coordinates, plus the Bottom-Left skyline heuristic.
+//!
+//! These are the strip-packing counterparts of the schedulers in
+//! `rigid_baselines::shelf` — same shelf logic, but committing to actual
+//! `[x, x+w)` processor intervals so contiguity is verifiable.
+
+use crate::packing::{PlacedRect, StripPacking};
+use rigid_dag::TaskId;
+use rigid_time::Time;
+
+/// An unplaced rectangle.
+#[derive(Clone, Copy, Debug)]
+pub struct Rect {
+    /// Identifier.
+    pub id: TaskId,
+    /// Width (processors).
+    pub width: u32,
+    /// Height (time).
+    pub height: Time,
+}
+
+/// Packs rectangles with Next-Fit Decreasing Height at `y_offset`,
+/// returning the packing height used (above the offset).
+pub fn nfdh(rects: &[Rect], strip_width: u32, y_offset: Time, out: &mut StripPacking) -> Time {
+    shelf_pack(rects, strip_width, y_offset, out, false)
+}
+
+/// Packs rectangles with First-Fit Decreasing Height at `y_offset`.
+pub fn ffdh(rects: &[Rect], strip_width: u32, y_offset: Time, out: &mut StripPacking) -> Time {
+    shelf_pack(rects, strip_width, y_offset, out, true)
+}
+
+fn shelf_pack(
+    rects: &[Rect],
+    strip_width: u32,
+    y_offset: Time,
+    out: &mut StripPacking,
+    first_fit: bool,
+) -> Time {
+    let mut items: Vec<Rect> = rects.to_vec();
+    items.sort_by_key(|r| std::cmp::Reverse(r.height));
+    struct Shelf {
+        y: Time,
+        x_cursor: u32,
+    }
+    let mut shelves: Vec<Shelf> = Vec::new();
+    let mut top = y_offset;
+    for r in items {
+        assert!(
+            r.width <= strip_width,
+            "rectangle {} wider than the strip",
+            r.id
+        );
+        let slot = if first_fit {
+            shelves
+                .iter()
+                .position(|s| s.x_cursor + r.width <= strip_width)
+        } else {
+            shelves
+                .len()
+                .checked_sub(1)
+                .filter(|&i| shelves[i].x_cursor + r.width <= strip_width)
+        };
+        let idx = match slot {
+            Some(i) => i,
+            None => {
+                shelves.push(Shelf {
+                    y: top,
+                    x_cursor: 0,
+                });
+                top += r.height;
+                shelves.len() - 1
+            }
+        };
+        let s = &mut shelves[idx];
+        out.place(PlacedRect {
+            id: r.id,
+            x: s.x_cursor,
+            width: r.width,
+            y: s.y,
+            height: r.height,
+        });
+        s.x_cursor += r.width;
+    }
+    top - y_offset
+}
+
+/// Bottom-Left placement over a skyline, processing rectangles in
+/// decreasing width (Baker, Coffman and Rivest's BL heuristic — a
+/// 3-approximation for independent rectangles).
+pub fn bottom_left(rects: &[Rect], strip_width: u32, out: &mut StripPacking) -> Time {
+    let mut items: Vec<Rect> = rects.to_vec();
+    items.sort_by(|a, b| b.width.cmp(&a.width).then(b.height.cmp(&a.height)));
+    // Skyline: per processor column, the current top.
+    let mut sky: Vec<Time> = vec![Time::ZERO; strip_width as usize];
+    for r in items {
+        assert!(r.width <= strip_width);
+        // Find the x minimizing (support height, x): the support of window
+        // [x, x+w) is the max skyline inside it.
+        let w = r.width as usize;
+        let mut best_x = 0usize;
+        let mut best_y = None::<Time>;
+        for x in 0..=(strip_width as usize - w) {
+            let support = sky[x..x + w].iter().copied().max().expect("w >= 1");
+            if best_y.map(|b| support < b).unwrap_or(true) {
+                best_y = Some(support);
+                best_x = x;
+            }
+        }
+        let y = best_y.expect("at least one window");
+        out.place(PlacedRect {
+            id: r.id,
+            x: best_x as u32,
+            width: r.width,
+            y,
+            height: r.height,
+        });
+        let new_top = y + r.height;
+        for col in &mut sky[best_x..best_x + w] {
+            *col = new_top;
+        }
+    }
+    out.height()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u32, w: u32, h: i64) -> Rect {
+        Rect {
+            id: TaskId(id),
+            width: w,
+            height: Time::from_int(h),
+        }
+    }
+
+    #[test]
+    fn nfdh_identical_rectangles() {
+        let rects: Vec<Rect> = (0..8).map(|i| r(i, 2, 1)).collect();
+        let mut p = StripPacking::new(8);
+        let h = nfdh(&rects, 8, Time::ZERO, &mut p);
+        p.assert_valid();
+        assert_eq!(h, Time::from_int(2));
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn nfdh_classic_bound() {
+        // NFDH height ≤ 2·area/W + h_max on assorted rectangles.
+        let rects = vec![
+            r(0, 3, 5),
+            r(1, 2, 4),
+            r(2, 4, 3),
+            r(3, 1, 3),
+            r(4, 2, 2),
+            r(5, 3, 1),
+            r(6, 1, 1),
+        ];
+        let mut p = StripPacking::new(4);
+        let h = nfdh(&rects, 4, Time::ZERO, &mut p);
+        p.assert_valid();
+        let area: Time = rects.iter().map(|x| x.height.mul_int(x.width as i64)).sum();
+        let bound = area.mul_int(2).div_int(4) + Time::from_int(5);
+        assert!(h <= bound, "NFDH {h} > bound {bound}");
+    }
+
+    #[test]
+    fn ffdh_at_most_nfdh() {
+        let rects = vec![
+            r(0, 3, 5),
+            r(1, 2, 4),
+            r(2, 4, 3),
+            r(3, 1, 3),
+            r(4, 2, 2),
+            r(5, 3, 1),
+        ];
+        let mut pn = StripPacking::new(4);
+        let hn = nfdh(&rects, 4, Time::ZERO, &mut pn);
+        let mut pf = StripPacking::new(4);
+        let hf = ffdh(&rects, 4, Time::ZERO, &mut pf);
+        pf.assert_valid();
+        assert!(hf <= hn);
+    }
+
+    #[test]
+    fn y_offset_respected() {
+        let rects = vec![r(0, 2, 3)];
+        let mut p = StripPacking::new(4);
+        let h = nfdh(&rects, 4, Time::from_int(10), &mut p);
+        assert_eq!(h, Time::from_int(3));
+        assert_eq!(p.rects()[0].y, Time::from_int(10));
+    }
+
+    #[test]
+    fn bottom_left_valid_and_reasonable() {
+        let rects = vec![
+            r(0, 3, 2),
+            r(1, 1, 4),
+            r(2, 2, 2),
+            r(3, 2, 1),
+            r(4, 4, 1),
+            r(5, 1, 1),
+        ];
+        let mut p = StripPacking::new(4);
+        let h = bottom_left(&rects, 4, &mut p);
+        p.assert_valid();
+        let area: Time = rects.iter().map(|x| x.height.mul_int(x.width as i64)).sum();
+        // BL is a 3-approximation of the area/width bound here.
+        assert!(h <= area.div_int(4).mul_int(3) + Time::from_int(4));
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn bottom_left_fills_holes() {
+        // A wide base with a notch the BL rule should fill.
+        let rects = vec![r(0, 3, 2), r(1, 1, 2), r(2, 1, 1)];
+        let mut p = StripPacking::new(4);
+        let h = bottom_left(&rects, 4, &mut p);
+        p.assert_valid();
+        // Widths 3,1,1: base row holds 3+1; the last 1×1 sits on top —
+        // but there is a 1-wide column at height 2... all fit in height 3.
+        assert!(h <= Time::from_int(3));
+    }
+}

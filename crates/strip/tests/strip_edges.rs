@@ -1,0 +1,125 @@
+//! Strip-packing edge cases.
+
+use rigid_dag::{DagBuilder, StaticSource, TaskId};
+use rigid_sim::engine;
+use rigid_strip::shelf_pack::{bottom_left, ffdh, nfdh};
+use rigid_strip::{CatBatchStrip, PlacedRect, Rect, StripPacking};
+use rigid_time::Time;
+
+fn r(id: u32, w: u32, h: i64) -> Rect {
+    Rect {
+        id: TaskId(id),
+        width: w,
+        height: Time::from_int(h),
+    }
+}
+
+#[test]
+fn empty_input_empty_packing() {
+    let mut p = StripPacking::new(4);
+    assert_eq!(nfdh(&[], 4, Time::ZERO, &mut p), Time::ZERO);
+    assert!(p.is_empty());
+    assert_eq!(p.height(), Time::ZERO);
+    assert_eq!(p.area(), Time::ZERO);
+    let mut p2 = StripPacking::new(4);
+    assert_eq!(bottom_left(&[], 4, &mut p2), Time::ZERO);
+}
+
+#[test]
+fn full_width_rectangles_stack() {
+    let rects = vec![r(0, 4, 2), r(1, 4, 1), r(2, 4, 3)];
+    let mut p = StripPacking::new(4);
+    let h = ffdh(&rects, 4, Time::ZERO, &mut p);
+    p.assert_valid();
+    assert_eq!(h, Time::from_int(6));
+}
+
+#[test]
+fn unit_width_rectangles_fill_rows() {
+    let rects: Vec<Rect> = (0..8).map(|i| r(i, 1, 2)).collect();
+    let mut p = StripPacking::new(4);
+    let h = nfdh(&rects, 4, Time::ZERO, &mut p);
+    p.assert_valid();
+    assert_eq!(h, Time::from_int(4)); // two shelves of four
+}
+
+#[test]
+#[should_panic(expected = "wider than the strip")]
+fn oversized_rectangle_rejected() {
+    let mut p = StripPacking::new(4);
+    let _ = nfdh(&[r(0, 5, 1)], 4, Time::ZERO, &mut p);
+}
+
+#[test]
+fn bl_fills_holes_nfdh_cannot() {
+    // A wide low base, a tall thin tower, and a medium block: shelves
+    // waste the space above the base (NFDH height 5), while bottom-left
+    // stacks the block on the base next to the tower (height 4).
+    let rects = vec![r(0, 3, 2), r(1, 1, 4), r(2, 2, 1)];
+    let mut ps = StripPacking::new(4);
+    let hs = nfdh(&rects, 4, Time::ZERO, &mut ps);
+    ps.assert_valid();
+    assert_eq!(hs, Time::from_int(5));
+    let mut pb = StripPacking::new(4);
+    let hb = bottom_left(&rects, 4, &mut pb);
+    pb.assert_valid();
+    assert_eq!(hb, Time::from_int(4));
+}
+
+#[test]
+fn placed_rect_geometry() {
+    let a = PlacedRect {
+        id: TaskId(0),
+        x: 1,
+        width: 2,
+        y: Time::ZERO,
+        height: Time::from_int(2),
+    };
+    assert_eq!(a.x_end(), 3);
+    assert_eq!(a.y_end(), Time::from_int(2));
+    let b = PlacedRect {
+        id: TaskId(1),
+        x: 3,
+        width: 1,
+        y: Time::ONE,
+        height: Time::ONE,
+    };
+    assert!(!a.overlaps(&b)); // share the x = 3 edge only
+}
+
+#[test]
+fn strip_scheduler_deep_chain() {
+    // A pure chain: every batch is a single task; the strip run equals
+    // the chain length.
+    let inst = DagBuilder::new()
+        .task("a", Time::from_int(1), 2)
+        .task("b", Time::from_int(2), 3)
+        .task("c", Time::from_int(1), 4)
+        .edge("a", "b")
+        .edge("b", "c")
+        .build(4);
+    let mut cbs = CatBatchStrip::new(4);
+    let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+    result.schedule.assert_valid(&inst);
+    cbs.packing().assert_valid();
+    assert_eq!(result.makespan(), Time::from_int(4));
+    // All rectangles start at x = 0 (each is alone in its shelf).
+    for rect in cbs.packing().rects() {
+        assert_eq!(rect.x, 0);
+    }
+}
+
+#[test]
+fn multi_shelf_batch_serializes_shelves() {
+    // One batch with tasks too wide to share a shelf: NFDH stacks them,
+    // and the schedule serializes the shelves in time.
+    let inst = DagBuilder::new()
+        .task("w1", Time::from_int(2), 3)
+        .task("w2", Time::from_int(2), 3)
+        .task("w3", Time::from_int(2), 3)
+        .build(4);
+    let mut cbs = CatBatchStrip::new(4);
+    let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+    result.schedule.assert_valid(&inst);
+    assert_eq!(result.makespan(), Time::from_int(6));
+}

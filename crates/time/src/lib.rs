@@ -1,0 +1,143 @@
+//! # rigid-time — exact time arithmetic for rigid task scheduling
+//!
+//! This crate is the numeric foundation of the `catbatch` workspace, a
+//! from-scratch reproduction of *“A New Algorithm for Online Scheduling of
+//! Rigid Task Graphs with Near-Optimal Competitive Ratio”* (SPAA 2025).
+//!
+//! The paper's category machinery (its Definition 2) classifies each task by
+//! the largest power of two `2^χ` such that a multiple `λ·2^χ` lies
+//! **strictly** inside the task's criticality interval `(s∞, f∞)`. Deciding
+//! strict inequalities against dyadic grid points is exactly the situation
+//! where floating point fails — criticalities routinely land *on* grid
+//! points (every value in the paper's Figure 3 does). This crate therefore
+//! provides:
+//!
+//! * [`Rational`] — reduced `i128` rationals with checked arithmetic;
+//! * [`Time`] — the workspace-wide instant/duration scalar;
+//! * [`Pow2`] — exact `2^χ` values and dyadic grid searches.
+//!
+//! ## Example
+//!
+//! ```
+//! use rigid_time::{Time, Pow2};
+//!
+//! // The criticality interval of task H in the paper's Figure 3:
+//! let s_inf = Time::from_millis(4, 800); // 4.8
+//! let f_inf = Time::from_int(6);
+//!
+//! // The largest χ with a multiple of 2^χ strictly inside (4.8, 6) is 0:
+//! // λ·2^0 = 5 ∈ (4.8, 6). (That makes H's category ζ = 5.)
+//! let chi = Pow2::new(0);
+//! let lambda = chi.next_multiple_after(s_inf);
+//! assert_eq!(lambda, 5);
+//! assert!(chi.grid_point(lambda as i64) < f_inf);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod pow2;
+mod rational;
+mod time;
+
+pub use parse::ParseTimeError;
+pub use pow2::Pow2;
+pub use rational::Rational;
+pub use time::Time;
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_rational() -> impl Strategy<Value = Rational> {
+        (-10_000i128..10_000, 1i128..1_000).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    fn arb_pos_time() -> impl Strategy<Value = Time> {
+        (1i64..100_000, 1i64..1_000).prop_map(|(n, d)| Time::from_ratio(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutative(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn add_associative(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn mul_distributes(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn sub_inverts_add(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!((a + b) - b, a);
+        }
+
+        #[test]
+        fn reduction_invariant(a in arb_rational()) {
+            // gcd(num, den) == 1 and den > 0 always hold.
+            let g = {
+                let (mut x, mut y) = (a.numer().unsigned_abs(), a.denom().unsigned_abs());
+                while y != 0 { let r = x % y; x = y; y = r; }
+                x
+            };
+            prop_assert!(a.denom() > 0);
+            prop_assert!(a.is_zero() || g == 1);
+        }
+
+        #[test]
+        fn ordering_agrees_with_f64(a in arb_rational(), b in arb_rational()) {
+            // When the f64 images differ clearly, exact ordering must agree.
+            let (fa, fb) = (a.to_f64(), b.to_f64());
+            if (fa - fb).abs() > 1e-6 {
+                prop_assert_eq!(a < b, fa < fb);
+            }
+        }
+
+        #[test]
+        fn floor_ceil_bracket(a in arb_rational()) {
+            let f = a.floor();
+            let c = a.ceil();
+            prop_assert!(Rational::new(f, 1) <= a);
+            prop_assert!(a <= Rational::new(c, 1));
+            prop_assert!(c - f <= 1);
+        }
+
+        #[test]
+        fn largest_below_is_maximal(t in arb_pos_time()) {
+            let p = Pow2::largest_below(t);
+            prop_assert!(p.as_time() < t);
+            prop_assert!(p.double().as_time() >= t);
+        }
+
+        #[test]
+        fn next_multiple_is_strictly_after(t in arb_pos_time(), chi in -20i32..20) {
+            let p = Pow2::new(chi);
+            let lam = p.next_multiple_after(t);
+            prop_assert!(p.grid_point(lam as i64) > t);
+            prop_assert!(p.grid_point((lam - 1) as i64) <= t);
+        }
+
+        #[test]
+        fn time_display_roundtrips_value(t in arb_pos_time()) {
+            // Display must never lose the exact value when it prints a
+            // fraction; when it prints a decimal it must be the exact value.
+            let s = format!("{t}");
+            if let Some((n, d)) = s.split_once('/') {
+                let n: i128 = n.parse().unwrap();
+                let d: i128 = d.parse().unwrap();
+                prop_assert_eq!(Time::from_rational(Rational::new(n, d)), t);
+            } else {
+                let v: f64 = s.parse().unwrap();
+                prop_assert!((v - t.to_f64()).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Parsing exact time literals.
+//!
+//! Accepted forms (all parsed exactly, no float rounding):
+//!
+//! * integers — `6`, `-3`
+//! * decimals — `2.8`, `0.125`, `-1.5` (up to 30 fractional digits)
+//! * fractions — `34/5`, `-7/2`
+
+use crate::rational::Rational;
+use crate::time::Time;
+use std::str::FromStr;
+
+/// Error from parsing a time literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTimeError {
+    message: String,
+}
+
+impl ParseTimeError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseTimeError {
+            message: message.into(),
+        }
+    }
+
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for ParseTimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ParseTimeError {}
+
+impl FromStr for Time {
+    type Err = ParseTimeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let n: i64 = n
+                .trim()
+                .parse()
+                .map_err(|_| ParseTimeError::new(format!("bad numerator {n:?}")))?;
+            let d: i64 = d
+                .trim()
+                .parse()
+                .map_err(|_| ParseTimeError::new(format!("bad denominator {d:?}")))?;
+            if d == 0 {
+                return Err(ParseTimeError::new("zero denominator"));
+            }
+            return Ok(Time::from_ratio(n, d));
+        }
+        if let Some((int_part, frac)) = s.split_once('.') {
+            let neg = int_part.trim_start().starts_with('-');
+            let int_val: i64 = if int_part.is_empty() || int_part == "-" {
+                0
+            } else {
+                int_part
+                    .parse()
+                    .map_err(|_| ParseTimeError::new(format!("bad integer part {int_part:?}")))?
+            };
+            // 30 fractional digits cover the 2^-20 dyadic grid (20 digits)
+            // with headroom while 10^30 still fits in i128.
+            if frac.is_empty() || frac.len() > 30 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseTimeError::new(format!("bad fractional part {frac:?}")));
+            }
+            let scale = 10i128.pow(frac.len() as u32);
+            let frac_val: i128 = frac.parse().expect("digits checked");
+            let signed_frac = if neg { -frac_val } else { frac_val };
+            let num = (int_val as i128)
+                .checked_mul(scale)
+                .and_then(|v| v.checked_add(signed_frac))
+                .ok_or_else(|| ParseTimeError::new(format!("time literal {s:?} out of range")))?;
+            return Ok(Time::from_rational(Rational::new(num, scale)));
+        }
+        let n: i64 = s
+            .parse()
+            .map_err(|_| ParseTimeError::new(format!("bad time {s:?}")))?;
+        Ok(Time::from_int(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!("6".parse::<Time>().unwrap(), Time::from_int(6));
+        assert_eq!("2.8".parse::<Time>().unwrap(), Time::from_millis(2, 800));
+        assert_eq!("34/5".parse::<Time>().unwrap(), Time::from_millis(6, 800));
+        assert_eq!("0.125".parse::<Time>().unwrap(), Time::from_ratio(1, 8));
+        assert_eq!("-1.5".parse::<Time>().unwrap(), Time::from_ratio(-3, 2));
+        assert_eq!(" 3 ".parse::<Time>().unwrap(), Time::from_int(3));
+        assert_eq!(".5".parse::<Time>().unwrap(), Time::from_ratio(1, 2));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("abc".parse::<Time>().is_err());
+        assert!("1/0".parse::<Time>().is_err());
+        assert!("1.x".parse::<Time>().is_err());
+        assert!("1.".parse::<Time>().is_err());
+        assert!("".parse::<Time>().is_err());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for t in [
+            Time::from_millis(6, 800),
+            Time::from_ratio(1, 3),
+            Time::from_int(-7),
+            Time::from_ratio(95391691, 1 << 20),
+        ] {
+            let s = format!("{t}");
+            assert_eq!(s.parse::<Time>().unwrap(), t, "roundtrip of {s}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Exact powers of two with integer (possibly negative) exponents.
+//!
+//! The category machinery of the paper (Definition 2) works on the dyadic
+//! grid: a task's *power level* `χ` is the largest integer such that some
+//! multiple `λ·2^χ` lies strictly inside the criticality interval
+//! `(s∞, f∞)`. [`Pow2`] represents `2^χ` exactly for any `χ ∈ [-126, 126]`
+//! and provides the grid arithmetic needed to locate those multiples.
+
+use crate::rational::Rational;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The exact value `2^exponent`, with `exponent` possibly negative.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pow2 {
+    exponent: i32,
+}
+
+/// Exponent range representable inside an `i128` rational.
+const MAX_ABS_EXPONENT: i32 = 126;
+
+impl Pow2 {
+    /// `2^0 = 1`.
+    pub const ONE: Pow2 = Pow2 { exponent: 0 };
+
+    /// Creates `2^exponent`.
+    ///
+    /// # Panics
+    /// Panics if `|exponent| > 126` (outside the `i128` rational range).
+    pub fn new(exponent: i32) -> Self {
+        assert!(
+            exponent.abs() <= MAX_ABS_EXPONENT,
+            "Pow2 exponent {exponent} out of range ±{MAX_ABS_EXPONENT}"
+        );
+        Pow2 { exponent }
+    }
+
+    /// The exponent `χ` such that this value is `2^χ`.
+    pub const fn exponent(&self) -> i32 {
+        self.exponent
+    }
+
+    /// The exact rational value `2^χ`.
+    pub fn value(&self) -> Rational {
+        if self.exponent >= 0 {
+            Rational::new(1i128 << self.exponent, 1)
+        } else {
+            Rational::new(1, 1i128 << (-self.exponent))
+        }
+    }
+
+    /// The exact `Time` value `2^χ`.
+    pub fn as_time(&self) -> Time {
+        Time::from_rational(self.value())
+    }
+
+    /// The grid point `λ·2^χ` as an exact `Time`.
+    pub fn grid_point(&self, lambda: i64) -> Time {
+        Time::from_rational(
+            self.value()
+                .checked_mul_int(lambda as i128)
+                .expect("grid point overflow"),
+        )
+    }
+
+    /// `2^(χ+1)`.
+    pub fn double(&self) -> Pow2 {
+        Pow2::new(self.exponent + 1)
+    }
+
+    /// `2^(χ-1)`.
+    pub fn halve(&self) -> Pow2 {
+        Pow2::new(self.exponent - 1)
+    }
+
+    /// Largest integer `k` with `k·2^χ ≤ t` — i.e. `floor(t / 2^χ)`.
+    pub fn floor_div(&self, t: Time) -> i128 {
+        let q = t
+            .rational()
+            .checked_div(&self.value())
+            .expect("floor_div overflow");
+        q.floor()
+    }
+
+    /// Smallest integer multiple of `2^χ` strictly greater than `t`,
+    /// returned as the multiplier `λ = floor(t/2^χ) + 1`.
+    pub fn next_multiple_after(&self, t: Time) -> i128 {
+        self.floor_div(t) + 1
+    }
+
+    /// Largest `Pow2` that is `< t`, i.e. the largest `χ` with `2^χ < t`.
+    ///
+    /// # Panics
+    /// Panics if `t ≤ 0`.
+    pub fn largest_below(t: Time) -> Pow2 {
+        assert!(t.is_positive(), "largest_below requires t > 0, got {t}");
+        // Start from an exponent guaranteed to be >= the answer, then walk
+        // down. The f64 log2 gives a starting guess; exact comparisons make
+        // the final decision, so float error only costs a couple of probes.
+        let guess = t.to_f64().log2().ceil() as i32 + 1;
+        let mut chi = guess.clamp(-MAX_ABS_EXPONENT, MAX_ABS_EXPONENT);
+        while Pow2::new(chi).as_time() >= t {
+            chi -= 1;
+            assert!(
+                chi >= -MAX_ABS_EXPONENT,
+                "largest_below underflow for t = {t}"
+            );
+        }
+        // Walk up in case the guess was too small.
+        while chi < MAX_ABS_EXPONENT && Pow2::new(chi + 1).as_time() < t {
+            chi += 1;
+        }
+        Pow2::new(chi)
+    }
+
+    /// The unique `X` such that `2^X < t ≤ 2^(X+1)` (used for the critical
+    /// path bracket `2^X < C ≤ 2^(X+1)` in Lemma 4).
+    ///
+    /// # Panics
+    /// Panics if `t ≤ 0`.
+    pub fn bracket_exponent(t: Time) -> i32 {
+        let below = Pow2::largest_below(t);
+        // `below` satisfies 2^χ < t; check t ≤ 2^(χ+1) which holds by
+        // maximality.
+        debug_assert!(below.double().as_time() >= t);
+        below.exponent()
+    }
+}
+
+impl fmt::Debug for Pow2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "2^{}", self.exponent)
+    }
+}
+
+impl fmt::Display for Pow2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "2^{}", self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values() {
+        assert_eq!(Pow2::new(0).as_time(), Time::ONE);
+        assert_eq!(Pow2::new(3).as_time(), Time::from_int(8));
+        assert_eq!(Pow2::new(-2).as_time(), Time::from_ratio(1, 4));
+    }
+
+    #[test]
+    fn grid_points() {
+        assert_eq!(Pow2::new(-1).grid_point(13), Time::from_ratio(13, 2));
+        assert_eq!(Pow2::new(2).grid_point(1), Time::from_int(4));
+    }
+
+    #[test]
+    fn floor_div_exact() {
+        let p = Pow2::new(-1); // 0.5
+        assert_eq!(p.floor_div(Time::from_millis(6, 800)), 13); // 6.8/0.5 = 13.6
+        assert_eq!(p.floor_div(Time::from_int(3)), 6);
+        assert_eq!(p.next_multiple_after(Time::from_int(3)), 7);
+    }
+
+    #[test]
+    fn largest_below_brackets() {
+        // C = 6.8: 2^2 = 4 < 6.8 <= 8 = 2^3.
+        let p = Pow2::largest_below(Time::from_millis(6, 800));
+        assert_eq!(p.exponent(), 2);
+        assert_eq!(Pow2::bracket_exponent(Time::from_millis(6, 800)), 2);
+        // Exact powers: 2^3 < 8 is false, so largest below 8 is 2^2.
+        assert_eq!(Pow2::largest_below(Time::from_int(8)).exponent(), 2);
+        assert_eq!(Pow2::bracket_exponent(Time::from_int(8)), 2);
+        // Tiny values go negative.
+        assert_eq!(Pow2::largest_below(Time::from_ratio(1, 4)).exponent(), -3);
+    }
+
+    #[test]
+    fn largest_below_tiny_and_huge() {
+        assert_eq!(
+            Pow2::largest_below(Time::from_ratio(1, 1 << 20)).exponent(),
+            -21
+        );
+        assert_eq!(
+            Pow2::largest_below(Time::from_int(1 << 40)).exponent(),
+            39
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires t > 0")]
+    fn largest_below_rejects_zero() {
+        let _ = Pow2::largest_below(Time::ZERO);
+    }
+
+    #[test]
+    fn double_halve() {
+        assert_eq!(Pow2::new(3).double().exponent(), 4);
+        assert_eq!(Pow2::new(3).halve().exponent(), 2);
+    }
+}

@@ -1,0 +1,419 @@
+//! Exact rational numbers over `i128` with automatic reduction.
+//!
+//! The scheduling analysis in the CatBatch paper hinges on *strict*
+//! inequalities between earliest start/finish times and dyadic grid points
+//! `λ·2^χ` (Definition 2 of the paper). Floating point cannot decide those
+//! inequalities reliably when values land exactly on grid points — which
+//! happens for essentially every task of the paper's worked examples — so
+//! the whole workspace computes on exact rationals.
+//!
+//! All arithmetic is checked: an overflow of the `i128` numerator or
+//! denominator panics with a descriptive message rather than silently
+//! wrapping. With reduced fractions and the workloads in this repository
+//! (dyadic or decimal grids), overflow would require astronomically sized
+//! instances.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(num, den) = 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers (Euclid).
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(a >= 0 && b >= 0);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational from a numerator and denominator.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num.unsigned_abs() as i128, den);
+        if g <= 1 {
+            Rational { num, den }
+        } else {
+            Rational {
+                num: num / g,
+                den: den / g,
+            }
+        }
+    }
+
+    /// Creates a rational from an integer.
+    pub const fn from_int(n: i64) -> Self {
+        Rational {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// The reduced numerator (sign-carrying).
+    pub const fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The reduced denominator (always positive).
+    pub const fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if this rational is an integer.
+    pub const fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if this rational is zero.
+    pub const fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if this rational is strictly positive.
+    pub const fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if this rational is strictly negative.
+    pub const fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// The sign of the rational: -1, 0 or 1.
+    pub const fn signum(&self) -> i32 {
+        if self.num > 0 {
+            1
+        } else if self.num < 0 {
+            -1
+        } else {
+            0
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Largest integer `k` with `k <= self`.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            // Round toward negative infinity.
+            (self.num - (self.den - 1)) / self.den
+        }
+    }
+
+    /// Smallest integer `k` with `k >= self`.
+    pub fn ceil(&self) -> i128 {
+        -(-*self).floor()
+    }
+
+    /// Approximate conversion to `f64` (for reporting only; never used in
+    /// scheduling decisions).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked addition, returning `None` on `i128` overflow.
+    pub fn checked_add(&self, other: &Rational) -> Option<Rational> {
+        // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d).
+        let g = gcd(self.den, other.den);
+        let lhs_scale = other.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(other.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Rational::new(num, den))
+    }
+
+    /// Checked subtraction, returning `None` on `i128` overflow.
+    pub fn checked_sub(&self, other: &Rational) -> Option<Rational> {
+        self.checked_add(&-*other)
+    }
+
+    /// Checked multiplication, returning `None` on `i128` overflow.
+    pub fn checked_mul(&self, other: &Rational) -> Option<Rational> {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num.unsigned_abs() as i128, other.den);
+        let g2 = gcd(other.num.unsigned_abs() as i128, self.den);
+        let num = (self.num / g1).checked_mul(other.num / g2)?;
+        let den = (self.den / g2).checked_mul(other.den / g1)?;
+        Some(Rational::new(num, den))
+    }
+
+    /// Checked division, returning `None` on overflow or division by zero.
+    pub fn checked_div(&self, other: &Rational) -> Option<Rational> {
+        if other.is_zero() {
+            return None;
+        }
+        self.checked_mul(&Rational::new(other.den, other.num))
+    }
+
+    /// Multiplies by a plain integer (checked).
+    pub fn checked_mul_int(&self, k: i128) -> Option<Rational> {
+        let g = gcd(k.unsigned_abs() as i128, self.den);
+        let num = self.num.checked_mul(k / g)?;
+        Some(Rational::new(num, self.den / g))
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// `min` of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `max` of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b (b, d > 0). Cross-reduce to lower
+        // overflow risk, then use checked multiplication with a widening
+        // fallback through i128->f64 is unacceptable; instead panic loudly.
+        let g_den = gcd(self.den, other.den);
+        let lhs_scale = other.den / g_den;
+        let rhs_scale = self.den / g_den;
+        let lhs = self
+            .num
+            .checked_mul(lhs_scale)
+            .expect("Rational comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(rhs_scale)
+            .expect("Rational comparison overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $checked:ident, $msg:literal) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$checked(&rhs).expect($msg)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                self.$checked(rhs).expect($msg)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, checked_add, "Rational addition overflow");
+impl_binop!(Sub, sub, checked_sub, "Rational subtraction overflow");
+impl_binop!(Mul, mul, checked_mul, "Rational multiplication overflow");
+impl_binop!(Div, div, checked_div, "Rational division overflow or by zero");
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from_int(n as i64)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(n: u32) -> Self {
+        Rational::from_int(n as i64)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn reduction_and_sign_normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(6, -4).numer(), -3);
+        assert_eq!(r(6, -4).denom(), 2);
+        assert_eq!(r(0, -7), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(3, 5), r(-3, 5));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rational::ONE);
+        assert!(r(34, 5) > r(27, 4)); // 6.8 > 6.75
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(r(7, 2).floor(), 3);
+        assert_eq!(r(7, 2).ceil(), 4);
+        assert_eq!(r(-7, 2).floor(), -4);
+        assert_eq!(r(-7, 2).ceil(), -3);
+        assert_eq!(r(6, 2).floor(), 3);
+        assert_eq!(r(6, 2).ceil(), 3);
+        assert_eq!(Rational::ZERO.floor(), 0);
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        let big = Rational::new(i128::MAX, 1);
+        assert!(big.checked_add(&Rational::ONE).is_none());
+        assert!(big.checked_mul(&Rational::from_int(2)).is_none());
+        assert!(Rational::ONE.checked_div(&Rational::ZERO).is_none());
+    }
+
+    #[test]
+    fn mul_int_cross_reduces() {
+        // 1/6 * 4 = 2/3 without overflowing intermediates.
+        assert_eq!(r(1, 6).checked_mul_int(4).unwrap(), r(2, 3));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", r(5, 1)), "5");
+        assert_eq!(format!("{}", r(34, 5)), "34/5");
+        assert_eq!(format!("{:?}", r(-1, 2)), "-1/2");
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(-3, 4).recip(), r(-4, 3));
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert!((r(34, 5).to_f64() - 6.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,328 @@
+//! The [`Time`] type: an exact, totally ordered instant/duration scalar.
+//!
+//! `Time` wraps a [`Rational`] and is used for every temporal quantity in
+//! the workspace: task execution times, schedule start/finish instants,
+//! criticalities, category boundaries, areas and makespans. Keeping a
+//! dedicated newtype (rather than using `Rational` directly) documents
+//! intent at API boundaries and leaves room for unit checking.
+
+use crate::rational::Rational;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact instant or duration.
+///
+/// `Time` is a thin wrapper over [`Rational`]; arithmetic is exact and
+/// checked. Negative values are representable (differences of instants)
+/// but task lengths and schedule instants are validated non-negative at
+/// their construction sites.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(Rational);
+
+impl Time {
+    /// Zero time.
+    pub const ZERO: Time = Time(Rational::ZERO);
+    /// One unit of time.
+    pub const ONE: Time = Time(Rational::ONE);
+
+    /// Creates a `Time` from a rational value.
+    pub const fn from_rational(r: Rational) -> Self {
+        Time(r)
+    }
+
+    /// Creates a `Time` from an integer number of units.
+    pub const fn from_int(n: i64) -> Self {
+        Time(Rational::from_int(n))
+    }
+
+    /// Creates a `Time` equal to `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn from_ratio(num: i64, den: i64) -> Self {
+        Time(Rational::new(num as i128, den as i128))
+    }
+
+    /// Creates a `Time` from a decimal written as `int_part.frac` with the
+    /// fractional part expressed in thousandths, e.g. `from_millis(6, 800)`
+    /// is exactly `6.8`. This is how the paper's example values (6.8, 2.8,
+    /// 0.6, …) are constructed without any float rounding.
+    pub fn from_millis(int_part: i64, thousandths: i64) -> Self {
+        assert!(
+            (0..1000).contains(&thousandths),
+            "thousandths must be in [0, 1000)"
+        );
+        let sign = if int_part < 0 { -1 } else { 1 };
+        Time(Rational::new(
+            int_part as i128 * 1000 + sign as i128 * thousandths as i128,
+            1000,
+        ))
+    }
+
+    /// Snaps an `f64` onto the dyadic grid with denominator `2^20`.
+    ///
+    /// Only used by random workload generators, which sample `f64` and then
+    /// commit to the exact snapped value; scheduling itself never touches
+    /// floats.
+    ///
+    /// # Panics
+    /// Panics if `x` is not finite or overflows the grid.
+    pub fn from_f64_snapped(x: f64) -> Self {
+        assert!(x.is_finite(), "cannot snap a non-finite f64 to Time");
+        const GRID: f64 = (1u64 << 20) as f64;
+        let scaled = (x * GRID).round();
+        assert!(
+            scaled.abs() < i64::MAX as f64,
+            "f64 value {x} overflows the Time grid"
+        );
+        Time(Rational::new(scaled as i128, 1i128 << 20))
+    }
+
+    /// The underlying rational value.
+    pub const fn rational(&self) -> Rational {
+        self.0
+    }
+
+    /// Approximate `f64` value (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.0.to_f64()
+    }
+
+    /// Returns `true` if this time is zero.
+    pub const fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Returns `true` if this time is strictly positive.
+    pub const fn is_positive(&self) -> bool {
+        self.0.is_positive()
+    }
+
+    /// Returns `true` if this time is strictly negative.
+    pub const fn is_negative(&self) -> bool {
+        self.0.is_negative()
+    }
+
+    /// Minimum of two times.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Maximum of two times.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Multiplies by an integer (e.g. processor count when computing areas).
+    pub fn mul_int(self, k: i64) -> Time {
+        Time(
+            self.0
+                .checked_mul_int(k as i128)
+                .expect("Time integer-multiplication overflow"),
+        )
+    }
+
+    /// Divides by a positive integer (e.g. normalizing an area by `P`).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn div_int(self, k: i64) -> Time {
+        Time(
+            self.0
+                .checked_div(&Rational::from_int(k))
+                .expect("Time integer-division overflow or division by zero"),
+        )
+    }
+
+    /// Exact ratio of two times, as a `Rational`.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn ratio(self, other: Time) -> Rational {
+        self.0
+            .checked_div(&other.0)
+            .expect("Time ratio overflow or division by zero")
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<Rational> for Time {
+    type Output = Time;
+    fn mul(self, rhs: Rational) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<Time> for Time {
+    type Output = Rational;
+    fn div(self, rhs: Time) -> Rational {
+        self.ratio(rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |acc, t| acc + t)
+    }
+}
+
+impl From<i64> for Time {
+    fn from(n: i64) -> Self {
+        Time::from_int(n)
+    }
+}
+
+impl From<Rational> for Time {
+    fn from(r: Rational) -> Self {
+        Time(r)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Prefer an exact decimal rendering when the denominator divides a
+        // power of ten, else fall back to the fraction.
+        let den = self.0.denom();
+        if den == 1 {
+            return write!(f, "{}", self.0.numer());
+        }
+        let (mut d, mut twos, mut fives) = (den, 0u32, 0u32);
+        while d % 2 == 0 {
+            d /= 2;
+            twos += 1;
+        }
+        while d % 5 == 0 {
+            d /= 5;
+            fives += 1;
+        }
+        let digits = twos.max(fives);
+        if d == 1 && digits <= 30 {
+            // value = num/den with den | 10^digits: scale the numerator to
+            // an integer count of 10^-digits units (exact in i128).
+            let pow10 = 10i128.pow(digits);
+            let scaled = self.0.numer().checked_mul(pow10 / den);
+            if let Some(scaled) = scaled {
+                let sign = if scaled < 0 { "-" } else { "" };
+                let mag = scaled.unsigned_abs();
+                let int_part = mag / 10u128.pow(digits);
+                let frac = mag % 10u128.pow(digits);
+                let frac_str = format!("{frac:0width$}", width = digits as usize);
+                let frac_str = frac_str.trim_end_matches('0');
+                return if frac_str.is_empty() {
+                    write!(f, "{sign}{int_part}")
+                } else {
+                    write!(f, "{sign}{int_part}.{frac_str}")
+                };
+            }
+        }
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        assert_eq!(Time::from_millis(6, 800), Time::from_ratio(34, 5));
+        assert_eq!(Time::from_millis(0, 600), Time::from_ratio(3, 5));
+        assert_eq!(Time::from_int(3), Time::from_ratio(6, 2));
+        assert_eq!(Time::from_millis(-1, 500), Time::from_ratio(-3, 2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_millis(2, 800);
+        let b = Time::from_int(2);
+        assert_eq!(a + b, Time::from_millis(4, 800));
+        assert_eq!(a - b, Time::from_millis(0, 800));
+        assert_eq!(b.mul_int(3), Time::from_int(6));
+        assert_eq!(Time::from_int(7).div_int(2), Time::from_ratio(7, 2));
+    }
+
+    #[test]
+    fn ratio_is_exact() {
+        let r = Time::from_millis(6, 800).ratio(Time::from_int(2));
+        assert_eq!(r, Rational::new(17, 5));
+    }
+
+    #[test]
+    fn f64_snapping_roundtrip_on_grid() {
+        let t = Time::from_f64_snapped(0.5);
+        assert_eq!(t, Time::from_ratio(1, 2));
+        let u = Time::from_f64_snapped(3.25);
+        assert_eq!(u, Time::from_ratio(13, 4));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Time = [Time::from_int(1), Time::from_millis(0, 500)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Time::from_ratio(3, 2));
+    }
+
+    #[test]
+    fn display_decimal_when_exact() {
+        assert_eq!(format!("{}", Time::from_millis(6, 800)), "6.8");
+        assert_eq!(format!("{}", Time::from_int(15)), "15");
+        assert_eq!(format!("{}", Time::from_ratio(1, 3)), "1/3");
+        assert_eq!(format!("{}", Time::from_ratio(1, 4)), "0.25");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_millis(6, 800) > Time::from_int(6));
+        assert!(Time::ZERO < Time::ONE);
+        assert!(-Time::ONE < Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "thousandths")]
+    fn from_millis_validates_range() {
+        let _ = Time::from_millis(1, 1000);
+    }
+}

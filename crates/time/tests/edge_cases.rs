@@ -1,0 +1,114 @@
+//! Edge-case and serialization tests for the exact time arithmetic.
+
+use rigid_time::{Pow2, Rational, Time};
+
+#[test]
+fn serde_roundtrips() {
+    let r = Rational::new(34, 5);
+    let json = serde_json::to_string(&r).unwrap();
+    assert_eq!(serde_json::from_str::<Rational>(&json).unwrap(), r);
+
+    let t = Time::from_millis(6, 800);
+    let json = serde_json::to_string(&t).unwrap();
+    assert_eq!(serde_json::from_str::<Time>(&json).unwrap(), t);
+
+    let p = Pow2::new(-3);
+    let json = serde_json::to_string(&p).unwrap();
+    assert_eq!(serde_json::from_str::<Pow2>(&json).unwrap(), p);
+}
+
+#[test]
+fn rational_signs_and_abs() {
+    let r = Rational::new(-3, 7);
+    assert_eq!(r.signum(), -1);
+    assert_eq!(r.abs(), Rational::new(3, 7));
+    assert_eq!(Rational::ZERO.signum(), 0);
+    assert!(Rational::new(1, 9).is_positive());
+    assert!(r.is_negative());
+}
+
+#[test]
+fn rational_recip_roundtrip() {
+    for (n, d) in [(3i128, 4i128), (-7, 2), (1, 1)] {
+        let r = Rational::new(n, d);
+        assert_eq!(r.recip().recip(), r);
+        assert_eq!(r * r.recip(), Rational::ONE);
+    }
+}
+
+#[test]
+fn time_min_max_and_neg() {
+    let a = Time::from_ratio(1, 3);
+    let b = Time::from_ratio(1, 2);
+    assert_eq!(a.min(b), a);
+    assert_eq!(a.max(b), b);
+    assert_eq!((-a).min(a), -a);
+    assert!((-a).is_negative());
+}
+
+#[test]
+fn pow2_floor_div_negative_time() {
+    // floor(-3.5 / 0.5) = -7.
+    let p = Pow2::new(-1);
+    assert_eq!(p.floor_div(Time::from_ratio(-7, 2)), -7);
+    // floor(-3.25 / 0.5) = floor(-6.5) = -7.
+    assert_eq!(p.floor_div(Time::from_ratio(-13, 4)), -7);
+}
+
+#[test]
+fn pow2_extreme_exponents() {
+    let big = Pow2::new(100);
+    let small = Pow2::new(-100);
+    assert!(big.as_time() > Time::from_int(i64::MAX / 2));
+    assert!(small.as_time().is_positive());
+    assert_eq!(big.halve().exponent(), 99);
+    assert_eq!(small.double().exponent(), -99);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn pow2_exponent_limit() {
+    let _ = Pow2::new(127);
+}
+
+#[test]
+fn sum_of_many_mixed_denominators() {
+    // Harmonic-style sum: exact, no drift.
+    let total: Time = (1..=50i64).map(|k| Time::from_ratio(1, k)).sum();
+    // H_50 ≈ 4.499205; check two exact digits via rational comparison.
+    assert!(total > Time::from_ratio(44992, 10000));
+    assert!(total < Time::from_ratio(44993, 10000));
+}
+
+#[test]
+fn display_negative_decimals() {
+    assert_eq!(format!("{}", Time::from_ratio(-3, 2)), "-1.5");
+    assert_eq!(format!("{}", Time::from_ratio(-1, 8)), "-0.125");
+    assert_eq!(format!("{}", Time::from_int(-4)), "-4");
+}
+
+#[test]
+fn dyadic_grid_sum_stays_dyadic() {
+    // Sums of 2^-20-grid values keep power-of-two denominators (the
+    // generator fast path).
+    let mut acc = Time::ZERO;
+    for k in 1..=1000i64 {
+        acc += Time::from_ratio(k, 1 << 20);
+    }
+    let den = acc.rational().denom();
+    assert_eq!(den & (den - 1), 0, "denominator {den} not a power of two");
+}
+
+#[test]
+fn parse_time_whitespace_and_signs() {
+    assert_eq!("  -7/2 ".parse::<Time>().unwrap(), Time::from_ratio(-7, 2));
+    assert_eq!("-0.25".parse::<Time>().unwrap(), Time::from_ratio(-1, 4));
+}
+
+#[test]
+fn ratio_of_times() {
+    let a = Time::from_millis(6, 800);
+    let b = Time::from_millis(3, 400);
+    assert_eq!(a.ratio(b), Rational::from_int(2));
+    assert_eq!(a / b, Rational::from_int(2));
+}

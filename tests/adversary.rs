@@ -1,0 +1,120 @@
+//! Integration tests of the adaptive adversary against every scheduler
+//! in the workspace.
+
+use catbatch::CatBatch;
+use rigid_baselines::{ListScheduler, Priority};
+use rigid_lowerbounds::chains::GadgetParams;
+use rigid_lowerbounds::theorems::{theorem3_params, theorem4_params};
+use rigid_lowerbounds::zgraph::{lemma10_bound, lemma11_bound, ZAdversary};
+use rigid_sim::{engine, OnlineScheduler};
+use rigid_time::Time;
+
+fn all_schedulers() -> Vec<Box<dyn OnlineScheduler>> {
+    let mut v: Vec<Box<dyn OnlineScheduler>> = vec![Box::new(CatBatch::new())];
+    for p in Priority::ALL {
+        v.push(Box::new(ListScheduler::new(p)));
+    }
+    v
+}
+
+/// Lemma 10 holds for every scheduler: the adversary adapts to each.
+#[test]
+fn lemma10_for_every_scheduler() {
+    let params = GadgetParams::new(4, 2, Time::from_ratio(1, 64));
+    for mut sched in all_schedulers() {
+        let mut adv = ZAdversary::new(params);
+        let result = engine::run(&mut adv, sched.as_mut());
+        let inst = adv.committed_instance();
+        result.schedule.assert_valid(&inst);
+        assert!(
+            result.makespan() >= lemma10_bound(&params),
+            "{} beat Lemma 10",
+            sched.name()
+        );
+        // The committed graph has the right size.
+        assert_eq!(inst.len(), adv.task_count());
+    }
+}
+
+/// The witness schedule is feasible and below Lemma 11 regardless of
+/// which scheduler shaped the instance.
+#[test]
+fn witness_below_lemma11_for_every_scheduler() {
+    let params = GadgetParams::new(3, 3, Time::from_ratio(1, 48));
+    for mut sched in all_schedulers() {
+        let mut adv = ZAdversary::new(params);
+        let _ = engine::run(&mut adv, sched.as_mut());
+        let witness = adv.witness_schedule();
+        witness.assert_valid(&adv.committed_instance());
+        assert!(
+            witness.makespan() < lemma11_bound(&params),
+            "{}: witness too tall",
+            sched.name()
+        );
+    }
+}
+
+/// Theorem 3 parameters drive a growing gap; Theorem 4 parameters force
+/// ratio > P/2 − μ (checked at P=3 for speed).
+#[test]
+fn theorem_parameter_recipes() {
+    // Theorem 3 shape at P = 4.
+    let params3 = theorem3_params(4);
+    let mut adv = ZAdversary::new(params3);
+    let mut asap = rigid_baselines::asap();
+    let result = engine::run(&mut adv, &mut asap);
+    let witness = adv.witness_schedule();
+    let ratio = result.makespan().ratio(witness.makespan()).to_f64();
+    let floor = lemma10_bound(&params3)
+        .ratio(lemma11_bound(&params3))
+        .to_f64();
+    assert!(ratio > floor);
+
+    // Theorem 4 at P = 3, μ = 0.5.
+    let params4 = theorem4_params(3, 0.5);
+    let mut adv = ZAdversary::new(params4);
+    let mut asap = rigid_baselines::asap();
+    let result = engine::run(&mut adv, &mut asap);
+    let witness = adv.witness_schedule();
+    witness.assert_valid(&adv.committed_instance());
+    let ratio = result.makespan().ratio(witness.makespan()).to_f64();
+    assert!(ratio > 3.0 / 2.0 - 0.5, "Theorem 4 check failed: {ratio}");
+}
+
+/// Scaled-down adversaries (fewer layers than P) still behave: each
+/// layer completes before the next is revealed.
+#[test]
+fn reduced_layer_adversary() {
+    let params = GadgetParams::new(4, 2, Time::from_ratio(1, 64));
+    let mut adv = ZAdversary::with_layers(params, 2);
+    let mut cb = CatBatch::new();
+    let result = engine::run(&mut adv, &mut cb);
+    let inst = adv.committed_instance();
+    result.schedule.assert_valid(&inst);
+    assert_eq!(adv.pivots().len(), 2);
+    // Layer-1 heads all start after the layer-0 pivot completes.
+    let pivot0 = adv.pivots()[0];
+    let pivot_finish = result.schedule.placement(pivot0).unwrap().finish;
+    for id in inst.graph().task_ids() {
+        if inst.graph().preds(id).contains(&pivot0) {
+            assert!(result.schedule.placement(id).unwrap().start >= pivot_finish);
+        }
+    }
+}
+
+/// The adversary is deterministic for a deterministic scheduler: two
+/// runs against fresh CatBatch instances commit identical graphs.
+#[test]
+fn adversary_deterministic_per_scheduler() {
+    let params = GadgetParams::new(3, 2, Time::from_ratio(1, 48));
+    let run = || {
+        let mut adv = ZAdversary::new(params);
+        let mut cb = CatBatch::new();
+        let result = engine::run(&mut adv, &mut cb);
+        (result.makespan(), adv.pivots().to_vec())
+    };
+    let (m1, p1) = run();
+    let (m2, p2) = run();
+    assert_eq!(m1, m2);
+    assert_eq!(p1, p2);
+}

@@ -1,0 +1,2 @@
+//! Cross-crate integration tests live in this package's `tests/`
+//! directory; this library target is intentionally empty.
