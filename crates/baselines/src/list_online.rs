@@ -8,8 +8,9 @@
 
 use crate::priority::Priority;
 use rigid_dag::{ReleasedTask, TaskId};
-use rigid_sim::OnlineScheduler;
+use rigid_sim::{FailureResponse, OnlineScheduler};
 use rigid_time::Time;
+use std::collections::HashMap;
 
 /// One entry in the ready list.
 struct Ready {
@@ -24,6 +25,9 @@ pub struct ListScheduler {
     /// Ready tasks kept sorted best-first; FIFO among equal keys
     /// (insertion keeps stability).
     ready: Vec<Ready>,
+    /// Keys of started tasks, kept so a failed task can re-enter the
+    /// ready list with its original priority.
+    keys: HashMap<TaskId, (crate::priority::PriorityKey, u32)>,
 }
 
 impl ListScheduler {
@@ -32,6 +36,7 @@ impl ListScheduler {
         ListScheduler {
             priority,
             ready: Vec::new(),
+            keys: HashMap::new(),
         }
     }
 
@@ -66,6 +71,7 @@ impl OnlineScheduler for ListScheduler {
 
     fn on_release(&mut self, task: &ReleasedTask, _now: Time) {
         let key = self.priority.key(&task.spec);
+        self.keys.insert(task.id, (key, task.spec.procs));
         self.insert_sorted(task.id, task.spec.procs, key);
     }
 
@@ -83,6 +89,17 @@ impl OnlineScheduler for ListScheduler {
             }
         });
         out
+    }
+
+    fn on_failure(&mut self, task: TaskId, _now: Time) -> FailureResponse {
+        // ASAP never gives up: the failed task re-enters the ready list
+        // with its original priority and restarts as soon as it fits.
+        let (key, procs) = *self
+            .keys
+            .get(&task)
+            .expect("failed task was released to us");
+        self.insert_sorted(task, procs, key);
+        FailureResponse::Retry
     }
 }
 
@@ -163,6 +180,46 @@ mod tests {
             r_short.schedule.placement(short_id).unwrap().start,
             Time::ZERO
         );
+    }
+
+    /// A failed task re-enters the ready list and re-runs in full with
+    /// its original (t, p).
+    #[test]
+    fn failed_task_is_requeued() {
+        use rigid_sim::fault::{Attempt, FaultModel};
+        use rigid_sim::try_run_faulty;
+
+        struct FailFirst;
+        impl FaultModel for FailFirst {
+            fn on_start(
+                &mut self,
+                _task: TaskId,
+                attempt: u32,
+                _now: Time,
+                nominal: Time,
+                _procs: u32,
+            ) -> Attempt {
+                if attempt == 0 {
+                    Attempt::Fail { after: nominal.div_int(4) }
+                } else {
+                    Attempt::Complete
+                }
+            }
+        }
+
+        let inst = DagBuilder::new()
+            .task("a", Time::from_int(2), 1)
+            .task("b", Time::from_int(1), 2)
+            .edge("a", "b")
+            .build(4);
+        let result =
+            try_run_faulty(&mut StaticSource::new(inst.clone()), &mut asap(), &mut FailFirst)
+                .expect("asap retries forever");
+        result.schedule.assert_valid(&inst);
+        assert_eq!(result.faults.failures, 2);
+        // a fails at 0.5, reruns [0.5, 2.5]; b releases at 2.5, fails at
+        // 2.75, reruns [2.75, 3.75].
+        assert_eq!(result.makespan(), Time::from_ratio(15, 4));
     }
 
     #[test]

@@ -71,6 +71,24 @@ pub enum Command {
         /// Instance file path.
         file: String,
     },
+    /// `faults <file> [--scheduler S] [--seed N] [--trials K] [--fail F]
+    /// [--straggle G] [--retries R]` — seeded fault campaign.
+    Faults {
+        /// Instance file path.
+        file: String,
+        /// Scheduler to run.
+        scheduler: SchedChoice,
+        /// Base injector seed (trial `i` uses `seed + i`).
+        seed: u64,
+        /// Number of seeded trials.
+        trials: usize,
+        /// Fail-stop probability per attempt, in permille.
+        fail: u32,
+        /// Straggler probability per attempt, in permille.
+        straggle: u32,
+        /// Retry budget per task (failures tolerated before abandoning).
+        retries: u32,
+    },
     /// `verify <file> <schedule.json>` — validate an externally produced
     /// schedule against an instance.
     Verify {
@@ -99,6 +117,13 @@ USAGE:
       emit a random instance in .rigid format to stdout
       families: layered, erdos, fork_join, series_parallel, out_tree,
                 in_tree, chains, independent
+  catbatch faults <file.rigid> [--scheduler S] [--seed N] [--trials K]
+                  [--fail F] [--straggle G] [--retries R]
+      run a seeded fault campaign: K trials with fail-stop probability
+      F permille and straggler probability G permille per attempt,
+      retrying each task up to R times; reports retries, wasted area
+      and makespan inflation vs the fault-free run
+      defaults: --seed 42 --trials 5 --fail 200 --straggle 0 --retries 3
   catbatch convert <file.rigid> --dot
       emit Graphviz DOT to stdout
   catbatch verify <file.rigid> <schedule.json>
@@ -189,6 +214,64 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 n: n.ok_or("generate needs --n")?,
                 procs: procs.ok_or("generate needs --procs")?,
                 seed,
+            })
+        }
+        Some("faults") => {
+            let mut file = None;
+            let mut scheduler = SchedChoice::CatBatch;
+            let mut seed = 42u64;
+            let mut trials = 5usize;
+            let mut fail = 200u32;
+            let mut straggle = 0u32;
+            let mut retries = 3u32;
+            while let Some(a) = it.next() {
+                match a {
+                    "--scheduler" => {
+                        scheduler = SchedChoice::parse(&take_value(a, &mut it)?)?;
+                    }
+                    "--seed" => {
+                        seed = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --seed value".to_string())?
+                    }
+                    "--trials" => {
+                        trials = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --trials value".to_string())?
+                    }
+                    "--fail" => {
+                        fail = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --fail value".to_string())?
+                    }
+                    "--straggle" => {
+                        straggle = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --straggle value".to_string())?
+                    }
+                    "--retries" => {
+                        retries = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --retries value".to_string())?
+                    }
+                    f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+                    other => return Err(format!("unexpected argument {other:?}")),
+                }
+            }
+            if fail > 1000 || straggle > 1000 {
+                return Err("--fail/--straggle are permille (0..=1000)".into());
+            }
+            if trials == 0 {
+                return Err("--trials must be at least 1".into());
+            }
+            Ok(Command::Faults {
+                file: file.ok_or("faults needs an instance file")?,
+                scheduler,
+                seed,
+                trials,
+                fail,
+                straggle,
+                retries,
             })
         }
         Some("verify") => {

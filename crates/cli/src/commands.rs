@@ -45,6 +45,20 @@ pub fn run_command(
             let inst = load(file, read_file)?;
             Ok(rigid_dag::io::to_dot(&inst))
         }
+        Command::Faults {
+            file,
+            scheduler,
+            seed,
+            trials,
+            fail,
+            straggle,
+            retries,
+        } => {
+            let inst = load(file, read_file)?;
+            Ok(faults_cmd(
+                &inst, *scheduler, *seed, *trials, *fail, *straggle, *retries,
+            ))
+        }
         Command::Verify { file, schedule } => {
             let inst = load(file, read_file)?;
             let text = read_file(schedule)?;
@@ -137,6 +151,87 @@ fn schedule_cmd(
         out.push('\n');
     }
     Ok(out)
+}
+
+/// Like [`build_scheduler`] but configured for fault campaigns: CatBatch
+/// gets the retry budget; the list schedulers retry inherently; the
+/// remaining heuristics are fault-oblivious and abandon on the first
+/// failure (which the report then shows).
+fn build_fault_scheduler(choice: SchedChoice, procs: u32, retries: u32) -> Box<dyn OnlineScheduler> {
+    match choice {
+        SchedChoice::CatBatch => Box::new(CatBatch::new().with_retry_budget(retries)),
+        other => build_scheduler(other, procs),
+    }
+}
+
+fn faults_cmd(
+    inst: &Instance,
+    choice: SchedChoice,
+    seed: u64,
+    trials: usize,
+    fail: u32,
+    straggle: u32,
+    retries: u32,
+) -> String {
+    use rigid_faults::{run_trials, FaultConfig};
+
+    let config = FaultConfig {
+        fail_permille: fail,
+        max_failures_per_task: retries.max(1),
+        straggle_permille: straggle,
+        straggle_factor_permille: (1250, 2000),
+        dips: Vec::new(),
+    };
+    let seeds: Vec<u64> = (0..trials as u64).map(|i| seed + i).collect();
+    let name = build_fault_scheduler(choice, inst.procs(), retries).name();
+    let stats = run_trials(inst, &config, &seeds, || {
+        build_fault_scheduler(choice, inst.procs(), retries)
+    });
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fault campaign : {name}\nn              : {}\nP              : {}\nconfig         : fail {fail}‰ (max {}/task), straggle {straggle}‰ (1.25x-2x), retries {retries}\ntrials         : {trials} (seeds {seed}..{})\nfault-free     : {}\n\n",
+        inst.len(),
+        inst.procs(),
+        config.max_failures_per_task,
+        seed + trials as u64 - 1,
+        stats.fault_free_makespan,
+    ));
+    for t in &stats.trials {
+        match &t.outcome {
+            Ok(m) => {
+                let inflation = t
+                    .inflation(stats.fault_free_makespan)
+                    .map(|r| r.to_f64())
+                    .unwrap_or(1.0);
+                out.push_str(&format!(
+                    "seed {:<6}: makespan {} (x{:.4}), failures {}, wasted {}, inflated {}\n",
+                    t.seed, m, inflation, t.failures, t.wasted_area, t.inflated_area,
+                ));
+            }
+            Err(e) => {
+                out.push_str(&format!("seed {:<6}: ABORTED — {e}\n", t.seed));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\ncompleted      : {}/{}\ntotal failures : {}\ntotal wasted   : {}\n",
+        stats.completed(),
+        trials,
+        stats.total_failures(),
+        stats.total_wasted_area(),
+    ));
+    match (stats.max_inflation(), stats.mean_inflation()) {
+        (Some(max), Some(mean)) => {
+            out.push_str(&format!(
+                "max inflation  : {:.4}\nmean inflation : {:.4}\n",
+                max.to_f64(),
+                mean.to_f64()
+            ));
+        }
+        _ => out.push_str("max inflation  : n/a (no trial completed)\n"),
+    }
+    out
 }
 
 fn analyze_cmd(inst: &Instance) -> String {
@@ -277,6 +372,60 @@ mod tests {
                 "family {family} emitted unparseable output"
             );
         }
+    }
+
+    #[test]
+    fn faults_command_reports_campaign() {
+        let cmd = parse_args(&["faults", "sample.rigid", "--seed", "7", "--trials", "4", "--fail", "500"])
+            .unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        assert!(out.contains("fault campaign : catbatch"));
+        assert!(out.contains("trials         : 4 (seeds 7..10)"));
+        assert!(out.contains("fault-free     : 3.5"));
+        assert!(out.contains("seed 7"));
+        assert!(out.contains("completed      :"));
+    }
+
+    #[test]
+    fn faults_seed_42_is_reproducible() {
+        // Acceptance criterion: two identical invocations produce
+        // byte-for-byte identical reports.
+        let cmd = parse_args(&["faults", "sample.rigid", "--seed", "42"]).unwrap();
+        let a = run_command(&cmd, &fs).unwrap();
+        let b = run_command(&cmd, &fs).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("seeds 42..46"));
+    }
+
+    #[test]
+    fn faults_different_seeds_differ() {
+        // High fault rate on a list scheduler (retries forever) so the
+        // reports carry real fault text that depends on the seed.
+        let base = |seed: &str| {
+            let cmd = parse_args(&[
+                "faults", "sample.rigid", "--scheduler", "list-fifo", "--seed", seed,
+                "--fail", "800", "--trials", "3",
+            ])
+            .unwrap();
+            run_command(&cmd, &fs).unwrap()
+        };
+        assert_ne!(base("1"), base("100"));
+    }
+
+    #[test]
+    fn faults_zero_rate_matches_fault_free() {
+        let cmd = parse_args(&["faults", "sample.rigid", "--fail", "0"]).unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        assert!(out.contains("completed      : 5/5"));
+        assert!(out.contains("total failures : 0"));
+        assert!(out.contains("max inflation  : 1.0000"));
+    }
+
+    #[test]
+    fn faults_flag_validation() {
+        assert!(parse_args(&["faults", "f", "--fail", "1001"]).is_err());
+        assert!(parse_args(&["faults", "f", "--trials", "0"]).is_err());
+        assert!(parse_args(&["faults"]).is_err());
     }
 
     #[test]

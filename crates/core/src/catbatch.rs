@@ -14,7 +14,7 @@
 use crate::attributes::CriticalityTracker;
 use crate::category::{compute_category, Category};
 use rigid_dag::{ReleasedTask, TaskId};
-use rigid_sim::OnlineScheduler;
+use rigid_sim::{FailureResponse, OnlineScheduler};
 use rigid_time::Time;
 use std::collections::BTreeMap;
 
@@ -66,10 +66,18 @@ pub struct CatBatch {
     areas: BTreeMap<Category, Time>,
     current: Option<CurrentBatch>,
     history: Vec<BatchRecord>,
+    /// Processor widths of all revealed tasks (needed to re-pool a
+    /// failed task).
+    widths: BTreeMap<TaskId, u32>,
+    /// Failed attempts per task so far.
+    failures: BTreeMap<TaskId, u32>,
+    /// How many failures per task CatBatch tolerates before abandoning.
+    retry_budget: u32,
 }
 
 impl CatBatch {
-    /// Creates a fresh CatBatch scheduler.
+    /// Creates a fresh CatBatch scheduler that abandons on the first
+    /// task failure (faithful to the paper's fault-free model).
     pub fn new() -> Self {
         CatBatch {
             tracker: CriticalityTracker::new(),
@@ -77,7 +85,25 @@ impl CatBatch {
             areas: BTreeMap::new(),
             current: None,
             history: Vec::new(),
+            widths: BTreeMap::new(),
+            failures: BTreeMap::new(),
+            retry_budget: 0,
         }
+    }
+
+    /// Tolerate up to `budget` failed attempts per task: a failed task
+    /// re-enters its batch's pool and is re-executed in full. The batch
+    /// barrier is preserved — the batch simply does not close until the
+    /// retry completes, so Lemma 5's release invariant still holds
+    /// (releases during the batch keep strictly larger categories).
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Total failed attempts observed across all tasks.
+    pub fn failures_observed(&self) -> u32 {
+        self.failures.values().sum()
     }
 
     /// The completed batches in processing order.
@@ -137,6 +163,7 @@ impl OnlineScheduler for CatBatch {
             .or_default()
             .push((task.id, task.spec.procs));
         *self.areas.entry(cat).or_insert(Time::ZERO) += task.spec.area();
+        self.widths.insert(task.id, task.spec.procs);
     }
 
     fn on_complete(&mut self, task: TaskId, now: Time) {
@@ -196,6 +223,28 @@ impl OnlineScheduler for CatBatch {
         });
         cur.running += started.len();
         started
+    }
+
+    fn on_failure(&mut self, task: TaskId, _now: Time) -> FailureResponse {
+        let count = self.failures.entry(task).or_insert(0);
+        *count += 1;
+        if *count > self.retry_budget {
+            return FailureResponse::Abandon;
+        }
+        // Re-pool inside the current batch: the failed task belongs to
+        // the batch that started it, which cannot have closed while the
+        // attempt ran. It will be restarted by a later `decide`, and the
+        // batch barrier holds until it finally completes.
+        let cur = self
+            .current
+            .as_mut()
+            .expect("failure outside any batch");
+        debug_assert!(cur.all.contains(&task), "failed {task} not in batch");
+        assert!(cur.running > 0, "failure underflow");
+        cur.running -= 1;
+        let width = *self.widths.get(&task).expect("failed task was released");
+        cur.pool.push((task, width));
+        FailureResponse::Retry
     }
 }
 
@@ -338,6 +387,137 @@ mod tests {
         // Same category (both (0,1)); batch runs them one after another.
         assert_eq!(result.makespan(), Time::from_int(2));
         assert_eq!(cb.batch_history().len(), 1);
+    }
+
+    /// A failing task retries inside its batch; batch order, membership,
+    /// and the barrier are all preserved.
+    #[test]
+    fn retry_keeps_batch_structure() {
+        use rigid_sim::fault::{Attempt, FaultModel};
+        use rigid_sim::try_run_faulty;
+
+        /// Fails the first attempt of every task at half its duration.
+        struct FirstAttemptFails;
+        impl FaultModel for FirstAttemptFails {
+            fn on_start(
+                &mut self,
+                _task: TaskId,
+                attempt: u32,
+                _now: Time,
+                nominal: Time,
+                _procs: u32,
+            ) -> Attempt {
+                if attempt == 0 {
+                    Attempt::Fail { after: nominal.div_int(2) }
+                } else {
+                    Attempt::Complete
+                }
+            }
+        }
+
+        let inst = figure3();
+        let mut src = StaticSource::new(inst.clone());
+        let mut cb = CatBatch::new().with_retry_budget(1);
+        let result = try_run_faulty(&mut src, &mut cb, &mut FirstAttemptFails)
+            .expect("retries within budget must succeed");
+
+        // Every task still ran with its spec (t, p) on the successful
+        // attempt; precedence and capacity hold.
+        result.schedule.assert_valid(&inst);
+        assert_eq!(result.faults.failures, inst.graph().len() as u64);
+        assert_eq!(cb.failures_observed(), inst.graph().len() as u32);
+
+        // Batch decomposition is unchanged in category order and
+        // membership; only the spans stretch.
+        let cats: Vec<Time> = cb
+            .batch_history()
+            .iter()
+            .map(|b| b.category.value())
+            .collect();
+        assert_eq!(
+            cats,
+            vec![
+                Time::from_int(1),
+                Time::from_int(2),
+                Time::from_ratio(7, 2),
+                Time::from_int(4),
+                Time::from_int(5),
+                Time::from_ratio(13, 2),
+            ]
+        );
+        for w in cb.batch_history().windows(2) {
+            assert!(w[0].finished_at <= w[1].started_at, "batch barrier broken");
+        }
+        // Failures waste real time: the run is strictly longer than the
+        // fault-free 15.2.
+        assert!(result.makespan() > Time::from_millis(15, 200));
+    }
+
+    /// Exhausting the retry budget aborts the run with a typed
+    /// abandonment error.
+    #[test]
+    fn budget_exhaustion_abandons() {
+        use rigid_sim::fault::{Attempt, FaultModel};
+        use rigid_sim::{try_run_faulty, RunError};
+
+        struct AlwaysFails;
+        impl FaultModel for AlwaysFails {
+            fn on_start(
+                &mut self,
+                _task: TaskId,
+                _attempt: u32,
+                _now: Time,
+                nominal: Time,
+                _procs: u32,
+            ) -> Attempt {
+                Attempt::Fail { after: nominal.div_int(2) }
+            }
+        }
+
+        let inst = rigid_dag::DagBuilder::new()
+            .task("doomed", Time::from_int(2), 1)
+            .build(2);
+        let mut src = StaticSource::new(inst);
+        let mut cb = CatBatch::new().with_retry_budget(2);
+        let err = try_run_faulty(&mut src, &mut cb, &mut AlwaysFails).unwrap_err();
+        match err {
+            RunError::TaskAbandoned { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("expected TaskAbandoned, got {other:?}"),
+        }
+    }
+
+    /// With the default budget (0) CatBatch abandons on the first
+    /// failure, matching the paper's fault-free model.
+    #[test]
+    fn default_budget_abandons_immediately() {
+        use rigid_sim::fault::{Attempt, FaultModel};
+        use rigid_sim::{try_run_faulty, RunError};
+
+        struct FailOnce;
+        impl FaultModel for FailOnce {
+            fn on_start(
+                &mut self,
+                _task: TaskId,
+                attempt: u32,
+                _now: Time,
+                nominal: Time,
+                _procs: u32,
+            ) -> Attempt {
+                if attempt == 0 {
+                    Attempt::Fail { after: nominal.div_int(2) }
+                } else {
+                    Attempt::Complete
+                }
+            }
+        }
+
+        let inst = rigid_dag::DagBuilder::new()
+            .task("t", Time::ONE, 1)
+            .build(1);
+        let mut src = StaticSource::new(inst);
+        let mut cb = CatBatch::new();
+        let err = try_run_faulty(&mut src, &mut cb, &mut FailOnce).unwrap_err();
+        assert!(matches!(err, RunError::TaskAbandoned { attempts: 1, .. }));
     }
 
     /// category_of_task is consistent with direct computation.

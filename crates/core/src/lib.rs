@@ -67,7 +67,7 @@ pub use catbatch::{BatchRecord, CatBatch};
 pub use category::{compute_category, Category};
 pub use heuristics::{CatBatchBackfill, CatPrio, EstimatedCatBatch};
 pub use lmatrix::{category_length, LMatrix};
-pub use monitor::GuaranteeMonitor;
+pub use monitor::{AssumptionReport, GuaranteeMonitor};
 
 #[cfg(test)]
 mod prop_tests {

@@ -20,8 +20,10 @@ use crate::attributes::CriticalityTracker;
 use crate::category::{compute_category, Category};
 use crate::lmatrix::category_length;
 use rigid_dag::ReleasedTask;
+use rigid_sim::FaultLog;
 use rigid_time::Time;
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// Tracks the revealed portion of an instance and the bounds it implies.
 #[derive(Debug)]
@@ -107,6 +109,132 @@ impl GuaranteeMonitor {
         assert!(self.n >= 1, "no tasks revealed yet");
         (self.n as f64).log2() + 3.0
     }
+
+    /// Non-panicking variant of [`ratio_guarantee`](Self::ratio_guarantee):
+    /// `None` before the first release.
+    pub fn try_ratio_guarantee(&self) -> Option<f64> {
+        (self.n >= 1).then(|| (self.n as f64).log2() + 3.0)
+    }
+
+    /// Audits a run's [`FaultLog`] against the theory's standing
+    /// assumptions and reports, instead of asserting, **which**
+    /// assumptions were violated and **how much** the conditional
+    /// Lemma 7 bound inflates once the violations are priced in.
+    ///
+    /// The theory assumes fixed execution times `t_i` (violated by
+    /// stragglers and by re-executed failures) and a fixed platform `P`
+    /// (violated by capacity dips). Under violations the adjusted bound
+    /// charges all extra area (wasted + inflated) and the worst observed
+    /// capacity:
+    ///
+    /// `2·(A + extra) / max(1, P_min) + Σ_ζ L_ζ(C)`
+    ///
+    /// This is a *diagnostic* — a Lemma 7 analogue that degrades
+    /// gracefully — not a proven competitive-ratio theorem: the L-matrix
+    /// terms still use nominal criticalities, so a sufficiently
+    /// adversarial fault model can exceed it.
+    pub fn assumption_report(&self, log: &FaultLog) -> AssumptionReport {
+        let nominal = self.conditional_makespan_bound();
+        let inflated = if self.n == 0 {
+            None
+        } else {
+            let c = self.revealed_critical_path();
+            let lengths: Time = self
+                .categories
+                .iter()
+                .map(|&cat| category_length(cat, c))
+                .sum();
+            let effective = log.min_capacity.clamp(1, self.procs);
+            let charged = self.area + log.extra_area();
+            Some(charged.mul_int(2).div_int(effective as i64) + lengths)
+        };
+        AssumptionReport {
+            fixed_times_violated: log.failures > 0 || !log.inflated_area.is_zero(),
+            fixed_procs_violated: log.min_capacity < self.procs,
+            failures: log.failures,
+            wasted_area: log.wasted_area,
+            inflated_area: log.inflated_area,
+            min_capacity: log.min_capacity,
+            platform: self.procs,
+            nominal_bound: nominal,
+            inflated_bound: inflated,
+        }
+    }
+}
+
+/// The monitor's audit of a run against the paper's model assumptions.
+///
+/// Produced by [`GuaranteeMonitor::assumption_report`]; designed for
+/// operators: it names the violated assumptions and quantifies the
+/// damage rather than asserting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssumptionReport {
+    /// The fixed-`t_i` assumption was violated (failures re-executed
+    /// work and/or stragglers ran long).
+    pub fixed_times_violated: bool,
+    /// The fixed-`P` assumption was violated (capacity dipped below the
+    /// platform size at some decision point).
+    pub fixed_procs_violated: bool,
+    /// Failed attempts across the run.
+    pub failures: u64,
+    /// Area consumed by failed attempts.
+    pub wasted_area: Time,
+    /// Extra area consumed by stragglers beyond nominal.
+    pub inflated_area: Time,
+    /// Worst capacity observed at any decision point.
+    pub min_capacity: u32,
+    /// Platform size `P`.
+    pub platform: u32,
+    /// The unconditional Lemma 7 bound `2A/P + Σ L_ζ(C)` (assumptions
+    /// intact); `None` before the first release.
+    pub nominal_bound: Option<Time>,
+    /// The fault-adjusted bound `2(A+extra)/max(1, P_min) + Σ L_ζ(C)`;
+    /// `None` before the first release.
+    pub inflated_bound: Option<Time>,
+}
+
+impl AssumptionReport {
+    /// `true` if every model assumption held (the nominal Lemma 7 bound
+    /// applies unconditionally).
+    pub fn clean(&self) -> bool {
+        !self.fixed_times_violated && !self.fixed_procs_violated
+    }
+
+    /// How much the bound inflated: `inflated_bound − nominal_bound`
+    /// (zero for a clean run, `None` before the first release).
+    pub fn bound_inflation(&self) -> Option<Time> {
+        Some(self.inflated_bound? - self.nominal_bound?)
+    }
+}
+
+impl fmt::Display for AssumptionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clean() {
+            write!(f, "all model assumptions held")?;
+        } else {
+            write!(f, "violated:")?;
+            if self.fixed_times_violated {
+                write!(
+                    f,
+                    " fixed-t ({} failure(s) wasting {}, straggler area {})",
+                    self.failures, self.wasted_area, self.inflated_area
+                )?;
+            }
+            if self.fixed_procs_violated {
+                write!(
+                    f,
+                    " fixed-P (capacity dipped to {} of {})",
+                    self.min_capacity, self.platform
+                )?;
+            }
+        }
+        match (self.nominal_bound, self.inflated_bound) {
+            (Some(nom), Some(inf)) => {
+                write!(f, "; bound {nom} -> {inf}")
+            }
+            _ => write!(f, "; no tasks revealed"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +267,9 @@ mod tests {
         }
         fn decide(&mut self, now: Time, free: u32) -> Vec<TaskId> {
             self.inner.decide(now, free)
+        }
+        fn on_failure(&mut self, t: TaskId, now: Time) -> rigid_sim::FailureResponse {
+            self.inner.on_failure(t, now)
         }
     }
 
@@ -178,6 +309,110 @@ mod tests {
         let early = monitor.conditional_makespan_bound().unwrap();
         assert!(early.is_positive());
         assert!((monitor.ratio_guarantee() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_run_yields_clean_report() {
+        let inst = figure3();
+        let mut sched = Monitored {
+            inner: CatBatch::new(),
+            monitor: GuaranteeMonitor::new(inst.procs()),
+        };
+        let result = engine::run(&mut StaticSource::new(inst), &mut sched);
+        let report = sched.monitor.assumption_report(&result.faults);
+        assert!(report.clean());
+        assert!(!report.fixed_times_violated);
+        assert!(!report.fixed_procs_violated);
+        assert_eq!(report.bound_inflation(), Some(Time::ZERO));
+        assert_eq!(report.nominal_bound, report.inflated_bound);
+        assert!(format!("{report}").starts_with("all model assumptions held"));
+    }
+
+    #[test]
+    fn faulty_run_report_names_violations_and_inflates_bound() {
+        use rigid_sim::fault::{Attempt, FaultModel};
+        use rigid_sim::try_run_faulty;
+
+        /// Fails the first attempt of every task halfway through.
+        struct FirstAttemptFails;
+        impl FaultModel for FirstAttemptFails {
+            fn on_start(
+                &mut self,
+                _task: TaskId,
+                attempt: u32,
+                _now: Time,
+                nominal: Time,
+                _procs: u32,
+            ) -> Attempt {
+                if attempt == 0 {
+                    Attempt::Fail { after: nominal.div_int(2) }
+                } else {
+                    Attempt::Complete
+                }
+            }
+        }
+
+        let inst = figure3();
+        let mut sched = Monitored {
+            inner: CatBatch::new().with_retry_budget(1),
+            monitor: GuaranteeMonitor::new(inst.procs()),
+        };
+        let result = try_run_faulty(
+            &mut StaticSource::new(inst),
+            &mut sched,
+            &mut FirstAttemptFails,
+        )
+        .unwrap();
+        let report = sched.monitor.assumption_report(&result.faults);
+        assert!(!report.clean());
+        assert!(report.fixed_times_violated);
+        assert!(!report.fixed_procs_violated);
+        assert_eq!(report.failures, 11);
+        // Every first attempt wasted half its area: extra = A/2, so the
+        // adjusted bound adds exactly 2·(A/2)/P = A/P.
+        let area = sched.monitor.revealed_area();
+        assert_eq!(report.wasted_area, area.div_int(2));
+        assert_eq!(
+            report.bound_inflation(),
+            Some(area.div_int(4 /* P */))
+        );
+        // The adjusted bound still dominates the degraded run here.
+        assert!(result.makespan() <= report.inflated_bound.unwrap());
+        let text = format!("{report}");
+        assert!(text.contains("fixed-t"), "got: {text}");
+    }
+
+    #[test]
+    fn capacity_dip_reports_fixed_procs_violation() {
+        let mut monitor = GuaranteeMonitor::new(4);
+        let inst = figure3();
+        let mut src = StaticSource::new(inst);
+        for rel in src.initial() {
+            monitor.on_release(&rel);
+        }
+        let mut log = rigid_sim::FaultLog::new(4);
+        log.min_capacity = 2;
+        let report = monitor.assumption_report(&log);
+        assert!(report.fixed_procs_violated);
+        assert!(!report.fixed_times_violated);
+        // Charging min capacity 2 instead of 4 doubles the area term.
+        let c = monitor.revealed_critical_path();
+        let nominal = report.nominal_bound.unwrap();
+        let inflated = report.inflated_bound.unwrap();
+        let area_term = monitor.revealed_area().mul_int(2).div_int(4);
+        assert_eq!(inflated - nominal, area_term); // 2A/2 − 2A/4 = 2A/4
+        assert!(c.is_positive());
+        assert!(format!("{report}").contains("fixed-P"));
+    }
+
+    #[test]
+    fn empty_monitor_report_has_no_bounds() {
+        let monitor = GuaranteeMonitor::new(2);
+        assert!(monitor.try_ratio_guarantee().is_none());
+        let report = monitor.assumption_report(&rigid_sim::FaultLog::new(2));
+        assert!(report.nominal_bound.is_none());
+        assert!(report.inflated_bound.is_none());
+        assert!(report.bound_inflation().is_none());
     }
 
     #[test]

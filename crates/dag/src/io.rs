@@ -3,6 +3,21 @@
 use crate::graph::Instance;
 use std::fmt::Write as _;
 
+/// Escapes a string for use inside a double-quoted DOT string literal:
+/// backslashes and quotes are escaped, newlines become `\n` line breaks.
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders an instance as a Graphviz DOT digraph. Node labels show the
 /// task label (or id), execution time and processor requirement.
 pub fn to_dot(instance: &Instance) -> String {
@@ -25,7 +40,10 @@ pub fn to_dot(instance: &Instance) -> String {
         let _ = writeln!(
             out,
             "  n{} [label=\"{}\\nt={} p={}\"];",
-            id.0, name, spec.time, spec.procs
+            id.0,
+            dot_escape(&name),
+            spec.time,
+            spec.procs
         );
     }
     for id in g.task_ids() {
@@ -58,6 +76,31 @@ mod tests {
         assert!(dot.contains("t=1 p=1"));
         assert!(dot.contains("t=2.5 p=2"));
         assert!(dot.contains("n0 -> n1;"));
+    }
+
+    /// Labels containing quotes, backslashes or newlines must not break
+    /// the emitted DOT string literals.
+    #[test]
+    fn dot_escapes_hostile_labels() {
+        let inst = DagBuilder::new()
+            .task("say \"hi\"", Time::from_int(1), 1)
+            .task("back\\slash", Time::from_int(1), 1)
+            .task("two\nlines", Time::from_int(1), 1)
+            .build(2);
+        let dot = to_dot(&inst);
+        assert!(dot.contains("say \\\"hi\\\""));
+        assert!(dot.contains("back\\\\slash"));
+        assert!(dot.contains("two\\nlines"));
+        // Every label attribute stays on one physical line with balanced
+        // (unescaped) quotes.
+        for line in dot.lines().filter(|l| l.contains("[label=")) {
+            let unescaped = line.replace("\\\\", "").replace("\\\"", "");
+            assert_eq!(
+                unescaped.matches('"').count(),
+                2,
+                "unbalanced quotes in {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Seeded fault campaigns: run a scheduler over an instance under many
+//! fault schedules and quantify the damage against the fault-free run.
+
+use crate::injector::{FaultConfig, FaultInjector};
+use rigid_dag::{Instance, StaticSource};
+use rigid_sim::{try_run, try_run_faulty, OnlineScheduler, RunError};
+use rigid_time::{Rational, Time};
+
+/// The outcome of one seeded trial.
+#[derive(Clone, Debug)]
+pub struct TrialStats {
+    /// The injector seed this trial ran under.
+    pub seed: u64,
+    /// `Ok(makespan)` if the run completed; the typed error otherwise
+    /// (typically [`RunError::TaskAbandoned`] when the scheduler's
+    /// retry budget ran out).
+    pub outcome: Result<Time, RunError>,
+    /// Failed attempts injected.
+    pub failures: u64,
+    /// Area consumed by failed attempts.
+    pub wasted_area: Time,
+    /// Extra area consumed by stragglers.
+    pub inflated_area: Time,
+    /// Worst capacity observed.
+    pub min_capacity: u32,
+}
+
+impl TrialStats {
+    /// Makespan inflation over the fault-free makespan, as an exact
+    /// ratio (`None` if the trial failed or the baseline is zero).
+    pub fn inflation(&self, fault_free: Time) -> Option<Rational> {
+        let m = self.outcome.as_ref().ok()?;
+        fault_free.is_positive().then(|| m.ratio(fault_free))
+    }
+}
+
+/// Aggregated results of a campaign over one instance.
+#[derive(Clone, Debug)]
+pub struct CampaignStats {
+    /// Makespan of the fault-free run (the baseline).
+    pub fault_free_makespan: Time,
+    /// Per-seed trials, in input seed order.
+    pub trials: Vec<TrialStats>,
+}
+
+impl CampaignStats {
+    /// Trials that ran to completion.
+    pub fn completed(&self) -> usize {
+        self.trials.iter().filter(|t| t.outcome.is_ok()).count()
+    }
+
+    /// Trials aborted (task abandoned, or another typed error).
+    pub fn aborted(&self) -> usize {
+        self.trials.len() - self.completed()
+    }
+
+    /// Total failed attempts injected across all trials.
+    pub fn total_failures(&self) -> u64 {
+        self.trials.iter().map(|t| t.failures).sum()
+    }
+
+    /// Total area wasted by failed attempts across all trials.
+    pub fn total_wasted_area(&self) -> Time {
+        self.trials
+            .iter()
+            .fold(Time::ZERO, |acc, t| acc + t.wasted_area)
+    }
+
+    /// The worst makespan inflation over the baseline among completed
+    /// trials (`None` if no trial completed).
+    pub fn max_inflation(&self) -> Option<Rational> {
+        self.trials
+            .iter()
+            .filter_map(|t| t.inflation(self.fault_free_makespan))
+            .max()
+    }
+
+    /// Mean makespan inflation among completed trials (`None` if no
+    /// trial completed). Exact rational arithmetic.
+    pub fn mean_inflation(&self) -> Option<Rational> {
+        let ratios: Vec<Rational> = self
+            .trials
+            .iter()
+            .filter_map(|t| t.inflation(self.fault_free_makespan))
+            .collect();
+        if ratios.is_empty() {
+            return None;
+        }
+        let sum = ratios
+            .iter()
+            .fold(Rational::ZERO, |acc, r| acc.checked_add(r).expect("sum fits"));
+        sum.checked_div(&Rational::from_int(ratios.len() as i64))
+    }
+}
+
+/// Runs a fault-free baseline plus one faulty trial per seed, each with
+/// a fresh scheduler from `make_scheduler`, and aggregates the results.
+///
+/// Everything is deterministic: the same `(instance, config, seeds)`
+/// triple produces identical [`CampaignStats`] on every call.
+///
+/// # Panics
+/// Panics if the *fault-free* run fails — a scheduler that cannot even
+/// schedule the unperturbed instance is a bug, not a fault-tolerance
+/// result.
+pub fn run_trials<S, F>(
+    instance: &Instance,
+    config: &FaultConfig,
+    seeds: &[u64],
+    mut make_scheduler: F,
+) -> CampaignStats
+where
+    S: OnlineScheduler,
+    F: FnMut() -> S,
+{
+    let mut baseline_sched = make_scheduler();
+    let baseline = try_run(&mut StaticSource::new(instance.clone()), &mut baseline_sched)
+        .expect("fault-free baseline run must succeed");
+
+    let trials = seeds
+        .iter()
+        .map(|&seed| {
+            let mut injector = FaultInjector::new(seed, config.clone());
+            let mut sched = make_scheduler();
+            let run = try_run_faulty(
+                &mut StaticSource::new(instance.clone()),
+                &mut sched,
+                &mut injector,
+            );
+            match run {
+                Ok(result) => TrialStats {
+                    seed,
+                    outcome: Ok(result.makespan()),
+                    failures: result.faults.failures,
+                    wasted_area: result.faults.wasted_area,
+                    inflated_area: result.faults.inflated_area,
+                    min_capacity: result.faults.min_capacity,
+                },
+                Err(err) => TrialStats {
+                    seed,
+                    failures: injector.injected_failures(),
+                    wasted_area: Time::ZERO,
+                    inflated_area: Time::ZERO,
+                    min_capacity: instance.procs(),
+                    outcome: Err(err),
+                },
+            }
+        })
+        .collect();
+
+    CampaignStats {
+        fault_free_makespan: baseline.makespan(),
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catbatch::CatBatch;
+    use rigid_dag::paper::figure3;
+
+    fn fig3_campaign(budget: u32) -> CampaignStats {
+        run_trials(
+            &figure3(),
+            &FaultConfig::fail_stop(400, 2),
+            &[1, 2, 3, 4, 5],
+            || CatBatch::new().with_retry_budget(budget),
+        )
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let a = fig3_campaign(2);
+        let b = fig3_campaign(2);
+        assert_eq!(a.fault_free_makespan, b.fault_free_makespan);
+        assert_eq!(a.trials.len(), b.trials.len());
+        for (x, y) in a.trials.iter().zip(&b.trials) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.outcome.clone().ok(), y.outcome.clone().ok());
+            assert_eq!(x.failures, y.failures);
+            assert_eq!(x.wasted_area, y.wasted_area);
+        }
+    }
+
+    #[test]
+    fn faults_never_beat_the_baseline() {
+        let stats = fig3_campaign(2);
+        assert_eq!(stats.fault_free_makespan, Time::from_millis(15, 200));
+        for t in &stats.trials {
+            if let Ok(m) = &t.outcome {
+                assert!(*m >= stats.fault_free_makespan, "seed {}", t.seed);
+            }
+        }
+        // Fail probability 40‰ per attempt over 11 tasks × 5 trials:
+        // the campaign certainly injected something.
+        assert!(stats.total_failures() > 0);
+        assert!(stats.total_wasted_area().is_positive());
+        if stats.completed() > 0 {
+            assert!(stats.max_inflation().unwrap() >= Rational::ONE);
+            assert!(stats.mean_inflation().unwrap() >= Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn zero_budget_campaign_reports_abandonment() {
+        // With retry budget 0 any injected failure aborts its trial;
+        // high fail probability makes that certain across 5 seeds.
+        let stats = run_trials(
+            &figure3(),
+            &FaultConfig::fail_stop(1000, 1),
+            &[1, 2, 3],
+            CatBatch::new,
+        );
+        assert_eq!(stats.aborted(), 3);
+        assert_eq!(stats.completed(), 0);
+        assert!(stats.max_inflation().is_none());
+        for t in &stats.trials {
+            assert!(matches!(t.outcome, Err(RunError::TaskAbandoned { .. })));
+        }
+    }
+
+    #[test]
+    fn dip_campaign_records_min_capacity() {
+        let cfg = FaultConfig::none().with_dip(Time::ZERO, Time::from_int(3), 2);
+        let stats = run_trials(&figure3(), &cfg, &[9], || {
+            CatBatch::new().with_retry_budget(0)
+        });
+        assert_eq!(stats.trials[0].min_capacity, 2);
+        // Restricting starts can only delay the schedule.
+        assert!(*stats.trials[0].outcome.as_ref().unwrap() >= stats.fault_free_makespan);
+    }
+}

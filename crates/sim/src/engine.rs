@@ -4,23 +4,35 @@
 //! and the processor pool, reveals tasks through an
 //! [`rigid_dag::InstanceSource`], asks an
 //! [`OnlineScheduler`] what to start at every decision point, and records
-//! the resulting [`Schedule`]. It enforces the model's rules with
-//! assertions: a scheduler cannot start unknown, already-started, or
-//! oversubscribing tasks, and a task completes exactly `t` after it
-//! started — no preemption, no termination, no modification.
+//! the resulting [`Schedule`]. It enforces the model's rules as **typed
+//! errors** ([`RunError`]): a source cannot release duplicates,
+//! premature, dangling, or impossible tasks; a scheduler cannot start
+//! unknown, already-started, or oversubscribing tasks; and a task
+//! completes exactly `t` after it started — unless an explicit
+//! [`FaultModel`] says otherwise (fail-stop, stragglers, capacity dips).
+//!
+//! Entry points: [`try_run`] (fault-free, returns `Result`),
+//! [`try_run_faulty`] (with a fault model), and [`run`] — a thin wrapper
+//! that panics on any violation, for tests and callers that treat
+//! violations as bugs.
 
+use crate::error::{RunError, SchedulerViolation, SourceViolation};
+use crate::fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
 use crate::schedule::Schedule;
-use crate::scheduler::OnlineScheduler;
+use crate::scheduler::{FailureResponse, OnlineScheduler};
 use rigid_dag::{InstanceSource, ReleasedTask, TaskGraph, TaskId};
 use rigid_time::Time;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// The outcome of a run: the schedule, reconstruction of everything the
-/// source revealed, and per-task release instants.
+/// source revealed, per-task release instants, and the fault log.
 #[derive(Clone, Debug)]
 pub struct RunResult {
     /// The recorded schedule (already capacity-checked by construction;
-    /// validate against an instance for precedence checks).
+    /// validate against an instance for precedence checks). Under an
+    /// active fault model, straggler placements carry their *actual*
+    /// durations, so strict validation reports `SpecMismatch` — that is
+    /// the intended signal that the fixed-`t` assumption was violated.
     pub schedule: Schedule,
     /// The graph of all released tasks, rebuilt from the release stream.
     /// For a static source this equals the original instance graph up to
@@ -37,6 +49,8 @@ pub struct RunResult {
     pub release_times: BTreeMap<TaskId, Time>,
     /// Number of decision points the scheduler was consulted at.
     pub decisions: u64,
+    /// What the fault model did (empty and clean for fault-free runs).
+    pub faults: FaultLog,
 }
 
 impl RunResult {
@@ -51,16 +65,64 @@ struct Known {
     spec_procs: u32,
     spec_time: Time,
     started: bool,
+    attempts: u32,
+}
+
+/// Why a running entry will leave the running set.
+enum RunningOutcome {
+    /// Completes at the keyed instant.
+    Completes,
+    /// Fails at the keyed instant (fail-stop).
+    Fails,
+}
+
+struct Running {
+    id: TaskId,
+    procs: u32,
+    outcome: RunningOutcome,
 }
 
 /// Runs `scheduler` against `source` until every revealed task completes.
 ///
+/// Thin wrapper over [`try_run`] that treats every violation as a bug.
+///
 /// # Panics
 /// Panics if the scheduler deadlocks (tasks are ready but it never starts
 /// them while the machine is otherwise idle), starts an unknown or
-/// already-started task, or oversubscribes the processors — all of which
-/// indicate a scheduler bug, not a legal outcome of the model.
+/// already-started task, or oversubscribes the processors, or if the
+/// source breaks the revelation contract.
 pub fn run(source: &mut dyn InstanceSource, scheduler: &mut dyn OnlineScheduler) -> RunResult {
+    match try_run(source, scheduler) {
+        Ok(result) => result,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Runs `scheduler` against `source` until every revealed task
+/// completes, returning contract violations as typed [`RunError`]s
+/// instead of panicking.
+pub fn try_run(
+    source: &mut dyn InstanceSource,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<RunResult, RunError> {
+    try_run_faulty(source, scheduler, &mut NoFaults)
+}
+
+/// Runs `scheduler` against `source` under a [`FaultModel`]: task
+/// attempts may fail-stop (requiring re-execution), run long
+/// (stragglers), and the platform may refuse new starts during capacity
+/// dips. Everything the model does is recorded in the returned
+/// [`FaultLog`] (`result.faults`).
+///
+/// Failed tasks are offered back to the scheduler through
+/// [`OnlineScheduler::on_failure`]; a scheduler that declines
+/// ([`FailureResponse::Abandon`], the default) aborts the run with
+/// [`RunError::TaskAbandoned`].
+pub fn try_run_faulty(
+    source: &mut dyn InstanceSource,
+    scheduler: &mut dyn OnlineScheduler,
+    faults: &mut dyn FaultModel,
+) -> Result<RunResult, RunError> {
     let procs = source.procs();
     assert!(procs >= 1);
 
@@ -72,142 +134,260 @@ pub fn run(source: &mut dyn InstanceSource, scheduler: &mut dyn OnlineScheduler)
     let mut release_times: BTreeMap<TaskId, Time> = BTreeMap::new();
 
     let mut known: HashMap<TaskId, Known> = HashMap::new();
-    let mut running: BTreeMap<(Time, u64), (TaskId, u32)> = BTreeMap::new();
+    let mut completed: HashSet<TaskId> = HashSet::new();
+    let mut running: BTreeMap<(Time, u64), Running> = BTreeMap::new();
     let mut start_seq: u64 = 0;
     let mut completion_index: u64 = 0;
-    let mut free: u32 = procs;
+    let mut used: u32 = 0;
     let mut decisions: u64 = 0;
+    let mut log = FaultLog::new(procs);
 
     let mut now = Time::ZERO;
 
     let mut pending_releases: Vec<ReleasedTask> = source.initial();
 
     loop {
-        // Ingest releases.
+        // Ingest releases, validating the source contract first.
         for rel in pending_releases.drain(..) {
+            if known.contains_key(&rel.id) {
+                return Err(SourceViolation::DuplicateRelease { task: rel.id }.into());
+            }
+            if rel.spec.procs > procs {
+                return Err(SourceViolation::Oversubscription {
+                    task: rel.id,
+                    needed: rel.spec.procs,
+                    platform: procs,
+                }
+                .into());
+            }
+            for &p in &rel.preds {
+                if !id_map.contains_key(&p) {
+                    return Err(
+                        SourceViolation::UnknownPredecessor { task: rel.id, pred: p }.into()
+                    );
+                }
+                if !completed.contains(&p) {
+                    return Err(
+                        SourceViolation::PrematureRelease { task: rel.id, pred: p }.into()
+                    );
+                }
+            }
             let new_id = revealed.add_task(rel.spec.clone());
             id_map.insert(rel.id, new_id);
             for &p in &rel.preds {
-                let mapped = *id_map
-                    .get(&p)
-                    .expect("released task references unknown predecessor");
+                let mapped = id_map[&p];
                 revealed.add_edge(mapped, new_id);
             }
             release_times.insert(rel.id, now);
-            let dup = known.insert(
+            known.insert(
                 rel.id,
                 Known {
                     spec_procs: rel.spec.procs,
                     spec_time: rel.spec.time,
                     started: false,
+                    attempts: 0,
                 },
             );
-            assert!(dup.is_none(), "task {} released twice", rel.id);
             scheduler.on_release(&rel, now);
         }
 
         // Ask the scheduler what to start now. Repeat until it passes,
         // since starting a task may change what it wants (some schedulers
-        // return one task per call).
+        // return one task per call). Capacity dips restrict *new* starts
+        // only; running tasks keep their processors.
+        let capacity = faults.capacity(now, procs).min(procs);
+        log.min_capacity = log.min_capacity.min(capacity);
+        let mut avail = capacity.saturating_sub(used);
         loop {
             decisions += 1;
-            let to_start = scheduler.decide(now, free);
+            let to_start = scheduler.decide(now, avail);
             if to_start.is_empty() {
                 break;
             }
             let mut seen = HashSet::new();
             for id in to_start {
-                assert!(seen.insert(id), "decide returned {id} twice");
-                let k = known
-                    .get_mut(&id)
-                    .unwrap_or_else(|| panic!("scheduler started unknown task {id}"));
-                assert!(!k.started, "scheduler started {id} twice");
-                assert!(
-                    k.spec_procs <= free,
-                    "scheduler oversubscribed: task {id} needs {} procs, {} free",
-                    k.spec_procs,
-                    free
-                );
+                if !seen.insert(id) {
+                    return Err(SchedulerViolation::DuplicateDecision { task: id }.into());
+                }
+                let k = match known.get_mut(&id) {
+                    Some(k) => k,
+                    None => return Err(SchedulerViolation::UnknownTask { task: id }.into()),
+                };
+                if k.started || completed.contains(&id) {
+                    return Err(SchedulerViolation::DoubleStart { task: id }.into());
+                }
+                if k.spec_procs > avail {
+                    return Err(SchedulerViolation::Oversubscribed {
+                        task: id,
+                        needed: k.spec_procs,
+                        free: avail,
+                    }
+                    .into());
+                }
                 k.started = true;
-                free -= k.spec_procs;
-                let finish = now + k.spec_time;
-                schedule.place(id, now, finish, k.spec_procs);
-                running.insert((finish, start_seq), (id, k.spec_procs));
+                let attempt = k.attempts;
+                k.attempts += 1;
+                avail -= k.spec_procs;
+                used += k.spec_procs;
+
+                let fate = faults.on_start(id, attempt, now, k.spec_time, k.spec_procs);
+                let (leaves_at, outcome) = match fate {
+                    Attempt::Complete => {
+                        let finish = now + k.spec_time;
+                        schedule.place(id, now, finish, k.spec_procs);
+                        if attempt > 0 {
+                            log.attempts.push(AttemptRecord {
+                                task: id,
+                                attempt,
+                                start: now,
+                                end: finish,
+                                procs: k.spec_procs,
+                                outcome: AttemptOutcome::Completed,
+                            });
+                        }
+                        (finish, RunningOutcome::Completes)
+                    }
+                    Attempt::Inflated { actual } => {
+                        assert!(
+                            actual >= k.spec_time,
+                            "fault model shrank task {id}: {actual} < nominal {}",
+                            k.spec_time
+                        );
+                        let finish = now + actual;
+                        schedule.place(id, now, finish, k.spec_procs);
+                        log.inflated_area +=
+                            (actual - k.spec_time).mul_int(k.spec_procs as i64);
+                        log.attempts.push(AttemptRecord {
+                            task: id,
+                            attempt,
+                            start: now,
+                            end: finish,
+                            procs: k.spec_procs,
+                            outcome: AttemptOutcome::Inflated {
+                                nominal: k.spec_time,
+                                actual,
+                            },
+                        });
+                        (finish, RunningOutcome::Completes)
+                    }
+                    Attempt::Fail { after } => {
+                        assert!(
+                            after.is_positive() && after <= k.spec_time,
+                            "fault model failed task {id} outside (0, t]: {after}"
+                        );
+                        let dies_at = now + after;
+                        log.failures += 1;
+                        log.wasted_area += after.mul_int(k.spec_procs as i64);
+                        log.attempts.push(AttemptRecord {
+                            task: id,
+                            attempt,
+                            start: now,
+                            end: dies_at,
+                            procs: k.spec_procs,
+                            outcome: AttemptOutcome::Failed {
+                                nominal: k.spec_time,
+                                ran: after,
+                            },
+                        });
+                        (dies_at, RunningOutcome::Fails)
+                    }
+                };
+                running.insert(
+                    (leaves_at, start_seq),
+                    Running { id, procs: k.spec_procs, outcome },
+                );
                 start_seq += 1;
             }
         }
 
-        let next_completion = running.iter().next().map(|(&(f, _), _)| f);
+        let next_event = running.keys().next().map(|&(t, _)| t);
         let next_arrival = source.next_timed_release(now);
+        let next_capacity = faults.next_capacity_event(now);
 
-        match (next_completion, next_arrival) {
-            (None, None) => {
-                // Nothing runs and nothing will arrive. If tasks remain
-                // unstarted the scheduler is stuck; if the source still
-                // holds completion-driven tasks it will never release
-                // them.
-                let unstarted: Vec<TaskId> = known
-                    .iter()
-                    .filter(|(_, k)| !k.started)
-                    .map(|(id, _)| *id)
-                    .collect();
-                assert!(
-                    unstarted.is_empty(),
-                    "scheduler deadlock: machine idle but tasks {unstarted:?} unstarted"
-                );
-                assert!(
-                    !source.expects_more(),
-                    "source still holds unreleased tasks after all completions"
-                );
-                break;
+        // The clock advances to the earliest of the three.
+        let tick = [next_event, next_arrival, next_capacity]
+            .into_iter()
+            .flatten()
+            .min();
+
+        let Some(tick) = tick else {
+            // Nothing runs, nothing will arrive, capacity never changes
+            // again. If tasks remain unstarted the scheduler is stuck; if
+            // the source still holds completion-driven tasks it will
+            // never release them.
+            let mut unstarted: Vec<TaskId> = known
+                .iter()
+                .filter(|(_, k)| !k.started)
+                .map(|(id, _)| *id)
+                .collect();
+            if !unstarted.is_empty() {
+                unstarted.sort();
+                return Err(SchedulerViolation::Deadlock { unstarted, capacity }.into());
             }
-            (None, Some(arrival)) => {
-                // Idle machine; the clock jumps to the next arrival.
-                now = arrival;
-                pending_releases.extend(source.timed_releases(now));
+            if source.expects_more() {
+                return Err(SourceViolation::WithheldTasks.into());
             }
-            (Some(finish), arrival) => {
-                if arrival.map(|a| a < finish).unwrap_or(false) {
-                    // The clock reaches a release before any completion.
-                    now = arrival.expect("checked");
-                    pending_releases.extend(source.timed_releases(now));
-                } else {
-                    // Advance to the earliest completion; process all
-                    // completions at that instant before deciding again.
-                    now = finish;
-                    while let Some((&(f, seq), &(id, p))) = running.iter().next() {
-                        if f != now {
-                            break;
+            break;
+        };
+
+        now = tick;
+        if next_event == Some(tick) {
+            // Process every completion/failure at this instant before
+            // deciding again.
+            while let Some((&(t, seq), entry)) = running.iter().next() {
+                if t != now {
+                    break;
+                }
+                let (id, p) = (entry.id, entry.procs);
+                let fails = matches!(entry.outcome, RunningOutcome::Fails);
+                running.remove(&(t, seq));
+                used -= p;
+                if fails {
+                    let k = known.get_mut(&id).expect("running task is known");
+                    k.started = false;
+                    match scheduler.on_failure(id, now) {
+                        FailureResponse::Retry => {}
+                        FailureResponse::Abandon => {
+                            return Err(RunError::TaskAbandoned {
+                                task: id,
+                                attempts: k.attempts,
+                                at: now,
+                            });
                         }
-                        running.remove(&(f, seq));
-                        free += p;
-                        scheduler.on_complete(id, now);
-                        let newly = source.on_complete(id, completion_index);
-                        completion_index += 1;
-                        pending_releases.extend(newly);
                     }
-                    // Clock arrivals landing exactly at this instant join
-                    // the same decision round.
-                    pending_releases.extend(source.timed_releases(now));
+                } else {
+                    completed.insert(id);
+                    scheduler.on_complete(id, now);
+                    let newly = source.on_complete(id, completion_index);
+                    completion_index += 1;
+                    pending_releases.extend(newly);
                 }
             }
+            // Clock arrivals landing exactly at this instant join the
+            // same decision round.
+            pending_releases.extend(source.timed_releases(now));
+        } else if next_arrival == Some(tick) {
+            pending_releases.extend(source.timed_releases(now));
         }
+        // A pure capacity event needs no bookkeeping: the next loop
+        // iteration re-reads the capacity and re-consults the scheduler.
     }
 
-    RunResult {
+    Ok(RunResult {
         schedule,
         revealed,
         revealed_ids: id_map,
         procs,
         release_times,
         decisions,
-    }
+        faults: log,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rigid_dag::{DagBuilder, Instance, StaticSource};
+    use rigid_dag::{DagBuilder, Instance, StaticSource, TaskSpec};
 
     /// A trivial greedy scheduler: start any ready task that fits, FIFO.
     struct Greedy {
@@ -264,6 +444,7 @@ mod tests {
         assert_eq!(result.makespan(), Time::from_int(4));
         assert_eq!(result.revealed.len(), 3);
         assert_eq!(result.release_times[&inst.graph().find_by_label("b").unwrap()], Time::from_int(2));
+        assert!(result.faults.is_clean(4));
     }
 
     #[test]
@@ -299,6 +480,23 @@ mod tests {
         let _ = run(&mut src, &mut sched);
     }
 
+    #[test]
+    fn lazy_scheduler_is_typed_deadlock() {
+        let inst = chain();
+        let mut src = StaticSource::new(inst);
+        let err = try_run(&mut src, &mut Lazy).unwrap_err();
+        match err {
+            RunError::SchedulerViolation(SchedulerViolation::Deadlock {
+                unstarted,
+                capacity,
+            }) => {
+                assert_eq!(unstarted.len(), 2); // a and c released, neither started
+                assert_eq!(capacity, 4);
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
     /// A scheduler that oversubscribes.
     struct Hog {
         pending: Vec<TaskId>,
@@ -332,9 +530,27 @@ mod tests {
     }
 
     #[test]
+    fn oversubscription_is_typed_error() {
+        let inst = DagBuilder::new()
+            .task("x", Time::from_int(1), 3)
+            .task("y", Time::from_int(1), 3)
+            .build(4);
+        let mut src = StaticSource::new(inst);
+        let mut sched = Hog { pending: Vec::new() };
+        let err = try_run(&mut src, &mut sched).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::SchedulerViolation(SchedulerViolation::Oversubscribed {
+                needed: 3,
+                free: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn timed_releases_respected() {
         use rigid_dag::source::TimedSource;
-        use rigid_dag::TaskSpec;
         // Two unit tasks arriving at t=0 and t=5 on one processor: the
         // second cannot start before 5 even though the machine idles
         // from 1 to 5.
@@ -357,7 +573,6 @@ mod tests {
     #[test]
     fn timed_arrival_during_execution() {
         use rigid_dag::source::TimedSource;
-        use rigid_dag::TaskSpec;
         // Arrival at t=1 while a long task runs: it queues and starts on
         // the other processor immediately at its release.
         let mut src = TimedSource::new(
@@ -401,5 +616,349 @@ mod tests {
         let result = run(&mut src, &mut sched);
         result.schedule.assert_valid(&inst);
         assert_eq!(result.makespan(), Time::from_int(3));
+    }
+
+    // ---- source-contract violations (one test per variant) ----
+
+    /// A source that misbehaves in a configurable way.
+    struct RogueSource {
+        procs: u32,
+        /// Releases handed out by `initial`.
+        initial: Vec<ReleasedTask>,
+        /// Releases handed out on the first completion.
+        after_first: Vec<ReleasedTask>,
+    }
+
+    impl InstanceSource for RogueSource {
+        fn procs(&self) -> u32 {
+            self.procs
+        }
+        fn initial(&mut self) -> Vec<ReleasedTask> {
+            std::mem::take(&mut self.initial)
+        }
+        fn on_complete(&mut self, _task: TaskId, _ci: u64) -> Vec<ReleasedTask> {
+            std::mem::take(&mut self.after_first)
+        }
+        fn expects_more(&self) -> bool {
+            false
+        }
+    }
+
+    fn rel(id: u32, t: i64, p: u32, preds: Vec<TaskId>) -> ReleasedTask {
+        ReleasedTask {
+            id: TaskId(id),
+            spec: TaskSpec::new(Time::from_int(t), p),
+            preds,
+        }
+    }
+
+    #[test]
+    fn duplicate_release_is_source_violation() {
+        let mut src = RogueSource {
+            procs: 2,
+            initial: vec![rel(0, 1, 1, vec![]), rel(0, 1, 1, vec![])],
+            after_first: vec![],
+        };
+        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::SourceViolation(SourceViolation::DuplicateRelease { task: TaskId(0) })
+        );
+    }
+
+    #[test]
+    fn premature_release_is_source_violation() {
+        // Task 1 names task 0 as predecessor while 0 is still running.
+        let mut src = RogueSource {
+            procs: 2,
+            initial: vec![
+                rel(0, 2, 1, vec![]),
+                rel(1, 1, 1, vec![TaskId(0)]),
+            ],
+            after_first: vec![],
+        };
+        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::SourceViolation(SourceViolation::PrematureRelease {
+                task: TaskId(1),
+                pred: TaskId(0),
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_predecessor_is_source_violation() {
+        let mut src = RogueSource {
+            procs: 2,
+            initial: vec![rel(0, 1, 1, vec![TaskId(7)])],
+            after_first: vec![],
+        };
+        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::SourceViolation(SourceViolation::UnknownPredecessor {
+                task: TaskId(0),
+                pred: TaskId(7),
+            })
+        );
+    }
+
+    #[test]
+    fn oversubscribing_release_is_source_violation() {
+        let mut src = RogueSource {
+            procs: 2,
+            initial: vec![rel(0, 1, 3, vec![])],
+            after_first: vec![],
+        };
+        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::SourceViolation(SourceViolation::Oversubscription {
+                task: TaskId(0),
+                needed: 3,
+                platform: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn withheld_tasks_is_source_violation() {
+        /// Claims more tasks are coming but never releases them.
+        struct Withholder {
+            released: bool,
+        }
+        impl InstanceSource for Withholder {
+            fn procs(&self) -> u32 {
+                1
+            }
+            fn initial(&mut self) -> Vec<ReleasedTask> {
+                self.released = true;
+                vec![rel(0, 1, 1, vec![])]
+            }
+            fn on_complete(&mut self, _task: TaskId, _ci: u64) -> Vec<ReleasedTask> {
+                Vec::new()
+            }
+            fn expects_more(&self) -> bool {
+                true
+            }
+        }
+        let mut src = Withholder { released: false };
+        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::SourceViolation(SourceViolation::WithheldTasks)
+        );
+    }
+
+    #[test]
+    fn legal_release_at_completion_still_works() {
+        // Sanity: the RogueSource scaffolding itself passes when used
+        // legally (release after the predecessor completes).
+        let mut src = RogueSource {
+            procs: 2,
+            initial: vec![rel(0, 2, 1, vec![])],
+            after_first: vec![rel(1, 1, 1, vec![TaskId(0)])],
+        };
+        let result = try_run(&mut src, &mut Greedy::new()).unwrap();
+        assert_eq!(result.makespan(), Time::from_int(3));
+    }
+
+    // ---- fault-model behavior ----
+
+    use crate::fault::Attempt as FateAttempt;
+
+    /// Fails configured (task, attempt) pairs at half their nominal
+    /// time; everything else completes.
+    struct FailPlan {
+        fail: Vec<(TaskId, u32)>,
+    }
+    impl FaultModel for FailPlan {
+        fn on_start(
+            &mut self,
+            task: TaskId,
+            attempt: u32,
+            _now: Time,
+            nominal: Time,
+            _procs: u32,
+        ) -> FateAttempt {
+            if self.fail.contains(&(task, attempt)) {
+                FateAttempt::Fail { after: nominal.div_int(2) }
+            } else {
+                FateAttempt::Complete
+            }
+        }
+    }
+
+    /// A greedy scheduler that retries failed tasks.
+    struct RetryGreedy {
+        inner: Greedy,
+        widths: HashMap<TaskId, u32>,
+    }
+    impl RetryGreedy {
+        fn new() -> Self {
+            RetryGreedy { inner: Greedy::new(), widths: HashMap::new() }
+        }
+    }
+    impl OnlineScheduler for RetryGreedy {
+        fn name(&self) -> &'static str {
+            "retry-greedy"
+        }
+        fn on_release(&mut self, t: &ReleasedTask, now: Time) {
+            self.widths.insert(t.id, t.spec.procs);
+            self.inner.on_release(t, now);
+        }
+        fn on_complete(&mut self, t: TaskId, now: Time) {
+            self.inner.on_complete(t, now);
+        }
+        fn on_failure(&mut self, t: TaskId, _now: Time) -> FailureResponse {
+            self.inner.queue.push((t, self.widths[&t]));
+            FailureResponse::Retry
+        }
+        fn decide(&mut self, now: Time, free: u32) -> Vec<TaskId> {
+            self.inner.decide(now, free)
+        }
+    }
+
+    #[test]
+    fn failed_task_reruns_in_full() {
+        // One task t=2 failing once at t=1: re-execution starts at 1,
+        // completes at 3. The placement records the successful attempt.
+        let inst = DagBuilder::new().task("a", Time::from_int(2), 1).build(1);
+        let mut src = StaticSource::new(inst);
+        let mut faults = FailPlan { fail: vec![(TaskId(0), 0)] };
+        let result =
+            try_run_faulty(&mut src, &mut RetryGreedy::new(), &mut faults).unwrap();
+        assert_eq!(result.makespan(), Time::from_int(3));
+        let p = result.schedule.placement(TaskId(0)).unwrap();
+        assert_eq!(p.start, Time::ONE);
+        assert_eq!(p.finish, Time::from_int(3));
+        assert_eq!(result.faults.failures, 1);
+        assert_eq!(result.faults.wasted_area, Time::ONE);
+        assert_eq!(result.faults.attempts.len(), 2); // the failure + the retry
+    }
+
+    #[test]
+    fn failure_without_retry_support_is_abandonment() {
+        let inst = DagBuilder::new().task("a", Time::from_int(2), 1).build(1);
+        let mut src = StaticSource::new(inst);
+        let mut faults = FailPlan { fail: vec![(TaskId(0), 0)] };
+        let err =
+            try_run_faulty(&mut src, &mut Greedy::new(), &mut faults).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::TaskAbandoned { task: TaskId(0), attempts: 1, at: Time::ONE }
+        );
+    }
+
+    #[test]
+    fn straggler_inflates_placement_and_log() {
+        struct Straggle;
+        impl FaultModel for Straggle {
+            fn on_start(
+                &mut self,
+                _task: TaskId,
+                _attempt: u32,
+                _now: Time,
+                nominal: Time,
+                _procs: u32,
+            ) -> FateAttempt {
+                FateAttempt::Inflated { actual: nominal.mul_int(2) }
+            }
+        }
+        let inst = DagBuilder::new().task("a", Time::from_int(2), 2).build(2);
+        let mut src = StaticSource::new(inst);
+        let result =
+            try_run_faulty(&mut src, &mut Greedy::new(), &mut Straggle).unwrap();
+        assert_eq!(result.makespan(), Time::from_int(4));
+        assert_eq!(result.faults.inflated_area, Time::from_int(4)); // 2 extra × 2 procs
+        assert!(!result.faults.is_clean(2));
+    }
+
+    /// Capacity dips to `cap` during `[from, until)`.
+    struct Dip {
+        from: Time,
+        until: Time,
+        cap: u32,
+    }
+    impl FaultModel for Dip {
+        fn on_start(
+            &mut self,
+            _task: TaskId,
+            _attempt: u32,
+            _now: Time,
+            _nominal: Time,
+            _procs: u32,
+        ) -> FateAttempt {
+            FateAttempt::Complete
+        }
+        fn capacity(&mut self, now: Time, platform: u32) -> u32 {
+            if self.from <= now && now < self.until {
+                self.cap
+            } else {
+                platform
+            }
+        }
+        fn next_capacity_event(&self, now: Time) -> Option<Time> {
+            [self.from, self.until].into_iter().find(|&t| t > now)
+        }
+    }
+
+    #[test]
+    fn capacity_dip_delays_starts_and_recovers() {
+        // Two 2-wide unit tasks on P=2; capacity dips to 0 over [0, 3).
+        // Nothing can start until 3; both run back to back after.
+        let inst = DagBuilder::new()
+            .task("x", Time::ONE, 2)
+            .task("y", Time::ONE, 2)
+            .build(2);
+        let mut src = StaticSource::new(inst);
+        let mut dip = Dip { from: Time::ZERO, until: Time::from_int(3), cap: 0 };
+        let result = try_run_faulty(&mut src, &mut Greedy::new(), &mut dip).unwrap();
+        assert_eq!(result.makespan(), Time::from_int(5));
+        assert_eq!(result.faults.min_capacity, 0);
+    }
+
+    #[test]
+    fn permanent_capacity_loss_is_deadlock_with_capacity() {
+        // Capacity 0 forever: the scheduler can never start anything and
+        // no recovery event exists — a typed deadlock naming capacity 0.
+        struct Dead;
+        impl FaultModel for Dead {
+            fn on_start(
+                &mut self,
+                _t: TaskId,
+                _a: u32,
+                _n: Time,
+                _nom: Time,
+                _p: u32,
+            ) -> FateAttempt {
+                FateAttempt::Complete
+            }
+            fn capacity(&mut self, _now: Time, _platform: u32) -> u32 {
+                0
+            }
+        }
+        let inst = DagBuilder::new().task("a", Time::ONE, 1).build(1);
+        let mut src = StaticSource::new(inst);
+        let err = try_run_faulty(&mut src, &mut Greedy::new(), &mut Dead).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::SchedulerViolation(SchedulerViolation::Deadlock { capacity: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn retry_preserves_spec() {
+        // Across a failure and retry, the re-execution uses the same
+        // (t, p): the final placement spans exactly t with p procs.
+        let inst = DagBuilder::new().task("a", Time::from_int(3), 2).build(4);
+        let mut src = StaticSource::new(inst.clone());
+        let mut faults = FailPlan { fail: vec![(TaskId(0), 0)] };
+        let result =
+            try_run_faulty(&mut src, &mut RetryGreedy::new(), &mut faults).unwrap();
+        let p = result.schedule.placement(TaskId(0)).unwrap();
+        assert_eq!(p.finish - p.start, Time::from_int(3));
+        assert_eq!(p.procs, 2);
     }
 }

@@ -48,6 +48,8 @@
 
 pub mod assign;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod gantt;
 pub mod metrics;
 pub mod offline;
@@ -56,7 +58,9 @@ pub mod svg;
 pub mod trace;
 pub mod scheduler;
 
-pub use engine::{run, RunResult};
+pub use engine::{run, try_run, try_run_faulty, RunResult};
+pub use error::{RunError, SchedulerViolation, SourceViolation};
+pub use fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
 pub use offline::OfflineScheduler;
 pub use schedule::{Placement, Schedule, Violation};
-pub use scheduler::OnlineScheduler;
+pub use scheduler::{FailureResponse, OnlineScheduler};

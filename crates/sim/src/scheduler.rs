@@ -38,6 +38,47 @@ pub trait OnlineScheduler {
     /// started simultaneously at `now`; their total demand must not exceed
     /// `free_procs`.
     fn decide(&mut self, now: Time, free_procs: u32) -> Vec<TaskId>;
+
+    /// A running attempt of `task` just failed (fail-stop under an active
+    /// fault model); all its work is lost and it must be re-executed in
+    /// full. Return [`FailureResponse::Retry`] to take the task back as
+    /// ready (it may be started again from a later `decide`), or
+    /// [`FailureResponse::Abandon`] to give up, which aborts the run with
+    /// [`RunError::TaskAbandoned`](crate::RunError::TaskAbandoned).
+    ///
+    /// The default declines: schedulers are fault-oblivious unless they
+    /// opt in.
+    fn on_failure(&mut self, task: TaskId, now: Time) -> FailureResponse {
+        let _ = (task, now);
+        FailureResponse::Abandon
+    }
+}
+
+/// A scheduler's answer to a failed task attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureResponse {
+    /// Re-queue the task; the scheduler will start it again later.
+    Retry,
+    /// Give up on the task (aborts the run).
+    Abandon,
+}
+
+impl<T: OnlineScheduler + ?Sized> OnlineScheduler for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn on_release(&mut self, task: &ReleasedTask, now: Time) {
+        (**self).on_release(task, now)
+    }
+    fn on_complete(&mut self, task: TaskId, now: Time) {
+        (**self).on_complete(task, now)
+    }
+    fn decide(&mut self, now: Time, free_procs: u32) -> Vec<TaskId> {
+        (**self).decide(now, free_procs)
+    }
+    fn on_failure(&mut self, task: TaskId, now: Time) -> FailureResponse {
+        (**self).on_failure(task, now)
+    }
 }
 
 /// A scheduler together with run bookkeeping; used by generic harnesses.

@@ -1,0 +1,163 @@
+//! Offline stand-in for `criterion`. Bench targets compile and run:
+//! each registered benchmark executes its body a handful of times and
+//! prints a coarse wall-clock figure. No statistics, warm-up, or
+//! reports — just enough to keep `cargo bench`/`--all-targets` green
+//! without the real crate.
+
+pub use std::hint::black_box;
+
+use std::fmt;
+use std::time::Instant;
+
+const ITERS: u32 = 3;
+
+/// Entry point handed to each bench target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample size (recorded, not used).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into() }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, |b| body(b));
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group's throughput unit (ignored).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a parameterized benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| body(b, input));
+        self
+    }
+
+    /// Runs a plain named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| body(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, mut body: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { elapsed_nanos: 0 };
+    let start = Instant::now();
+    body(&mut bencher);
+    let total = start.elapsed();
+    eprintln!("bench {label}: {total:?} ({ITERS} iterations)");
+}
+
+/// Passed to the bench body; `iter` runs the measured closure.
+pub struct Bencher {
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Runs the routine a fixed small number of times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed_nanos += start.elapsed().as_nanos();
+    }
+}
+
+/// Identifies a parameterized benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a bench group: either the struct-like form with `name`,
+/// `config`, and `targets`, or the simple positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

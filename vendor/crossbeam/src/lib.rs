@@ -1,0 +1,51 @@
+//! Offline stand-in for `crossbeam`, exposing the scoped-thread API
+//! this workspace uses (`crossbeam::scope(|s| s.spawn(|_| ..))`) on
+//! top of `std::thread::scope`.
+//!
+//! Divergence from the real crate: if a spawned thread panics, the
+//! panic propagates out of [`scope`] directly (std semantics) instead
+//! of being returned as `Err`, so the usual `.expect(..)` never fires —
+//! the test still fails, with the original panic message.
+
+/// Spawns scoped threads; joins them all before returning.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Handle for spawning threads tied to the enclosing [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread; the closure receives this scope handle (the
+    /// crossbeam convention — call sites typically bind it `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn threads_run_and_join() {
+        let hits = AtomicU32::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| hits.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,380 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! A hand-rolled token-tree parser (no `syn`/`quote`) that supports the
+//! shapes this workspace uses: non-generic named-field structs, tuple
+//! structs, and enums with unit / named-field / tuple variants. Generated
+//! code follows serde's JSON conventions: structs serialize as objects,
+//! one-field tuple structs as their inner value, unit variants as the
+//! variant name string, and data variants as `{"Name": ...}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Parsed {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from the token cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses the field names of a braced field list, skipping types (commas
+/// inside angle brackets do not split fields).
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip `:` then the type up to a top-level comma.
+        debug_assert!(matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'));
+        i += 1;
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the elements of a parenthesized tuple field list.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                i += 1;
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                s
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to past the next top-level comma (also skips `= expr`
+        // discriminants, which this workspace does not use).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the serde stub derive does not support generic types (deriving for {name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Parsed::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                _ => panic!("derive: enum {name} without a body"),
+            };
+            Parsed::Enum { name, variants }
+        }
+        other => panic!("derive: cannot derive for {other} {name}"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Parsed::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let mut b = String::from("let mut obj = ::serde::Value::object();\n");
+                    for f in &fields {
+                        b.push_str(&format!(
+                            "obj.insert(\"{f}\", ::serde::Serialize::serialize(&self.{f}));\n"
+                        ));
+                    }
+                    b.push_str("obj");
+                    b
+                }
+                Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut body = String::from(
+                            "let mut inner = ::serde::Value::object();\n",
+                        );
+                        for f in fields {
+                            body.push_str(&format!(
+                                "inner.insert(\"{f}\", ::serde::Serialize::serialize({f}));\n"
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "let mut obj = ::serde::Value::object();\n\
+                             obj.insert(\"{vn}\", inner);\nobj"
+                        ));
+                        arms.push_str(&format!("{name}::{vn} {{ {pat} }} => {{ {body} }}\n"));
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let pat = binds.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({pat}) => {{\n\
+                             let mut obj = ::serde::Value::object();\n\
+                             obj.insert(\"{vn}\", {inner});\nobj\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("derive(Serialize): generated code parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Parsed::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let mut inits = String::new();
+                    for f in &fields {
+                        inits.push_str(&format!(
+                            "{f}: match value.field(\"{f}\") {{\n\
+                             Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+                             None => ::serde::Deserialize::missing(\"{f}\")?,\n\
+                             }},\n"
+                        ));
+                    }
+                    format!("Ok({name} {{ {inits} }})")
+                }
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::deserialize(value)?))")
+                }
+                Shape::Tuple(n) => {
+                    let mut items = String::new();
+                    for i in 0..n {
+                        items.push_str(&format!(
+                            "::serde::Deserialize::deserialize(&items[{i}])?,"
+                        ));
+                    }
+                    format!(
+                        "let items = value.elements()?;\n\
+                         if items.len() != {n} {{\n\
+                         return Err(::serde::Error::new(format!(\n\
+                         \"expected array of {n} for {name}, found {{}}\", items.len())));\n\
+                         }}\n\
+                         Ok({name}({items}))"
+                    )
+                }
+                Shape::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n}}\n}}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: match inner.field(\"{f}\") {{\n\
+                                 Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+                                 None => ::serde::Deserialize::missing(\"{f}\")?,\n\
+                                 }},\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{ {inits} }}),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::deserialize(inner)?)")
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let items = inner.elements()?; {name}::{vn}({}) }}",
+                                items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => return Ok({body}),\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::serde::Value::Str(s) = value {{\n\
+                 match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::serde::Value::Object(entries) = value {{\n\
+                 if let Some((tag, inner)) = entries.first() {{\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{ {data_arms} _ => {{}} }}\n\
+                 }}\n\
+                 }}\n\
+                 Err(::serde::Error::new(format!(\n\
+                 \"no variant of {name} matches {{}}\", value.kind())))\n\
+                 }}\n}}"
+            )
+        }
+    };
+    out.parse().expect("derive(Deserialize): generated code parses")
+}
