@@ -10,7 +10,7 @@ use crate::priority::Priority;
 use rigid_dag::{ReleasedTask, TaskId};
 use rigid_sim::{FailureResponse, OnlineScheduler};
 use rigid_time::Time;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// One entry in the ready list.
 struct Ready {
@@ -23,8 +23,10 @@ struct Ready {
 pub struct ListScheduler {
     priority: Priority,
     /// Ready tasks kept sorted best-first; FIFO among equal keys
-    /// (insertion keeps stability).
-    ready: Vec<Ready>,
+    /// (insertion keeps stability). A deque so that the common decide
+    /// pattern — take a run of tasks from the best end — is O(1) per
+    /// start instead of a full-list shift.
+    ready: VecDeque<Ready>,
     /// Keys of started tasks, kept so a failed task can re-enter the
     /// ready list with its original priority.
     keys: HashMap<TaskId, (crate::priority::PriorityKey, u32)>,
@@ -35,7 +37,7 @@ impl ListScheduler {
     pub fn new(priority: Priority) -> Self {
         ListScheduler {
             priority,
-            ready: Vec::new(),
+            ready: VecDeque::new(),
             keys: HashMap::new(),
         }
     }
@@ -47,12 +49,15 @@ impl ListScheduler {
 
     fn insert_sorted(&mut self, id: TaskId, procs: u32, key: crate::priority::PriorityKey) {
         // Position before the first strictly-worse entry; equal keys keep
-        // release order (stable FIFO tiebreak).
-        let pos = self
-            .ready
-            .iter()
-            .position(|other| key.better_than(&other.key))
-            .unwrap_or(self.ready.len());
+        // release order (stable FIFO tiebreak). The list is sorted
+        // best-first, so the strictly-worse entries form a suffix and a
+        // backward scan finds the same position as a forward one without
+        // walking the better prefix — O(1) for FIFO, where keys are equal
+        // and the scan stops at the end immediately.
+        let mut pos = self.ready.len();
+        while pos > 0 && key.better_than(&self.ready[pos - 1].key) {
+            pos -= 1;
+        }
         self.ready.insert(pos, Ready { key, id, procs });
     }
 }
@@ -78,16 +83,25 @@ impl OnlineScheduler for ListScheduler {
     fn on_complete(&mut self, _task: TaskId, _now: Time) {}
 
     fn decide(&mut self, _now: Time, mut free: u32) -> Vec<TaskId> {
+        // Every rigid task needs ≥ 1 processor, so a saturated machine
+        // (or an empty list) can never yield a start — skip the scan,
+        // and stop scanning the moment the machine saturates mid-pass:
+        // the tail could only have been skipped anyway, so the started
+        // set and the remaining order are identical to a full scan.
+        if free == 0 || self.ready.is_empty() {
+            return Vec::new();
+        }
         let mut out = Vec::new();
-        self.ready.retain(|r| {
-            if r.procs <= free {
-                free -= r.procs;
+        let mut i = 0;
+        while i < self.ready.len() && free > 0 {
+            if self.ready[i].procs <= free {
+                free -= self.ready[i].procs;
+                let r = self.ready.remove(i).expect("index in range");
                 out.push(r.id);
-                false
             } else {
-                true
+                i += 1;
             }
-        });
+        }
         out
     }
 

@@ -22,5 +22,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 
 pub use harness::{Sched, Table};

@@ -1,0 +1,506 @@
+//! Engine performance pipeline: the scenario matrix behind
+//! `catbatch bench --json`.
+//!
+//! Runs a fixed, seeded matrix — the paper's figure instances plus large
+//! random DAGs at n ∈ {10³, 10⁴, 10⁵} — and reports per scenario the
+//! wall-clock time, engine event throughput, peak ready-set size and the
+//! makespan / lower-bound ratio. The full tier also times the 10⁵-task
+//! scenario on the frozen pre-refactor engine
+//! ([`rigid_sim::reference`]) so the event-driven speedup is recorded in
+//! every report.
+//!
+//! The JSON shape (`BENCH_engine.json`, schema
+//! `catbatch-bench-engine/v1`) is documented in `docs/performance.md`;
+//! [`check_regression`] is the guard CI's `bench-smoke` job runs against
+//! the committed snapshot in `results/bench_baseline.json`.
+
+use crate::harness::Sched;
+use rigid_baselines::Priority;
+use rigid_dag::gen::{self, LengthDist, ProcDist, TaskSampler};
+use rigid_dag::{analysis, paper, Instance, ReleasedTask, StaticSource, TaskId};
+use rigid_sim::{engine, reference, OnlineScheduler, RunResult};
+use rigid_time::Time;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Verbatim pre-refactor ASAP FIFO ready-list code, frozen for the
+/// hot-path comparison: a forward `position` scan per insert and a full
+/// `retain` rescan per `decide`, with no saturation early-outs — exactly
+/// what `rigid_baselines::ListScheduler` did before this ready-list was
+/// made incremental (deque + early-break decide). Starts the same tasks
+/// in the same order as the current FIFO scheduler (the comparison
+/// asserts identical schedules); only the per-event cost differs.
+struct PreRefactorFifo {
+    ready: Vec<(TaskId, u32)>,
+    keys: std::collections::HashMap<TaskId, u32>,
+}
+
+impl PreRefactorFifo {
+    fn new() -> Self {
+        PreRefactorFifo {
+            ready: Vec::new(),
+            keys: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl OnlineScheduler for PreRefactorFifo {
+    fn name(&self) -> &'static str {
+        "pre-refactor-list-fifo"
+    }
+    fn on_release(&mut self, task: &ReleasedTask, _now: Time) {
+        self.keys.insert(task.id, task.spec.procs);
+        // FIFO keys are all equal, so nothing is strictly worse and the
+        // scan always walks the whole list — the pre-refactor cost.
+        let pos = self
+            .ready
+            .iter()
+            .position(|_| false)
+            .unwrap_or(self.ready.len());
+        self.ready.insert(pos, (task.id, task.spec.procs));
+    }
+    fn on_complete(&mut self, _task: TaskId, _now: Time) {}
+    fn decide(&mut self, _now: Time, mut free: u32) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        self.ready.retain(|&(id, p)| {
+            if p <= free {
+                free -= p;
+                out.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+    fn on_failure(&mut self, task: TaskId, _now: Time) -> rigid_sim::FailureResponse {
+        let p = *self.keys.get(&task).expect("failed task was released");
+        let pos = self
+            .ready
+            .iter()
+            .position(|_| false)
+            .unwrap_or(self.ready.len());
+        self.ready.insert(pos, (task, p));
+        rigid_sim::FailureResponse::Retry
+    }
+}
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "catbatch-bench-engine/v1";
+
+/// The scenario name whose reference-engine comparison gates the
+/// event-driven speedup claim (the 10⁵-task random DAG).
+pub const REFERENCE_SCENARIO: &str = "rand-chains-n100000";
+
+/// One entry of the scenario matrix: a seeded instance plus the
+/// scheduler to drive it with.
+pub struct Scenario {
+    /// Stable name, used to match scenarios across reports.
+    pub name: &'static str,
+    /// Generator family (or `paper-*` for figure instances).
+    pub family: &'static str,
+    /// Scheduler to run.
+    pub sched: Sched,
+    /// How many timed repetitions (the minimum wall time is kept).
+    pub reps: u32,
+    build: fn() -> Instance,
+}
+
+impl Scenario {
+    /// Builds the (deterministic) instance.
+    pub fn instance(&self) -> Instance {
+        (self.build)()
+    }
+}
+
+fn fig1() -> Instance {
+    paper::intro_example(64, Time::from_ratio(1, 1000))
+}
+
+fn fig3() -> Instance {
+    paper::figure3()
+}
+
+fn rand_n1000() -> Instance {
+    gen::layered(101, 40, 25, &TaskSampler::default_mix(), 64)
+}
+
+fn rand_n10000() -> Instance {
+    gen::chains(107, 100, 100, &TaskSampler::default_mix(), 64)
+}
+
+fn rand_n100000() -> Instance {
+    // 25 000 width-1 chains of 4 on P = 1000: graph width ≫ P, so the
+    // ready set holds ~24 000 blocked tasks for the whole run — the
+    // regime where the pre-refactor per-event linear rescans are
+    // quadratic and the incremental hot path is not.
+    let sampler = TaskSampler {
+        length: LengthDist::Uniform { min: 0.5, max: 4.0 },
+        procs: ProcDist::Uniform { min: 1, max: 1 },
+    };
+    gen::chains(113, 25_000, 4, &sampler, 1000)
+}
+
+/// The fixed scenario matrix. The `quick` tier (CI smoke) stops at
+/// n = 10³; the full tier adds the 10⁴- and 10⁵-task DAGs.
+pub fn scenarios(quick: bool) -> Vec<Scenario> {
+    let mut m = vec![
+        Scenario {
+            name: "fig3-catbatch",
+            family: "paper-figure3",
+            sched: Sched::CatBatch,
+            reps: 20,
+            build: fig3,
+        },
+        Scenario {
+            name: "fig3-strip",
+            family: "paper-figure3",
+            sched: Sched::CatBatchStrip,
+            reps: 20,
+            build: fig3,
+        },
+        Scenario {
+            name: "fig1-asap-trap",
+            family: "paper-figure1",
+            sched: Sched::List(Priority::Fifo),
+            reps: 10,
+            build: fig1,
+        },
+        Scenario {
+            name: "rand-layered-n1000",
+            family: "layered",
+            sched: Sched::CatBatch,
+            reps: 5,
+            build: rand_n1000,
+        },
+    ];
+    if !quick {
+        m.push(Scenario {
+            name: "rand-chains-n10000",
+            family: "chains",
+            sched: Sched::List(Priority::Fifo),
+            reps: 3,
+            build: rand_n10000,
+        });
+        m.push(Scenario {
+            name: REFERENCE_SCENARIO,
+            family: "chains",
+            sched: Sched::List(Priority::Fifo),
+            reps: 3,
+            build: rand_n100000,
+        });
+    }
+    m
+}
+
+/// Measured numbers for one scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario name (matches across reports).
+    pub name: String,
+    /// Generator family.
+    pub family: String,
+    /// Task count.
+    pub n: usize,
+    /// Platform size.
+    pub procs: u32,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Best wall-clock time over the repetitions, milliseconds.
+    pub wall_ms: f64,
+    /// Engine events (releases + completions + failures).
+    pub events: u64,
+    /// `events / wall` — the headline throughput number.
+    pub events_per_sec: f64,
+    /// Largest ready set the engine ever held.
+    pub peak_ready: u64,
+    /// Achieved makespan.
+    pub makespan: f64,
+    /// `max(area/P, critical path)` lower bound.
+    pub lower_bound: f64,
+    /// `makespan / lower_bound`.
+    pub makespan_ratio: f64,
+    /// Instance max/min task length ratio (`None` for degenerate
+    /// instances — serialized as `null`).
+    pub length_ratio: Option<f64>,
+}
+
+/// The event-driven vs pre-refactor hot-path comparison (full tier
+/// only). "Hot path" is what the tentpole rewrote end to end: the
+/// engine loop *and* the per-event ready-list maintenance. The
+/// reference run therefore pairs the frozen stepping engine
+/// ([`rigid_sim::reference`]) with the frozen pre-refactor ready-list
+/// code; `engine_only_ms` isolates the engine swap alone (reference
+/// engine, current scheduler) so both effects are visible.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RefComparison {
+    /// Which scenario was compared.
+    pub scenario: String,
+    /// Event-driven hot path wall time, milliseconds.
+    pub event_driven_ms: f64,
+    /// Pre-refactor hot path (stepping engine + rescanning ready list)
+    /// wall time, milliseconds.
+    pub reference_ms: f64,
+    /// `reference_ms / event_driven_ms` — the headline speedup.
+    pub speedup: f64,
+    /// Stepping engine with the *current* scheduler, milliseconds —
+    /// isolates the engine rewrite from the ready-list rewrite.
+    pub engine_only_ms: f64,
+    /// `engine_only_ms / event_driven_ms`.
+    pub engine_only_speedup: f64,
+}
+
+/// A complete `BENCH_engine.json` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Whether this is the quick (CI smoke) tier.
+    pub quick: bool,
+    /// One entry per scenario, matrix order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Present on the full tier: the 10⁵-task engine comparison.
+    pub reference: Option<RefComparison>,
+}
+
+/// Times `reps` runs of `engine_fn` against fresh source/scheduler
+/// pairs (instance cloning and scheduler construction stay outside the
+/// timed region) and returns the best wall time with the last result.
+fn time_best(
+    inst: &Instance,
+    reps: u32,
+    mut build_sched: impl FnMut() -> Box<dyn OnlineScheduler>,
+    engine_fn: impl Fn(&mut StaticSource, &mut dyn OnlineScheduler) -> RunResult,
+) -> (f64, RunResult) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let mut source = StaticSource::new(inst.clone());
+        let mut sched = build_sched();
+        let t0 = Instant::now();
+        let r = engine_fn(&mut source, sched.as_mut());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn run_scenario(sc: &Scenario) -> ScenarioResult {
+    let inst = sc.instance();
+    let stats = analysis::stats(&inst);
+    let lb = analysis::lower_bound(&inst);
+    let (wall_ms, result) = time_best(
+        &inst,
+        sc.reps,
+        || sc.sched.build(inst.procs()),
+        |src, sched| engine::run(src, sched),
+    );
+    // Validate once, outside the timed region.
+    result.schedule.assert_valid(&inst);
+    ScenarioResult {
+        name: sc.name.to_string(),
+        family: sc.family.to_string(),
+        n: inst.len(),
+        procs: inst.procs(),
+        scheduler: sc.sched.name(),
+        wall_ms,
+        events: result.stats.events,
+        events_per_sec: result.stats.events as f64 / (wall_ms / 1e3),
+        peak_ready: result.stats.peak_ready,
+        makespan: result.makespan().to_f64(),
+        lower_bound: lb.to_f64(),
+        makespan_ratio: result.makespan().ratio(lb).to_f64(),
+        length_ratio: stats.length_ratio(),
+    }
+}
+
+fn run_reference_comparison(sc: &Scenario, event_driven_ms: f64) -> RefComparison {
+    let inst = sc.instance();
+    let (reference_ms, old_result) = time_best(
+        &inst,
+        sc.reps,
+        || Box::new(PreRefactorFifo::new()),
+        |src, sched| reference::run(src, sched),
+    );
+    let (engine_only_ms, _) = time_best(
+        &inst,
+        sc.reps,
+        || sc.sched.build(inst.procs()),
+        |src, sched| reference::run(src, sched),
+    );
+    // Both hot paths must agree before a speedup is worth reporting.
+    let mut sched = sc.sched.build(inst.procs());
+    let new = engine::run(&mut StaticSource::new(inst.clone()), sched.as_mut());
+    assert_eq!(
+        new.schedule, old_result.schedule,
+        "hot paths diverge on {}",
+        sc.name
+    );
+    RefComparison {
+        scenario: sc.name.to_string(),
+        event_driven_ms,
+        reference_ms,
+        speedup: reference_ms / event_driven_ms,
+        engine_only_ms,
+        engine_only_speedup: engine_only_ms / event_driven_ms,
+    }
+}
+
+/// Runs the matrix and assembles the report. The full tier
+/// (`quick = false`) also times [`REFERENCE_SCENARIO`] on the frozen
+/// pre-refactor engine and records the speedup.
+pub fn run(quick: bool) -> BenchReport {
+    let matrix = scenarios(quick);
+    let results: Vec<ScenarioResult> = matrix.iter().map(run_scenario).collect();
+    let reference = if quick {
+        None
+    } else {
+        matrix
+            .iter()
+            .zip(&results)
+            .find(|(sc, _)| sc.name == REFERENCE_SCENARIO)
+            .map(|(sc, r)| run_reference_comparison(sc, r.wall_ms))
+    };
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        quick,
+        scenarios: results,
+        reference,
+    }
+}
+
+/// Renders the report as an aligned text table (the non-`--json` view).
+pub fn render_table(report: &BenchReport) -> String {
+    let mut t = crate::harness::Table::new(&[
+        "scenario",
+        "n",
+        "sched",
+        "wall_ms",
+        "events/s",
+        "peak_ready",
+        "ratio",
+    ]);
+    for r in &report.scenarios {
+        t.row(vec![
+            r.name.clone(),
+            r.n.to_string(),
+            r.scheduler.clone(),
+            format!("{:.3}", r.wall_ms),
+            format!("{:.0}", r.events_per_sec),
+            r.peak_ready.to_string(),
+            format!("{:.3}", r.makespan_ratio),
+        ]);
+    }
+    let mut out = t.render();
+    if let Some(rc) = &report.reference {
+        out.push_str(&format!(
+            "\npre-refactor hot path on {}: {:.0} ms vs {:.0} ms \
+             event-driven ({:.1}x speedup; engine swap alone {:.1}x)\n",
+            rc.scenario, rc.reference_ms, rc.event_driven_ms, rc.speedup, rc.engine_only_speedup
+        ));
+    }
+    out
+}
+
+/// Compares a fresh report against a committed baseline and fails if any
+/// shared scenario's event throughput dropped by more than `factor`
+/// (CI uses 2.0: a >2x regression on same-name scenarios fails the
+/// `bench-smoke` job; the loose factor absorbs machine-to-machine
+/// noise).
+pub fn check_regression(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    factor: f64,
+) -> Result<(), String> {
+    assert!(factor >= 1.0, "regression factor must be >= 1");
+    if baseline.schema != SCHEMA {
+        return Err(format!(
+            "baseline schema {:?} does not match {SCHEMA:?}",
+            baseline.schema
+        ));
+    }
+    let mut compared = 0usize;
+    for cur in &current.scenarios {
+        let Some(base) = baseline.scenarios.iter().find(|b| b.name == cur.name) else {
+            continue;
+        };
+        compared += 1;
+        if cur.events_per_sec * factor < base.events_per_sec {
+            return Err(format!(
+                "{}: events/sec regressed more than {factor}x \
+                 (baseline {:.0}, current {:.0})",
+                cur.name, base.events_per_sec, cur.events_per_sec
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("no scenario in common with the baseline".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_tier_runs_and_reports() {
+        let report = run(true);
+        assert_eq!(report.schema, SCHEMA);
+        assert!(report.quick);
+        assert!(report.reference.is_none());
+        assert_eq!(report.scenarios.len(), scenarios(true).len());
+        for r in &report.scenarios {
+            assert!(r.events > 0, "{}: no events", r.name);
+            assert!(r.events_per_sec > 0.0, "{}: zero throughput", r.name);
+            assert!(r.peak_ready >= 1, "{}: empty ready set", r.name);
+            assert!(
+                r.makespan_ratio >= 1.0 - 1e-9,
+                "{}: beat the lower bound ({})",
+                r.name,
+                r.makespan_ratio
+            );
+            assert!(r.length_ratio.is_some(), "{}: degenerate stats", r.name);
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = run(true);
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.schema, report.schema);
+        assert_eq!(back.scenarios.len(), report.scenarios.len());
+        assert_eq!(back.scenarios[0].events, report.scenarios[0].events);
+    }
+
+    #[test]
+    fn regression_check_accepts_self_and_rejects_collapse() {
+        let report = run(true);
+        check_regression(&report, &report, 2.0).expect("self-comparison passes");
+        let mut slow = report.clone();
+        for r in &mut slow.scenarios {
+            r.events_per_sec /= 10.0;
+        }
+        assert!(check_regression(&slow, &report, 2.0).is_err());
+        // A baseline with disjoint scenarios is an error, not a pass.
+        let mut foreign = report.clone();
+        for r in &mut foreign.scenarios {
+            r.name = format!("other-{}", r.name);
+        }
+        assert!(check_regression(&report, &foreign, 2.0).is_err());
+    }
+
+    #[test]
+    fn matrix_covers_required_sizes() {
+        let names: Vec<&str> = scenarios(false).iter().map(|s| s.name).collect();
+        assert!(names.contains(&"rand-layered-n1000"));
+        assert!(names.contains(&"rand-chains-n10000"));
+        assert!(names.contains(&REFERENCE_SCENARIO));
+        let big = scenarios(false)
+            .into_iter()
+            .find(|s| s.name == REFERENCE_SCENARIO)
+            .unwrap();
+        assert_eq!(big.instance().len(), 100_000);
+    }
+}

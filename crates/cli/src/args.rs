@@ -89,6 +89,21 @@ pub enum Command {
         /// Retry budget per task (failures tolerated before abandoning).
         retries: u32,
     },
+    /// `bench [--json] [--quick] [--out PATH] [--check BASELINE]` — run
+    /// the fixed perf scenario matrix.
+    Bench {
+        /// Write the machine-readable report (`BENCH_engine.json` by
+        /// default) instead of only printing the table.
+        json: bool,
+        /// Run only the small scenario tier (CI smoke).
+        quick: bool,
+        /// Output path for the JSON report (implies `--json` semantics
+        /// for where the file goes; default `BENCH_engine.json`).
+        out: String,
+        /// Baseline report to compare events/sec against; the command
+        /// fails on a >2x regression for any shared scenario.
+        check: Option<String>,
+    },
     /// `verify <file> <schedule.json>` — validate an externally produced
     /// schedule against an instance.
     Verify {
@@ -124,6 +139,11 @@ USAGE:
       retrying each task up to R times; reports retries, wasted area
       and makespan inflation vs the fault-free run
       defaults: --seed 42 --trials 5 --fail 200 --straggle 0 --retries 3
+  catbatch bench [--json] [--quick] [--out PATH] [--check BASELINE]
+      run the fixed perf scenario matrix (paper figures + random DAGs
+      at n = 1e3/1e4/1e5) and print the throughput table; --json also
+      writes BENCH_engine.json (or PATH); --quick runs the small tier;
+      --check fails on a >2x events/sec regression vs a baseline report
   catbatch convert <file.rigid> --dot
       emit Graphviz DOT to stdout
   catbatch verify <file.rigid> <schedule.json>
@@ -274,6 +294,27 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 retries,
             })
         }
+        Some("bench") => {
+            let mut json = false;
+            let mut quick = false;
+            let mut out = "BENCH_engine.json".to_string();
+            let mut check = None;
+            while let Some(a) = it.next() {
+                match a {
+                    "--json" => json = true,
+                    "--quick" => quick = true,
+                    "--out" => out = take_value(a, &mut it)?,
+                    "--check" => check = Some(take_value(a, &mut it)?),
+                    other => return Err(format!("unexpected argument {other:?}")),
+                }
+            }
+            Ok(Command::Bench {
+                json,
+                quick,
+                out,
+                check,
+            })
+        }
         Some("verify") => {
             let file = it.next().ok_or("verify needs an instance file")?;
             let schedule = it.next().ok_or("verify needs a schedule JSON file")?;
@@ -344,6 +385,33 @@ mod tests {
     fn help_default() {
         assert_eq!(parse_args::<&str>(&[]).unwrap(), Command::Help);
         assert_eq!(parse_args(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_bench() {
+        assert_eq!(
+            parse_args(&["bench"]).unwrap(),
+            Command::Bench {
+                json: false,
+                quick: false,
+                out: "BENCH_engine.json".into(),
+                check: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&[
+                "bench", "--json", "--quick", "--out", "b.json", "--check", "base.json",
+            ])
+            .unwrap(),
+            Command::Bench {
+                json: true,
+                quick: true,
+                out: "b.json".into(),
+                check: Some("base.json".into()),
+            }
+        );
+        assert!(parse_args(&["bench", "--out"]).is_err());
+        assert!(parse_args(&["bench", "extra"]).is_err());
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub fn run_command(
                 &inst, *scheduler, *seed, *trials, *fail, *straggle, *retries,
             ))
         }
+        Command::Bench {
+            json,
+            quick,
+            out,
+            check,
+        } => bench_cmd(*json, *quick, out, check.as_deref(), read_file),
         Command::Verify { file, schedule } => {
             let inst = load(file, read_file)?;
             let text = read_file(schedule)?;
@@ -237,15 +243,19 @@ fn faults_cmd(
 fn analyze_cmd(inst: &Instance) -> String {
     let stats = analysis::stats(inst);
     let mut out = String::new();
+    let ratio = match stats.length_ratio() {
+        Some(r) => format!("{r:.3}"),
+        None => "n/a".to_string(),
+    };
     out.push_str(&format!(
-        "n              : {}\nP              : {}\nedges          : {}\narea A         : {}\ncritical path C: {}\nlower bound Lb : {}\nM/m            : {:.3}\n\n",
+        "n              : {}\nP              : {}\nedges          : {}\narea A         : {}\ncritical path C: {}\nlower bound Lb : {}\nM/m            : {}\n\n",
         stats.n,
         stats.procs,
         inst.graph().edge_count(),
         stats.area,
         stats.critical_path,
         stats.lower_bound,
-        stats.length_ratio(),
+        ratio,
     ));
     out.push_str("attribute table (paper Definitions 1-3):\n");
     out.push_str(&render_attribute_table(&attribute_table(inst)));
@@ -280,6 +290,40 @@ fn generate_cmd(family: &str, n: usize, procs: u32, seed: u64) -> Result<String,
         other => return Err(format!("unknown family {other:?}")),
     };
     Ok(format::write(&inst))
+}
+
+/// Runs the perf scenario matrix. The report is always printed as a
+/// table; `--json` additionally writes the machine-readable document to
+/// `out` (the trajectory file `BENCH_engine.json` by default — the one
+/// place this CLI writes a file, since the trajectory is the product).
+/// With `--check`, the run fails if events/sec regressed more than 2x
+/// against the given baseline report for any shared scenario.
+fn bench_cmd(
+    json: bool,
+    quick: bool,
+    out: &str,
+    check: Option<&str>,
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    let report = rigid_bench::perf::run(quick);
+    let mut text = rigid_bench::perf::render_table(&report);
+    if json {
+        let doc = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        std::fs::write(out, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write {out:?}: {e}"))?;
+        text.push_str(&format!("\nwrote {out}\n"));
+    }
+    if let Some(base_path) = check {
+        let base_text = read_file(base_path)?;
+        let baseline: rigid_bench::perf::BenchReport = serde_json::from_str(&base_text)
+            .map_err(|e| format!("{base_path}: invalid baseline JSON: {e}"))?;
+        rigid_bench::perf::check_regression(&report, &baseline, 2.0)?;
+        text.push_str(&format!(
+            "regression check vs {base_path}: OK (threshold 2x)\n"
+        ));
+    }
+    Ok(text)
 }
 
 #[cfg(test)]
@@ -327,6 +371,24 @@ mod tests {
         let out = run_command(&cmd, &fs).unwrap();
         assert!(out.contains("\"Released\""));
         assert!(out.contains("\"Completed\""));
+    }
+
+    #[test]
+    fn bench_quick_prints_table_without_touching_disk() {
+        let cmd = parse_args(&["bench", "--quick"]).unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        assert!(out.contains("fig3-catbatch"));
+        assert!(out.contains("rand-layered-n1000"));
+        assert!(out.contains("events/s"));
+        assert!(!out.contains("wrote"));
+    }
+
+    #[test]
+    fn bench_check_rejects_bad_baseline() {
+        let cmd =
+            parse_args(&["bench", "--quick", "--check", "sample.rigid"]).unwrap();
+        let err = run_command(&cmd, &fs).unwrap_err();
+        assert!(err.contains("invalid baseline JSON"), "{err}");
     }
 
     #[test]

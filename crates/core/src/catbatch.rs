@@ -189,6 +189,16 @@ impl OnlineScheduler for CatBatch {
     }
 
     fn decide(&mut self, now: Time, mut free: u32) -> Vec<TaskId> {
+        // With an active batch, a saturated machine or a drained pool can
+        // never yield a start (every task needs ≥ 1 processor) — skip the
+        // pool scan. Batch *selection* must not be skipped: it has to
+        // happen at the instant the previous batch closed so the record's
+        // `started_at` is right.
+        if let Some(cur) = &self.current {
+            if free == 0 || cur.pool.is_empty() {
+                return Vec::new();
+            }
+        }
         // Select a batch if none is active (Algorithm 3, line 10: find
         // B_ζmin containing the tasks of smallest category).
         if self.current.is_none() {

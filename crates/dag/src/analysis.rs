@@ -88,8 +88,15 @@ pub struct InstanceStats {
 
 impl InstanceStats {
     /// The length ratio `M/m` as an `f64` (reporting only).
-    pub fn length_ratio(&self) -> f64 {
-        self.max_len.to_f64() / self.min_len.to_f64()
+    ///
+    /// Returns `None` when the ratio is undefined — an empty instance
+    /// (`n == 0`) or a degenerate shortest task (`m == 0`) — instead of
+    /// dividing by zero and leaking `inf`/`NaN` into reports.
+    pub fn length_ratio(&self) -> Option<f64> {
+        if self.n == 0 || !self.min_len.is_positive() {
+            return None;
+        }
+        Some(self.max_len.to_f64() / self.min_len.to_f64())
     }
 }
 
@@ -289,7 +296,37 @@ mod tests {
         assert_eq!(s.lower_bound, Time::from_ratio(35, 8));
         assert_eq!(s.min_len, t((0, 500)));
         assert_eq!(s.max_len, t((3, 0)));
-        assert!((s.length_ratio() - 6.0).abs() < 1e-12);
+        assert!((s.length_ratio().unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_ratio_undefined_cases() {
+        // Degenerate stats (empty instance or zero-length shortest task)
+        // must yield None, never inf/NaN.
+        let empty = InstanceStats {
+            n: 0,
+            procs: 4,
+            area: Time::ZERO,
+            critical_path: Time::ZERO,
+            lower_bound: Time::ZERO,
+            min_len: Time::ZERO,
+            max_len: Time::ZERO,
+        };
+        assert_eq!(empty.length_ratio(), None);
+        let zero_m = InstanceStats {
+            n: 3,
+            min_len: Time::ZERO,
+            max_len: Time::from_int(2),
+            ..empty.clone()
+        };
+        assert_eq!(zero_m.length_ratio(), None);
+        let fine = InstanceStats {
+            n: 3,
+            min_len: Time::ONE,
+            max_len: Time::from_int(2),
+            ..empty
+        };
+        assert_eq!(fine.length_ratio(), Some(2.0));
     }
 
     #[test]
@@ -334,6 +371,51 @@ mod tests {
             ]
         );
         assert_eq!(peak_width(inst.graph()), 6);
+    }
+
+    #[test]
+    fn width_profile_halfopen_at_shared_instant() {
+        // Back-to-back tasks sharing an instant: a(2p) on [0,1), b(3p) on
+        // [1,2). With the half-open convention the boundary instant t=1
+        // carries only b's width (3), never a+b (5). A third independent
+        // task e(1p) on [0,2) keeps the profile non-trivial.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(TaskSpec::new(Time::from_int(1), 2).with_label("a"));
+        let b = g.add_task(TaskSpec::new(Time::from_int(1), 3).with_label("b"));
+        let _e = g.add_task(TaskSpec::new(Time::from_int(2), 1).with_label("e"));
+        g.add_edge(a, b);
+        let profile = width_profile(&g);
+        assert_eq!(
+            profile,
+            vec![
+                (Time::ZERO, 3),        // a(2) + e(1)
+                (Time::from_int(1), 4), // a ends, b(3) starts: 3 + 1, not 6
+                (Time::from_int(2), 0),
+            ]
+        );
+        assert_eq!(peak_width(&g), 4);
+
+        // A pure chain of equal-width tasks must have a flat profile: the
+        // shared instants between consecutive tasks never spike.
+        let mut chain = TaskGraph::new();
+        let mut prev = None;
+        for _ in 0..5 {
+            let id = chain.add_task(TaskSpec::new(Time::from_int(1), 2));
+            if let Some(p) = prev {
+                chain.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        let flat = width_profile(&chain);
+        assert!(flat[..flat.len() - 1].iter().all(|&(_, w)| w == 2));
+        assert_eq!(peak_width(&chain), 2);
+    }
+
+    #[test]
+    fn width_profile_empty_graph() {
+        let g = TaskGraph::new();
+        assert_eq!(width_profile(&g), Vec::new());
+        assert_eq!(peak_width(&g), 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::collections::VecDeque;
 ///
 /// Edges point from a predecessor to its successor: an edge `(i, j)` means
 /// task `j` cannot start until task `i` completes (the paper's Section 3.1).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TaskGraph {
     specs: Vec<TaskSpec>,
     preds: Vec<Vec<TaskId>>,

@@ -11,6 +11,28 @@
 //! completes exactly `t` after it started — unless an explicit
 //! [`FaultModel`] says otherwise (fail-stop, stragglers, capacity dips).
 //!
+//! # Event-driven hot path
+//!
+//! The simulation loop is event-driven (see `docs/performance.md` for
+//! the full design):
+//!
+//! * a [`BinaryHeap`] min-queue of attempt completion/failure events,
+//!   keyed on the exact `rigid-time` instant with a `(start_seq, TaskId)`
+//!   tie-break — `start_seq` preserves the legacy processing order for
+//!   simultaneous events (start order), and the task id is the final
+//!   total-order fallback, so runs are bit-for-bit deterministic;
+//! * dense per-task state in a `Vec` indexed by the source's task ids
+//!   (the source contract allocates dense ids), replacing the hash maps
+//!   of the original stepping engine;
+//! * incremental free-capacity and ready-set accounting — `decide()` is
+//!   consulted only at release/completion/failure/capacity events, and
+//!   duplicate-start detection uses a per-round stamp instead of a
+//!   freshly allocated set.
+//!
+//! The pre-refactor stepping engine is preserved verbatim in
+//! [`crate::reference`]; differential tests assert both produce
+//! identical [`RunResult`]s.
+//!
 //! Entry points: [`try_run`] (fault-free, returns `Result`),
 //! [`try_run_faulty`] (with a fault model), and [`run`] — a thin wrapper
 //! that panics on any violation, for tests and callers that treat
@@ -20,9 +42,25 @@ use crate::error::{RunError, SchedulerViolation, SourceViolation};
 use crate::fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
 use crate::schedule::Schedule;
 use crate::scheduler::{FailureResponse, OnlineScheduler};
-use rigid_dag::{InstanceSource, ReleasedTask, TaskGraph, TaskId};
+use rigid_dag::{InstanceSource, TaskGraph, TaskId};
 use rigid_time::Time;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// Counters the event-driven engine maintains while it runs, reported
+/// in [`RunResult::stats`] and consumed by the `rigid-bench` perf
+/// pipeline (`BENCH_engine.json`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Simulation events processed: task releases plus attempt
+    /// completions and failures. (Pure capacity-change wake-ups are not
+    /// counted; they carry no task state.)
+    pub events: u64,
+    /// Peak size of the ready set — tasks released but neither running
+    /// nor complete — observed at any decision point.
+    pub peak_ready: u64,
+}
 
 /// The outcome of a run: the schedule, reconstruction of everything the
 /// source revealed, per-task release instants, and the fault log.
@@ -51,6 +89,10 @@ pub struct RunResult {
     pub decisions: u64,
     /// What the fault model did (empty and clean for fault-free runs).
     pub faults: FaultLog,
+    /// Engine counters (events processed, peak ready-set size). The
+    /// [`crate::reference`] engine leaves this at its default; every
+    /// other `RunResult` field is engine-independent.
+    pub stats: EngineStats,
 }
 
 impl RunResult {
@@ -60,26 +102,53 @@ impl RunResult {
     }
 }
 
-/// Internal record of a released task.
-struct Known {
+/// Dense per-task engine state, indexed by the source's task id. The
+/// source contract allocates dense ids, so a `Vec` replaces the hash
+/// maps of the stepping engine on the hot path.
+#[derive(Clone)]
+struct TaskState {
+    released: bool,
+    started: bool,
+    completed: bool,
     spec_procs: u32,
     spec_time: Time,
-    started: bool,
     attempts: u32,
+    /// Decide-round stamp for duplicate-start detection (0 = unseen;
+    /// rounds start at 1).
+    seen: u64,
+    /// This task's id in the rebuilt `revealed` graph.
+    graph_id: TaskId,
+    release_time: Time,
 }
 
-/// Why a running entry will leave the running set.
-enum RunningOutcome {
-    /// Completes at the keyed instant.
-    Completes,
-    /// Fails at the keyed instant (fail-stop).
-    Fails,
+impl TaskState {
+    fn unreleased() -> Self {
+        TaskState {
+            released: false,
+            started: false,
+            completed: false,
+            spec_procs: 0,
+            spec_time: Time::ZERO,
+            attempts: 0,
+            seen: 0,
+            graph_id: TaskId(0),
+            release_time: Time::ZERO,
+        }
+    }
 }
 
-struct Running {
+/// A queued attempt completion/failure. The derived order — `(at, seq,
+/// id, …)` — is the heap key: `seq` (start order) reproduces the legacy
+/// stepping engine's processing order for simultaneous events, and `id`
+/// is the total-order fallback that keeps the key deterministic even
+/// though `seq` is already unique.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    at: Time,
+    seq: u64,
     id: TaskId,
     procs: u32,
-    outcome: RunningOutcome,
+    fails: bool,
 }
 
 /// Runs `scheduler` against `source` until every revealed task completes.
@@ -128,28 +197,27 @@ pub fn try_run_faulty(
 
     let mut schedule = Schedule::new(procs);
     let mut revealed = TaskGraph::new();
-    // The source allocates dense ids; map them to the rebuilt graph (ids
-    // must arrive in order for the rebuild to preserve them).
-    let mut id_map: HashMap<TaskId, TaskId> = HashMap::new();
-    let mut release_times: BTreeMap<TaskId, Time> = BTreeMap::new();
 
-    let mut known: HashMap<TaskId, Known> = HashMap::new();
-    let mut completed: HashSet<TaskId> = HashSet::new();
-    let mut running: BTreeMap<(Time, u64), Running> = BTreeMap::new();
+    let mut states: Vec<TaskState> = Vec::new();
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut start_seq: u64 = 0;
     let mut completion_index: u64 = 0;
     let mut used: u32 = 0;
+    let mut ready: u64 = 0;
+    let mut round: u64 = 0;
     let mut decisions: u64 = 0;
+    let mut stats = EngineStats::default();
     let mut log = FaultLog::new(procs);
 
     let mut now = Time::ZERO;
 
-    let mut pending_releases: Vec<ReleasedTask> = source.initial();
+    let mut pending_releases = source.initial();
 
     loop {
         // Ingest releases, validating the source contract first.
         for rel in pending_releases.drain(..) {
-            if known.contains_key(&rel.id) {
+            let idx = rel.id.index();
+            if states.get(idx).is_some_and(|s| s.released) {
                 return Err(SourceViolation::DuplicateRelease { task: rel.id }.into());
             }
             if rel.spec.procs > procs {
@@ -161,35 +229,51 @@ pub fn try_run_faulty(
                 .into());
             }
             for &p in &rel.preds {
-                if !id_map.contains_key(&p) {
-                    return Err(
-                        SourceViolation::UnknownPredecessor { task: rel.id, pred: p }.into()
-                    );
-                }
-                if !completed.contains(&p) {
-                    return Err(
-                        SourceViolation::PrematureRelease { task: rel.id, pred: p }.into()
-                    );
+                match states.get(p.index()) {
+                    Some(s) if s.released => {
+                        if !s.completed {
+                            return Err(SourceViolation::PrematureRelease {
+                                task: rel.id,
+                                pred: p,
+                            }
+                            .into());
+                        }
+                    }
+                    _ => {
+                        return Err(
+                            SourceViolation::UnknownPredecessor { task: rel.id, pred: p }.into()
+                        )
+                    }
                 }
             }
-            let new_id = revealed.add_task(rel.spec.clone());
-            id_map.insert(rel.id, new_id);
-            for &p in &rel.preds {
-                let mapped = id_map[&p];
-                revealed.add_edge(mapped, new_id);
-            }
-            release_times.insert(rel.id, now);
-            known.insert(
-                rel.id,
-                Known {
-                    spec_procs: rel.spec.procs,
-                    spec_time: rel.spec.time,
-                    started: false,
-                    attempts: 0,
-                },
-            );
+            // The scheduler cannot observe engine state, so notifying it
+            // before the graph rebuild is equivalent to the legacy order
+            // — and lets the spec move into the graph without a clone.
             scheduler.on_release(&rel, now);
+            let rigid_dag::ReleasedTask { id: _, spec, preds } = rel;
+            let (spec_procs, spec_time) = (spec.procs, spec.time);
+            let new_id = revealed.add_task(spec);
+            for &p in &preds {
+                revealed.add_edge(states[p.index()].graph_id, new_id);
+            }
+            if idx >= states.len() {
+                states.resize(idx + 1, TaskState::unreleased());
+            }
+            states[idx] = TaskState {
+                released: true,
+                started: false,
+                completed: false,
+                spec_procs,
+                spec_time,
+                attempts: 0,
+                seen: 0,
+                graph_id: new_id,
+                release_time: now,
+            };
+            ready += 1;
+            stats.events += 1;
         }
+        stats.peak_ready = stats.peak_ready.max(ready);
 
         // Ask the scheduler what to start now. Repeat until it passes,
         // since starting a task may change what it wants (some schedulers
@@ -204,103 +288,110 @@ pub fn try_run_faulty(
             if to_start.is_empty() {
                 break;
             }
-            let mut seen = HashSet::new();
+            round += 1;
             for id in to_start {
-                if !seen.insert(id) {
+                let s = match states.get_mut(id.index()) {
+                    Some(s) if s.released => s,
+                    // The legacy engine rejects an unknown id before its
+                    // duplicate check can ever re-encounter it, so
+                    // UnknownTask takes precedence here too.
+                    _ => return Err(SchedulerViolation::UnknownTask { task: id }.into()),
+                };
+                if s.seen == round {
                     return Err(SchedulerViolation::DuplicateDecision { task: id }.into());
                 }
-                let k = match known.get_mut(&id) {
-                    Some(k) => k,
-                    None => return Err(SchedulerViolation::UnknownTask { task: id }.into()),
-                };
-                if k.started || completed.contains(&id) {
+                s.seen = round;
+                if s.started || s.completed {
                     return Err(SchedulerViolation::DoubleStart { task: id }.into());
                 }
-                if k.spec_procs > avail {
+                if s.spec_procs > avail {
                     return Err(SchedulerViolation::Oversubscribed {
                         task: id,
-                        needed: k.spec_procs,
+                        needed: s.spec_procs,
                         free: avail,
                     }
                     .into());
                 }
-                k.started = true;
-                let attempt = k.attempts;
-                k.attempts += 1;
-                avail -= k.spec_procs;
-                used += k.spec_procs;
+                s.started = true;
+                let attempt = s.attempts;
+                s.attempts += 1;
+                let (spec_time, spec_procs) = (s.spec_time, s.spec_procs);
+                avail -= spec_procs;
+                used += spec_procs;
+                ready -= 1;
 
-                let fate = faults.on_start(id, attempt, now, k.spec_time, k.spec_procs);
-                let (leaves_at, outcome) = match fate {
+                let fate = faults.on_start(id, attempt, now, spec_time, spec_procs);
+                let (leaves_at, fails) = match fate {
                     Attempt::Complete => {
-                        let finish = now + k.spec_time;
-                        schedule.place(id, now, finish, k.spec_procs);
+                        let finish = now + spec_time;
+                        schedule.place(id, now, finish, spec_procs);
                         if attempt > 0 {
                             log.attempts.push(AttemptRecord {
                                 task: id,
                                 attempt,
                                 start: now,
                                 end: finish,
-                                procs: k.spec_procs,
+                                procs: spec_procs,
                                 outcome: AttemptOutcome::Completed,
                             });
                         }
-                        (finish, RunningOutcome::Completes)
+                        (finish, false)
                     }
                     Attempt::Inflated { actual } => {
                         assert!(
-                            actual >= k.spec_time,
-                            "fault model shrank task {id}: {actual} < nominal {}",
-                            k.spec_time
+                            actual >= spec_time,
+                            "fault model shrank task {id}: {actual} < nominal {spec_time}"
                         );
                         let finish = now + actual;
-                        schedule.place(id, now, finish, k.spec_procs);
-                        log.inflated_area +=
-                            (actual - k.spec_time).mul_int(k.spec_procs as i64);
+                        schedule.place(id, now, finish, spec_procs);
+                        log.inflated_area += (actual - spec_time).mul_int(spec_procs as i64);
                         log.attempts.push(AttemptRecord {
                             task: id,
                             attempt,
                             start: now,
                             end: finish,
-                            procs: k.spec_procs,
+                            procs: spec_procs,
                             outcome: AttemptOutcome::Inflated {
-                                nominal: k.spec_time,
+                                nominal: spec_time,
                                 actual,
                             },
                         });
-                        (finish, RunningOutcome::Completes)
+                        (finish, false)
                     }
                     Attempt::Fail { after } => {
                         assert!(
-                            after.is_positive() && after <= k.spec_time,
+                            after.is_positive() && after <= spec_time,
                             "fault model failed task {id} outside (0, t]: {after}"
                         );
                         let dies_at = now + after;
                         log.failures += 1;
-                        log.wasted_area += after.mul_int(k.spec_procs as i64);
+                        log.wasted_area += after.mul_int(spec_procs as i64);
                         log.attempts.push(AttemptRecord {
                             task: id,
                             attempt,
                             start: now,
                             end: dies_at,
-                            procs: k.spec_procs,
+                            procs: spec_procs,
                             outcome: AttemptOutcome::Failed {
-                                nominal: k.spec_time,
+                                nominal: spec_time,
                                 ran: after,
                             },
                         });
-                        (dies_at, RunningOutcome::Fails)
+                        (dies_at, true)
                     }
                 };
-                running.insert(
-                    (leaves_at, start_seq),
-                    Running { id, procs: k.spec_procs, outcome },
-                );
+                events.push(Reverse(Event {
+                    at: leaves_at,
+                    seq: start_seq,
+                    id,
+                    procs: spec_procs,
+                    fails,
+                }));
                 start_seq += 1;
             }
         }
 
-        let next_event = running.keys().next().map(|&(t, _)| t);
+        let next_event = events.peek().map(|&Reverse(e)| e.at);
         let next_arrival = source.next_timed_release(now);
         let next_capacity = faults.next_capacity_event(now);
 
@@ -315,13 +406,13 @@ pub fn try_run_faulty(
             // again. If tasks remain unstarted the scheduler is stuck; if
             // the source still holds completion-driven tasks it will
             // never release them.
-            let mut unstarted: Vec<TaskId> = known
+            let unstarted: Vec<TaskId> = states
                 .iter()
-                .filter(|(_, k)| !k.started)
-                .map(|(id, _)| *id)
+                .enumerate()
+                .filter(|(_, s)| s.released && !s.started)
+                .map(|(i, _)| TaskId(i as u32))
                 .collect();
             if !unstarted.is_empty() {
-                unstarted.sort();
                 return Err(SchedulerViolation::Deadlock { unstarted, capacity }.into());
             }
             if source.expects_more() {
@@ -332,33 +423,32 @@ pub fn try_run_faulty(
 
         now = tick;
         if next_event == Some(tick) {
-            // Process every completion/failure at this instant before
-            // deciding again.
-            while let Some((&(t, seq), entry)) = running.iter().next() {
-                if t != now {
-                    break;
-                }
-                let (id, p) = (entry.id, entry.procs);
-                let fails = matches!(entry.outcome, RunningOutcome::Fails);
-                running.remove(&(t, seq));
-                used -= p;
-                if fails {
-                    let k = known.get_mut(&id).expect("running task is known");
-                    k.started = false;
-                    match scheduler.on_failure(id, now) {
+            // Drain every completion/failure at this instant before
+            // deciding again, in (instant, start_seq) order.
+            while events.peek().is_some_and(|&Reverse(e)| e.at == now) {
+                let Reverse(e) = events.pop().expect("peeked event");
+                used -= e.procs;
+                stats.events += 1;
+                if e.fails {
+                    let s = &mut states[e.id.index()];
+                    s.started = false;
+                    ready += 1;
+                    stats.peak_ready = stats.peak_ready.max(ready);
+                    let attempts = s.attempts;
+                    match scheduler.on_failure(e.id, now) {
                         FailureResponse::Retry => {}
                         FailureResponse::Abandon => {
                             return Err(RunError::TaskAbandoned {
-                                task: id,
-                                attempts: k.attempts,
+                                task: e.id,
+                                attempts,
                                 at: now,
                             });
                         }
                     }
                 } else {
-                    completed.insert(id);
-                    scheduler.on_complete(id, now);
-                    let newly = source.on_complete(id, completion_index);
+                    states[e.id.index()].completed = true;
+                    scheduler.on_complete(e.id, now);
+                    let newly = source.on_complete(e.id, completion_index);
                     completion_index += 1;
                     pending_releases.extend(newly);
                 }
@@ -373,6 +463,18 @@ pub fn try_run_faulty(
         // iteration re-reads the capacity and re-consults the scheduler.
     }
 
+    // Bulk-build the id-keyed result maps from the dense state (ids
+    // ascend, so both maps are built in key order).
+    let mut id_map: HashMap<TaskId, TaskId> = HashMap::with_capacity(revealed.len());
+    let mut release_times: BTreeMap<TaskId, Time> = BTreeMap::new();
+    for (i, s) in states.iter().enumerate() {
+        if s.released {
+            let id = TaskId(i as u32);
+            id_map.insert(id, s.graph_id);
+            release_times.insert(id, s.release_time);
+        }
+    }
+
     Ok(RunResult {
         schedule,
         revealed,
@@ -381,13 +483,14 @@ pub fn try_run_faulty(
         release_times,
         decisions,
         faults: log,
+        stats,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rigid_dag::{DagBuilder, Instance, StaticSource, TaskSpec};
+    use rigid_dag::{DagBuilder, Instance, ReleasedTask, StaticSource, TaskSpec};
 
     /// A trivial greedy scheduler: start any ready task that fits, FIFO.
     struct Greedy {
@@ -455,6 +558,16 @@ mod tests {
         let result = run(&mut src, &mut sched);
         assert_eq!(result.revealed.len(), inst.graph().len());
         assert_eq!(result.revealed.edge_count(), inst.graph().edge_count());
+    }
+
+    #[test]
+    fn stats_count_events_and_peak_ready() {
+        let inst = chain();
+        let result = run(&mut StaticSource::new(inst), &mut Greedy::new());
+        // 3 releases + 3 completions.
+        assert_eq!(result.stats.events, 6);
+        // a and c are ready together at t=0 before either starts.
+        assert_eq!(result.stats.peak_ready, 2);
     }
 
     /// A scheduler that refuses to schedule anything: must be detected as
@@ -548,6 +661,72 @@ mod tests {
         ));
     }
 
+    /// Returns each id as its own one-element decide round, then repeats
+    /// the same id — the engine must flag the repeat as `DoubleStart`
+    /// (already started), and a same-round repeat as `DuplicateDecision`.
+    #[test]
+    fn duplicate_decision_same_round_detected() {
+        struct Dup {
+            ids: Vec<TaskId>,
+        }
+        impl OnlineScheduler for Dup {
+            fn name(&self) -> &'static str {
+                "dup"
+            }
+            fn on_release(&mut self, t: &ReleasedTask, _now: Time) {
+                self.ids.push(t.id);
+            }
+            fn on_complete(&mut self, _t: TaskId, _now: Time) {}
+            fn decide(&mut self, _now: Time, _free: u32) -> Vec<TaskId> {
+                // Return the first released id twice in ONE round.
+                self.ids.first().map(|&id| vec![id, id]).unwrap_or_default()
+            }
+        }
+        let inst = DagBuilder::new().task("a", Time::ONE, 1).build(2);
+        let err = try_run(&mut StaticSource::new(inst), &mut Dup { ids: vec![] }).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::SchedulerViolation(SchedulerViolation::DuplicateDecision {
+                task: TaskId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn double_start_across_rounds_detected() {
+        struct Again {
+            id: Option<TaskId>,
+            rounds: u32,
+        }
+        impl OnlineScheduler for Again {
+            fn name(&self) -> &'static str {
+                "again"
+            }
+            fn on_release(&mut self, t: &ReleasedTask, _now: Time) {
+                self.id = Some(t.id);
+            }
+            fn on_complete(&mut self, _t: TaskId, _now: Time) {}
+            fn decide(&mut self, _now: Time, _free: u32) -> Vec<TaskId> {
+                self.rounds += 1;
+                if self.rounds <= 2 {
+                    vec![self.id.unwrap()]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let inst = DagBuilder::new().task("a", Time::from_int(5), 1).build(2);
+        let err = try_run(
+            &mut StaticSource::new(inst),
+            &mut Again { id: None, rounds: 0 },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::SchedulerViolation(SchedulerViolation::DoubleStart { task: TaskId(0) })
+        );
+    }
+
     #[test]
     fn timed_releases_respected() {
         use rigid_dag::source::TimedSource;
@@ -598,6 +777,7 @@ mod tests {
         let result = run(&mut src, &mut sched);
         assert_eq!(result.makespan(), Time::ZERO);
         assert!(result.schedule.is_empty());
+        assert_eq!(result.stats, EngineStats::default());
     }
 
     #[test]

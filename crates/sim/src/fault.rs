@@ -118,7 +118,7 @@ pub enum AttemptOutcome {
 
 /// One noteworthy task attempt (every failure, every straggler, and
 /// every retry — clean first attempts are not recorded).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AttemptRecord {
     /// The task.
     pub task: TaskId,
@@ -136,7 +136,7 @@ pub struct AttemptRecord {
 
 /// Everything the fault model did during a run, aggregated for
 /// bound analysis.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultLog {
     /// Noteworthy attempts in start order (see [`AttemptRecord`]).
     pub attempts: Vec<AttemptRecord>,

@@ -53,12 +53,13 @@ pub mod fault;
 pub mod gantt;
 pub mod metrics;
 pub mod offline;
+pub mod reference;
 pub mod schedule;
 pub mod svg;
 pub mod trace;
 pub mod scheduler;
 
-pub use engine::{run, try_run, try_run_faulty, RunResult};
+pub use engine::{run, try_run, try_run_faulty, EngineStats, RunResult};
 pub use error::{RunError, SchedulerViolation, SourceViolation};
 pub use fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
 pub use offline::OfflineScheduler;

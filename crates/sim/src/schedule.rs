@@ -32,7 +32,7 @@ impl Placement {
 }
 
 /// A complete schedule on `P` processors.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Schedule {
     procs: u32,
     placements: BTreeMap<TaskId, Placement>,

@@ -43,7 +43,7 @@ mod time;
 
 pub use parse::ParseTimeError;
 pub use pow2::Pow2;
-pub use rational::Rational;
+pub use rational::{OverflowError, Rational};
 pub use time::Time;
 
 #[cfg(test)]

@@ -26,14 +26,54 @@ pub struct Rational {
 }
 
 /// Greatest common divisor of two non-negative integers (Euclid).
-fn gcd(mut a: i128, mut b: i128) -> i128 {
-    debug_assert!(a >= 0 && b >= 0);
+///
+/// Operates on `u128` so that `i128::MIN.unsigned_abs()` (= `2^127`,
+/// not representable as `i128`) is handled without wraparound.
+fn gcd(mut a: u128, mut b: u128) -> u128 {
     while b != 0 {
         let r = a % b;
         a = b;
         b = r;
     }
     a
+}
+
+/// Signed GCD helper for the common case where both magnitudes fit `i128`.
+fn gcd_i(a: i128, b: i128) -> i128 {
+    gcd(a.unsigned_abs(), b.unsigned_abs()) as i128
+}
+
+/// A checked rational operation overflowed: the exact result exists
+/// mathematically but its reduced numerator or denominator does not fit
+/// in `i128`. Returned by the `try_*` arithmetic on [`Rational`] (and
+/// re-exported through `rigid_time`); the operator impls (`+`, `*`, …)
+/// panic with this error's message instead of silently wrapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OverflowError {
+    /// The operation that overflowed (`"add"`, `"mul"`, …).
+    pub op: &'static str,
+}
+
+impl fmt::Display for OverflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational {} overflow: result exceeds i128", self.op)
+    }
+}
+
+impl std::error::Error for OverflowError {}
+
+/// Full 128×128→256-bit unsigned multiplication, as `(hi, lo)` limbs.
+fn widemul(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a0, a1) = (a & MASK, a >> 64);
+    let (b0, b1) = (b & MASK, b >> 64);
+    let ll = a0 * b0;
+    let lh = a0 * b1;
+    let hl = a1 * b0;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = a1 * b1 + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
 }
 
 impl Rational {
@@ -47,17 +87,41 @@ impl Rational {
     /// # Panics
     /// Panics if `den == 0`.
     pub fn new(num: i128, den: i128) -> Self {
-        assert!(den != 0, "Rational with zero denominator");
-        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
-        let g = gcd(num.unsigned_abs() as i128, den);
-        if g <= 1 {
-            Rational { num, den }
-        } else {
-            Rational {
-                num: num / g,
-                den: den / g,
+        match Rational::try_new(num, den) {
+            Ok(r) => r,
+            Err(e) => {
+                assert!(den != 0, "Rational with zero denominator");
+                panic!("{e}");
             }
         }
+    }
+
+    /// Checked constructor: reduces `num/den` and normalizes the sign,
+    /// returning a typed [`OverflowError`] when the reduced value cannot
+    /// be represented (only possible at the extreme `i128::MIN` edge,
+    /// e.g. `den = i128::MIN` with an odd numerator).
+    ///
+    /// # Panics
+    /// Panics if `den == 0` (that is a domain error, not an overflow).
+    pub fn try_new(num: i128, den: i128) -> Result<Self, OverflowError> {
+        assert!(den != 0, "Rational with zero denominator");
+        let negative = (num < 0) != (den < 0);
+        // Reduce on unsigned magnitudes so i128::MIN never wraps.
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs());
+        let rn = num.unsigned_abs() / g;
+        let rd = den.unsigned_abs() / g;
+        let err = OverflowError { op: "normalize" };
+        let den = i128::try_from(rd).map_err(|_| err)?;
+        let num = if negative {
+            // -2^127 is representable; 2^127 is not.
+            if rn > (1u128 << 127) {
+                return Err(err);
+            }
+            (rn as i128).wrapping_neg()
+        } else {
+            i128::try_from(rn).map_err(|_| err)?
+        };
+        Ok(Rational { num, den })
     }
 
     /// Creates a rational from an integer.
@@ -110,26 +174,33 @@ impl Rational {
     }
 
     /// Absolute value.
+    ///
+    /// # Panics
+    /// Panics (instead of wrapping) if the numerator is `i128::MIN`.
     pub fn abs(&self) -> Self {
         Rational {
-            num: self.num.abs(),
+            num: self
+                .num
+                .checked_abs()
+                .expect("Rational abs overflow: |numerator| exceeds i128"),
             den: self.den,
         }
     }
 
-    /// Largest integer `k` with `k <= self`.
+    /// Largest integer `k` with `k <= self` (Euclidean division — exact
+    /// for every representable value, including `i128::MIN` numerators).
     pub fn floor(&self) -> i128 {
-        if self.num >= 0 {
-            self.num / self.den
-        } else {
-            // Round toward negative infinity.
-            (self.num - (self.den - 1)) / self.den
-        }
+        self.num.div_euclid(self.den)
     }
 
     /// Smallest integer `k` with `k >= self`.
     pub fn ceil(&self) -> i128 {
-        -(-*self).floor()
+        let q = self.num.div_euclid(self.den);
+        if self.num.rem_euclid(self.den) == 0 {
+            q
+        } else {
+            q + 1
+        }
     }
 
     /// Approximate conversion to `f64` (for reporting only; never used in
@@ -138,10 +209,11 @@ impl Rational {
         self.num as f64 / self.den as f64
     }
 
-    /// Checked addition, returning `None` on `i128` overflow.
+    /// Checked addition, returning `None` on `i128` overflow. The result
+    /// is always gcd-normalized (as is every `Rational`).
     pub fn checked_add(&self, other: &Rational) -> Option<Rational> {
         // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d).
-        let g = gcd(self.den, other.den);
+        let g = gcd_i(self.den, other.den);
         let lhs_scale = other.den / g;
         let rhs_scale = self.den / g;
         let num = self
@@ -149,7 +221,7 @@ impl Rational {
             .checked_mul(lhs_scale)?
             .checked_add(other.num.checked_mul(rhs_scale)?)?;
         let den = self.den.checked_mul(lhs_scale)?;
-        Some(Rational::new(num, den))
+        Rational::try_new(num, den).ok()
     }
 
     /// Checked subtraction, returning `None` on `i128` overflow.
@@ -160,11 +232,11 @@ impl Rational {
     /// Checked multiplication, returning `None` on `i128` overflow.
     pub fn checked_mul(&self, other: &Rational) -> Option<Rational> {
         // Cross-reduce first to keep intermediates small.
-        let g1 = gcd(self.num.unsigned_abs() as i128, other.den);
-        let g2 = gcd(other.num.unsigned_abs() as i128, self.den);
+        let g1 = gcd_i(self.num, other.den);
+        let g2 = gcd_i(other.num, self.den);
         let num = (self.num / g1).checked_mul(other.num / g2)?;
         let den = (self.den / g2).checked_mul(other.den / g1)?;
-        Some(Rational::new(num, den))
+        Rational::try_new(num, den).ok()
     }
 
     /// Checked division, returning `None` on overflow or division by zero.
@@ -172,14 +244,39 @@ impl Rational {
         if other.is_zero() {
             return None;
         }
-        self.checked_mul(&Rational::new(other.den, other.num))
+        let recip = Rational::try_new(other.den, other.num).ok()?;
+        self.checked_mul(&recip)
     }
 
     /// Multiplies by a plain integer (checked).
     pub fn checked_mul_int(&self, k: i128) -> Option<Rational> {
-        let g = gcd(k.unsigned_abs() as i128, self.den);
+        let g = gcd_i(k, self.den);
         let num = self.num.checked_mul(k / g)?;
-        Some(Rational::new(num, self.den / g))
+        Rational::try_new(num, self.den / g).ok()
+    }
+
+    /// Addition with a typed [`OverflowError`] instead of `None`.
+    pub fn try_add(&self, other: &Rational) -> Result<Rational, OverflowError> {
+        self.checked_add(other).ok_or(OverflowError { op: "add" })
+    }
+
+    /// Subtraction with a typed [`OverflowError`] instead of `None`.
+    pub fn try_sub(&self, other: &Rational) -> Result<Rational, OverflowError> {
+        self.checked_sub(other).ok_or(OverflowError { op: "sub" })
+    }
+
+    /// Multiplication with a typed [`OverflowError`] instead of `None`.
+    pub fn try_mul(&self, other: &Rational) -> Result<Rational, OverflowError> {
+        self.checked_mul(other).ok_or(OverflowError { op: "mul" })
+    }
+
+    /// Division with a typed [`OverflowError`] instead of `None`.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero (domain error, not overflow).
+    pub fn try_div(&self, other: &Rational) -> Result<Rational, OverflowError> {
+        assert!(!other.is_zero(), "Rational division by zero");
+        self.checked_div(other).ok_or(OverflowError { op: "div" })
     }
 
     /// The multiplicative inverse.
@@ -224,21 +321,39 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b ? c/d  <=>  a*d ? c*b (b, d > 0). Cross-reduce to lower
-        // overflow risk, then use checked multiplication with a widening
-        // fallback through i128->f64 is unacceptable; instead panic loudly.
-        let g_den = gcd(self.den, other.den);
+        // a/b ? c/d  <=>  a*d ? c*b (b, d > 0). Equal denominators (the
+        // overwhelmingly common case on integer grids) compare directly.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
+        // Signs decide without any multiplication.
+        let (ls, rs) = (self.signum(), other.signum());
+        if ls != rs {
+            return ls.cmp(&rs);
+        }
+        // Cross-reduce, then try i128 cross-multiplication; fall back to
+        // exact 256-bit magnitude comparison instead of panicking —
+        // comparison is total and never overflows.
+        let g_den = gcd_i(self.den, other.den);
         let lhs_scale = other.den / g_den;
         let rhs_scale = self.den / g_den;
-        let lhs = self
-            .num
-            .checked_mul(lhs_scale)
-            .expect("Rational comparison overflow");
-        let rhs = other
-            .num
-            .checked_mul(rhs_scale)
-            .expect("Rational comparison overflow");
-        lhs.cmp(&rhs)
+        match (
+            self.num.checked_mul(lhs_scale),
+            other.num.checked_mul(rhs_scale),
+        ) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            _ => {
+                let lhs = widemul(self.num.unsigned_abs(), lhs_scale.unsigned_abs());
+                let rhs = widemul(other.num.unsigned_abs(), rhs_scale.unsigned_abs());
+                // Both sides share the sign `ls` here (signs were equal
+                // and neither is zero, else checked_mul succeeded).
+                if ls >= 0 {
+                    lhs.cmp(&rhs)
+                } else {
+                    rhs.cmp(&lhs)
+                }
+            }
+        }
     }
 }
 
@@ -289,7 +404,10 @@ impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
         Rational {
-            num: -self.num,
+            num: self
+                .num
+                .checked_neg()
+                .expect("Rational negation overflow: -i128::MIN exceeds i128"),
             den: self.den,
         }
     }
@@ -415,5 +533,91 @@ mod tests {
     #[test]
     fn to_f64_close() {
         assert!((r(34, 5).to_f64() - 6.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmp_never_overflows() {
+        // Cross-multiplication of these exceeds i128; the old comparison
+        // panicked here even though both values are representable.
+        let a = r(i128::MAX, 3);
+        let b = r(i128::MAX - 2, 3); // den stays 3 after reduction
+        let c = r(i128::MAX, 7);
+        assert!(a > b);
+        assert!(a > c);
+        assert!(c < b);
+        // Negative side mirrors.
+        assert!(-a < -b);
+        assert!(-c > -b);
+        // Mixed signs decide by sign alone.
+        assert!(-a < c);
+        // Self-comparison is equal.
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn i128_min_edges_do_not_wrap() {
+        // unsigned_abs of MIN used to wrap through `as i128` in gcd.
+        let m = r(i128::MIN, 2);
+        assert_eq!(m.numer(), i128::MIN / 2);
+        assert_eq!(m.denom(), 1);
+        // Even-denominator MIN reduces fine.
+        let half_min = r(i128::MIN, 4);
+        assert_eq!(half_min.numer(), i128::MIN / 4);
+        // MIN numerator with odd denominator stays MIN (no reduction).
+        let raw = r(i128::MIN, 3);
+        assert_eq!(raw.numer(), i128::MIN);
+        assert_eq!(raw.denom(), 3);
+        assert!(raw < Rational::ZERO);
+        assert_eq!(raw.floor(), i128::MIN / 3 - 1);
+        assert_eq!(raw.ceil(), i128::MIN / 3);
+        // A negative-denominator MIN that cannot be sign-normalized is a
+        // typed error, not a silent wrap.
+        assert_eq!(
+            Rational::try_new(3, i128::MIN),
+            Err(OverflowError { op: "normalize" })
+        );
+        // ... but an even numerator reduces into range.
+        assert_eq!(Rational::try_new(2, i128::MIN), Ok(r(-1, 1i128 << 126)));
+    }
+
+    #[test]
+    fn try_ops_report_typed_overflow() {
+        let big = Rational::new(i128::MAX, 1);
+        assert_eq!(big.try_add(&Rational::ONE), Err(OverflowError { op: "add" }));
+        assert_eq!(
+            big.try_mul(&Rational::from_int(2)),
+            Err(OverflowError { op: "mul" })
+        );
+        assert_eq!(big.try_sub(&-Rational::ONE), Err(OverflowError { op: "sub" }));
+        assert!(big.try_add(&-Rational::ONE).is_ok());
+        let msg = big.try_add(&Rational::ONE).unwrap_err().to_string();
+        assert!(msg.contains("overflow"), "{msg}");
+    }
+
+    /// Regression for the `L^i_P(K)` lower-bound gadgets: a ~1e4-task
+    /// chain of alternating fractional lengths must stay reduced (the
+    /// running sum's denominator stays the lcm of the small task
+    /// denominators, not their product) and must never overflow.
+    #[test]
+    fn long_alternating_chain_stays_normalized() {
+        let lens = [r(1, 3), r(1, 7), r(3, 5), r(5, 8), r(1, 9), r(2, 11)];
+        let mut sum = Rational::ZERO;
+        for i in 0..10_000 {
+            sum = sum
+                .try_add(&lens[i % lens.len()])
+                .expect("chain sum must not overflow");
+            // Normalization invariant after every op.
+            assert!(sum.denom() > 0);
+            assert_eq!(gcd(sum.numer().unsigned_abs(), sum.denom().unsigned_abs()), 1);
+            // lcm(3,7,5,8,9,11) = 27720: the reduced denominator divides it.
+            assert_eq!(27720 % sum.denom(), 0);
+        }
+        // Exact closed form: 1667 full rounds minus the last 2 terms.
+        let round: Rational = lens.iter().fold(Rational::ZERO, |a, b| a + *b);
+        let expect = round.checked_mul_int(1667).unwrap() - r(1, 9) - r(2, 11);
+        assert_eq!(sum, expect);
+        // Comparisons against dyadic grid points keep working at size.
+        assert!(sum > Rational::from_int(3000));
+        assert!(sum < Rational::from_int(4000));
     }
 }

@@ -138,6 +138,20 @@ impl Time {
         )
     }
 
+    /// Checked addition with a typed error: `Err` when the exact sum's
+    /// reduced form exceeds `i128` (see [`crate::OverflowError`]).
+    pub fn try_add(self, rhs: Time) -> Result<Time, crate::OverflowError> {
+        self.0.try_add(&rhs.0).map(Time)
+    }
+
+    /// Checked integer multiplication with a typed error.
+    pub fn try_mul_int(self, k: i64) -> Result<Time, crate::OverflowError> {
+        self.0
+            .checked_mul_int(k as i128)
+            .map(Time)
+            .ok_or(crate::OverflowError { op: "mul_int" })
+    }
+
     /// Exact ratio of two times, as a `Rational`.
     ///
     /// # Panics

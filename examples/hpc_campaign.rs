@@ -50,18 +50,21 @@ fn main() {
 
     for (title, instance) in [("Campaign A (layered)", campaign_a), ("Campaign B (fork-join)", campaign_b)] {
         let stats = analysis::stats(&instance);
+        let mm = stats
+            .length_ratio()
+            .expect("campaign instances are non-empty with positive lengths");
         println!("== {title} ==");
         println!(
             "n = {}, P = {}, M/m = {:.1}, Lb = {:.2}",
             stats.n,
             stats.procs,
-            stats.length_ratio(),
+            mm,
             stats.lower_bound.to_f64()
         );
         println!(
             "Theorem 1 bound: {:.2}; Theorem 2 bound: {:.2}",
             (stats.n as f64).log2() + 3.0,
-            stats.length_ratio().log2() + 6.0
+            mm.log2() + 6.0
         );
         println!("{:<22} {:>8} {:>12}", "scheduler", "ratio", "utilization");
         let (name, ratio, util) = run(&instance, &mut CatBatch::new());
