@@ -88,6 +88,10 @@ impl OnlineScheduler for PreRefactorFifo {
 /// Schema identifier written into every report.
 pub const SCHEMA: &str = "catbatch-bench-engine/v1";
 
+/// Schema identifier of the resumable scenario journal
+/// (`catbatch bench --journal`).
+pub const JOURNAL_SCHEMA: &str = "catbatch-bench-journal/v1";
+
 /// The scenario name whose reference-engine comparison gates the
 /// event-driven speedup claim (the 10⁵-task random DAG).
 pub const REFERENCE_SCENARIO: &str = "rand-chains-n100000";
@@ -369,6 +373,169 @@ pub fn run(quick: bool) -> BenchReport {
     }
 }
 
+/// The header line of a bench scenario journal.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchJournalHeader {
+    schema: String,
+    quick: bool,
+}
+
+/// One journaled line after the header.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum BenchRecord {
+    /// A finished, timed scenario.
+    Scenario {
+        /// The measurement, verbatim.
+        result: ScenarioResult,
+    },
+    /// The full-tier reference-engine comparison.
+    Reference {
+        /// The comparison, verbatim.
+        comparison: RefComparison,
+    },
+}
+
+/// A [`run`] that checkpoints every finished scenario to a JSONL journal
+/// and, with `resume`, replays journaled scenarios instead of re-timing
+/// them — a killed bench run picks up where it stopped, and re-running a
+/// finished journal times nothing.
+#[derive(Clone, Debug)]
+pub struct JournaledRun {
+    /// The assembled report (replayed + freshly timed scenarios, matrix
+    /// order).
+    pub report: BenchReport,
+    /// Scenarios timed by this invocation.
+    pub executed: usize,
+    /// Scenarios replayed from the journal.
+    pub replayed: usize,
+}
+
+/// Runs the matrix with a scenario journal at `path`. Tolerates a torn
+/// trailing line (crash artifact); rejects a journal written for a
+/// different tier or schema with a clear message.
+pub fn run_journaled(
+    quick: bool,
+    path: &std::path::Path,
+    resume: bool,
+) -> Result<JournaledRun, String> {
+    use std::io::Write;
+
+    let io = |e: std::io::Error| format!("bench journal {}: {e}", path.display());
+    let mut done: std::collections::BTreeMap<String, ScenarioResult> =
+        std::collections::BTreeMap::new();
+    let mut journaled_reference: Option<RefComparison> = None;
+
+    let mut file = if resume && path.exists() {
+        let text = std::fs::read_to_string(path).map_err(io)?;
+        let complete: Vec<&str> = text
+            .split_inclusive('\n')
+            .filter(|l| l.ends_with('\n'))
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        let Some(first) = complete.first() else {
+            return Err(format!(
+                "bench journal {} has no header line — not a {JOURNAL_SCHEMA} file",
+                path.display()
+            ));
+        };
+        let header: BenchJournalHeader = serde_json::from_str(first)
+            .map_err(|_| format!("bench journal {} has no header line", path.display()))?;
+        if header.schema != JOURNAL_SCHEMA {
+            return Err(format!(
+                "bench journal {} has schema {:?}, expected {JOURNAL_SCHEMA:?}",
+                path.display(),
+                header.schema
+            ));
+        }
+        if header.quick != quick {
+            return Err(format!(
+                "bench journal {} was written for the {} tier; rerun with the same tier or \
+                 a fresh journal",
+                path.display(),
+                if header.quick { "--quick" } else { "full" }
+            ));
+        }
+        for (i, line) in complete[1..].iter().enumerate() {
+            match serde_json::from_str::<BenchRecord>(line) {
+                Ok(BenchRecord::Scenario { result }) => {
+                    done.entry(result.name.clone()).or_insert(result);
+                }
+                Ok(BenchRecord::Reference { comparison }) => {
+                    journaled_reference = Some(comparison);
+                }
+                // A garbled final line is a torn write from a crash;
+                // that scenario simply re-runs.
+                Err(_) if i + 2 == complete.len() => {}
+                Err(e) => {
+                    return Err(format!(
+                        "bench journal {} line {} is corrupt: {e}",
+                        path.display(),
+                        i + 2
+                    ))
+                }
+            }
+        }
+        std::fs::OpenOptions::new().append(true).open(path).map_err(io)?
+    } else {
+        let mut f = std::fs::File::create(path).map_err(io)?;
+        let header = BenchJournalHeader { schema: JOURNAL_SCHEMA.to_string(), quick };
+        let line = serde_json::to_string(&header).map_err(|e| e.to_string())?;
+        f.write_all(format!("{line}\n").as_bytes()).map_err(io)?;
+        f.sync_data().map_err(io)?;
+        f
+    };
+
+    let record = |file: &mut std::fs::File, rec: &BenchRecord| -> Result<(), String> {
+        let line = serde_json::to_string(rec).map_err(|e| e.to_string())?;
+        file.write_all(format!("{line}\n").as_bytes()).map_err(io)?;
+        file.sync_data().map_err(io)
+    };
+
+    let matrix = scenarios(quick);
+    let mut results = Vec::with_capacity(matrix.len());
+    let mut executed = 0;
+    let mut replayed = 0;
+    for sc in &matrix {
+        if let Some(r) = done.get(sc.name) {
+            results.push(r.clone());
+            replayed += 1;
+            continue;
+        }
+        let r = run_scenario(sc);
+        record(&mut file, &BenchRecord::Scenario { result: r.clone() })?;
+        executed += 1;
+        results.push(r);
+    }
+
+    let reference = if quick {
+        None
+    } else if journaled_reference.is_some() {
+        journaled_reference
+    } else {
+        let rc = matrix
+            .iter()
+            .zip(&results)
+            .find(|(sc, _)| sc.name == REFERENCE_SCENARIO)
+            .map(|(sc, r)| run_reference_comparison(sc, r.wall_ms));
+        if let Some(rc) = &rc {
+            record(&mut file, &BenchRecord::Reference { comparison: rc.clone() })?;
+        }
+        rc
+    };
+
+    Ok(JournaledRun {
+        report: BenchReport {
+            schema: SCHEMA.to_string(),
+            quick,
+            scenarios: results,
+            reference,
+        },
+        executed,
+        replayed,
+    })
+}
+
 /// Renders the report as an aligned text table (the non-`--json` view).
 pub fn render_table(report: &BenchReport) -> String {
     let mut t = crate::harness::Table::new(&[
@@ -489,6 +656,43 @@ mod tests {
             r.name = format!("other-{}", r.name);
         }
         assert!(check_regression(&report, &foreign, 2.0).is_err());
+    }
+
+    #[test]
+    fn journal_resume_skips_completed_scenarios() {
+        let path = std::env::temp_dir().join(format!(
+            "catbatch-bench-journal-test-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let first = run_journaled(true, &path, false).expect("fresh journaled run");
+        assert_eq!(first.executed, scenarios(true).len());
+        assert_eq!(first.replayed, 0);
+
+        // A complete journal resumes without timing anything, and the
+        // replayed measurements are the journaled ones verbatim.
+        let second = run_journaled(true, &path, true).expect("no-op resume");
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.replayed, scenarios(true).len());
+        assert_eq!(
+            serde_json::to_string(&second.report.scenarios).unwrap(),
+            serde_json::to_string(&first.report.scenarios).unwrap(),
+        );
+
+        // Truncate to the header plus two records — a crash mid-run —
+        // and resume: only the lost scenarios re-run.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: String = text.split_inclusive('\n').take(3).collect();
+        std::fs::write(&path, kept).unwrap();
+        let third = run_journaled(true, &path, true).expect("resume after crash");
+        assert_eq!(third.replayed, 2);
+        assert_eq!(third.executed, scenarios(true).len() - 2);
+
+        // The quick-tier journal must not be mixed into a full-tier run.
+        let err = run_journaled(false, &path, true).unwrap_err();
+        assert!(err.contains("tier"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -72,7 +72,9 @@ pub enum Command {
         file: String,
     },
     /// `faults <file> [--scheduler S] [--seed N] [--trials K] [--fail F]
-    /// [--straggle G] [--retries R]` — seeded fault campaign.
+    /// [--straggle G] [--retries R] [--journal PATH [--resume]]
+    /// [--watchdog-ms N] [--max-events N]` — seeded fault campaign,
+    /// optionally supervised and journaled.
     Faults {
         /// Instance file path.
         file: String,
@@ -88,6 +90,14 @@ pub enum Command {
         straggle: u32,
         /// Retry budget per task (failures tolerated before abandoning).
         retries: u32,
+        /// Checkpoint journal path (one fsynced JSONL record per trial).
+        journal: Option<String>,
+        /// Replay journaled trials instead of truncating the journal.
+        resume: bool,
+        /// Per-trial wall-clock watchdog, milliseconds.
+        watchdog_ms: Option<u64>,
+        /// Per-trial engine event budget.
+        max_events: Option<u64>,
     },
     /// `bench [--json] [--quick] [--out PATH] [--check BASELINE]` — run
     /// the fixed perf scenario matrix.
@@ -103,6 +113,10 @@ pub enum Command {
         /// Baseline report to compare events/sec against; the command
         /// fails on a >2x regression for any shared scenario.
         check: Option<String>,
+        /// Scenario journal path (one record per finished scenario).
+        journal: Option<String>,
+        /// Replay journaled scenarios instead of re-timing them.
+        resume: bool,
     },
     /// `verify <file> <schedule.json>` — validate an externally produced
     /// schedule against an instance.
@@ -134,16 +148,27 @@ USAGE:
                 in_tree, chains, independent
   catbatch faults <file.rigid> [--scheduler S] [--seed N] [--trials K]
                   [--fail F] [--straggle G] [--retries R]
+                  [--journal PATH [--resume]] [--watchdog-ms N]
+                  [--max-events N]
       run a seeded fault campaign: K trials with fail-stop probability
       F permille and straggler probability G permille per attempt,
       retrying each task up to R times; reports retries, wasted area
       and makespan inflation vs the fault-free run
       defaults: --seed 42 --trials 5 --fail 200 --straggle 0 --retries 3
+      --journal checkpoints every finished trial (fsynced JSONL);
+      --resume replays journaled trials instead of re-running them, so
+      a killed campaign picks up where it stopped; --watchdog-ms cuts
+      off hung trials; --max-events bounds each trial's engine events;
+      panics, timeouts and blown budgets are recorded per trial while
+      the rest of the campaign keeps running (see docs/resilience.md)
   catbatch bench [--json] [--quick] [--out PATH] [--check BASELINE]
+                 [--journal PATH [--resume]]
       run the fixed perf scenario matrix (paper figures + random DAGs
       at n = 1e3/1e4/1e5) and print the throughput table; --json also
       writes BENCH_engine.json (or PATH); --quick runs the small tier;
-      --check fails on a >2x events/sec regression vs a baseline report
+      --check fails on a >2x events/sec regression vs a baseline report;
+      --journal/--resume checkpoint finished scenarios so a killed
+      bench run resumes without re-timing them
   catbatch convert <file.rigid> --dot
       emit Graphviz DOT to stdout
   catbatch verify <file.rigid> <schedule.json>
@@ -244,6 +269,10 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             let mut fail = 200u32;
             let mut straggle = 0u32;
             let mut retries = 3u32;
+            let mut journal = None;
+            let mut resume = false;
+            let mut watchdog_ms = None;
+            let mut max_events = None;
             while let Some(a) = it.next() {
                 match a {
                     "--scheduler" => {
@@ -274,6 +303,22 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                             .parse()
                             .map_err(|_| "bad --retries value".to_string())?
                     }
+                    "--journal" => journal = Some(take_value(a, &mut it)?),
+                    "--resume" => resume = true,
+                    "--watchdog-ms" => {
+                        watchdog_ms = Some(
+                            take_value(a, &mut it)?
+                                .parse()
+                                .map_err(|_| "bad --watchdog-ms value".to_string())?,
+                        )
+                    }
+                    "--max-events" => {
+                        max_events = Some(
+                            take_value(a, &mut it)?
+                                .parse()
+                                .map_err(|_| "bad --max-events value".to_string())?,
+                        )
+                    }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unexpected argument {other:?}")),
                 }
@@ -284,6 +329,9 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             if trials == 0 {
                 return Err("--trials must be at least 1".into());
             }
+            if resume && journal.is_none() {
+                return Err("--resume needs --journal".into());
+            }
             Ok(Command::Faults {
                 file: file.ok_or("faults needs an instance file")?,
                 scheduler,
@@ -292,6 +340,10 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 fail,
                 straggle,
                 retries,
+                journal,
+                resume,
+                watchdog_ms,
+                max_events,
             })
         }
         Some("bench") => {
@@ -299,20 +351,29 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             let mut quick = false;
             let mut out = "BENCH_engine.json".to_string();
             let mut check = None;
+            let mut journal = None;
+            let mut resume = false;
             while let Some(a) = it.next() {
                 match a {
                     "--json" => json = true,
                     "--quick" => quick = true,
                     "--out" => out = take_value(a, &mut it)?,
                     "--check" => check = Some(take_value(a, &mut it)?),
+                    "--journal" => journal = Some(take_value(a, &mut it)?),
+                    "--resume" => resume = true,
                     other => return Err(format!("unexpected argument {other:?}")),
                 }
+            }
+            if resume && journal.is_none() {
+                return Err("--resume needs --journal".into());
             }
             Ok(Command::Bench {
                 json,
                 quick,
                 out,
                 check,
+                journal,
+                resume,
             })
         }
         Some("verify") => {
@@ -396,11 +457,14 @@ mod tests {
                 quick: false,
                 out: "BENCH_engine.json".into(),
                 check: None,
+                journal: None,
+                resume: false,
             }
         );
         assert_eq!(
             parse_args(&[
                 "bench", "--json", "--quick", "--out", "b.json", "--check", "base.json",
+                "--journal", "j.jsonl", "--resume",
             ])
             .unwrap(),
             Command::Bench {
@@ -408,10 +472,33 @@ mod tests {
                 quick: true,
                 out: "b.json".into(),
                 check: Some("base.json".into()),
+                journal: Some("j.jsonl".into()),
+                resume: true,
             }
         );
         assert!(parse_args(&["bench", "--out"]).is_err());
         assert!(parse_args(&["bench", "extra"]).is_err());
+        assert!(parse_args(&["bench", "--resume"]).is_err());
+    }
+
+    #[test]
+    fn parses_faults_supervision_flags() {
+        let c = parse_args(&[
+            "faults", "w.rigid", "--journal", "j.jsonl", "--resume", "--watchdog-ms", "5000",
+            "--max-events", "1000000",
+        ])
+        .unwrap();
+        match c {
+            Command::Faults { journal, resume, watchdog_ms, max_events, .. } => {
+                assert_eq!(journal.as_deref(), Some("j.jsonl"));
+                assert!(resume);
+                assert_eq!(watchdog_ms, Some(5_000));
+                assert_eq!(max_events, Some(1_000_000));
+            }
+            other => panic!("expected Faults, got {other:?}"),
+        }
+        assert!(parse_args(&["faults", "w.rigid", "--resume"]).is_err());
+        assert!(parse_args(&["faults", "w.rigid", "--watchdog-ms", "abc"]).is_err());
     }
 
     #[test]

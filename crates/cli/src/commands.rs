@@ -53,18 +53,42 @@ pub fn run_command(
             fail,
             straggle,
             retries,
+            journal,
+            resume,
+            watchdog_ms,
+            max_events,
         } => {
             let inst = load(file, read_file)?;
-            Ok(faults_cmd(
-                &inst, *scheduler, *seed, *trials, *fail, *straggle, *retries,
-            ))
+            faults_cmd(
+                &inst,
+                *scheduler,
+                *seed,
+                *trials,
+                *fail,
+                *straggle,
+                *retries,
+                journal.as_deref(),
+                *resume,
+                *watchdog_ms,
+                *max_events,
+            )
         }
         Command::Bench {
             json,
             quick,
             out,
             check,
-        } => bench_cmd(*json, *quick, out, check.as_deref(), read_file),
+            journal,
+            resume,
+        } => bench_cmd(
+            *json,
+            *quick,
+            out,
+            check.as_deref(),
+            journal.as_deref(),
+            *resume,
+            read_file,
+        ),
         Command::Verify { file, schedule } => {
             let inst = load(file, read_file)?;
             let text = read_file(schedule)?;
@@ -170,6 +194,7 @@ fn build_fault_scheduler(choice: SchedChoice, procs: u32, retries: u32) -> Box<d
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn faults_cmd(
     inst: &Instance,
     choice: SchedChoice,
@@ -178,7 +203,11 @@ fn faults_cmd(
     fail: u32,
     straggle: u32,
     retries: u32,
-) -> String {
+    journal: Option<&str>,
+    resume: bool,
+    watchdog_ms: Option<u64>,
+    max_events: Option<u64>,
+) -> Result<String, String> {
     use rigid_faults::{run_trials, FaultConfig};
 
     let config = FaultConfig {
@@ -190,10 +219,74 @@ fn faults_cmd(
     };
     let seeds: Vec<u64> = (0..trials as u64).map(|i| seed + i).collect();
     let name = build_fault_scheduler(choice, inst.procs(), retries).name();
-    let stats = run_trials(inst, &config, &seeds, || {
-        build_fault_scheduler(choice, inst.procs(), retries)
-    });
 
+    let supervised =
+        journal.is_some() || resume || watchdog_ms.is_some() || max_events.is_some();
+    if !supervised {
+        // The plain path is untouched: same campaign runner, same
+        // byte-for-byte report as before supervision existed.
+        let stats = run_trials(inst, &config, &seeds, || {
+            build_fault_scheduler(choice, inst.procs(), retries)
+        });
+        return Ok(render_campaign(
+            name, inst, &config, seed, trials, fail, straggle, retries, &stats,
+        ));
+    }
+
+    use rigid_supervise::{run_campaign, CampaignOptions, SupervisorPolicy};
+    let procs = inst.procs();
+    let options = CampaignOptions {
+        policy: SupervisorPolicy {
+            watchdog: watchdog_ms.map(std::time::Duration::from_millis),
+            ..SupervisorPolicy::default()
+        },
+        budget: max_events
+            .map_or(rigid_sim::RunBudget::UNLIMITED, rigid_sim::RunBudget::max_events),
+        journal: journal.map(std::path::PathBuf::from),
+        resume,
+    };
+    rigid_supervise::interrupt::install();
+    let outcome = run_campaign(
+        inst,
+        &config,
+        &seeds,
+        &options,
+        rigid_supervise::interrupt::interrupted,
+        move || build_fault_scheduler(choice, procs, retries),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut out = render_campaign(
+        name, inst, &config, seed, trials, fail, straggle, retries, &outcome.stats,
+    );
+    out.push_str(&format!(
+        "executed       : {}\nreplayed       : {}\n",
+        outcome.executed, outcome.replayed
+    ));
+    if outcome.torn_tail {
+        out.push_str("journal        : torn trailing record discarded (crash artifact)\n");
+    }
+    if outcome.interrupted {
+        out.push_str(
+            "INTERRUPTED    : campaign stopped early; partial results above — \
+             rerun with --journal and --resume to finish\n",
+        );
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_campaign(
+    name: &str,
+    inst: &Instance,
+    config: &rigid_faults::FaultConfig,
+    seed: u64,
+    trials: usize,
+    fail: u32,
+    straggle: u32,
+    retries: u32,
+    stats: &rigid_faults::CampaignStats,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "fault campaign : {name}\nn              : {}\nP              : {}\nconfig         : fail {fail}‰ (max {}/task), straggle {straggle}‰ (1.25x-2x), retries {retries}\ntrials         : {trials} (seeds {seed}..{})\nfault-free     : {}\n\n",
@@ -303,10 +396,24 @@ fn bench_cmd(
     quick: bool,
     out: &str,
     check: Option<&str>,
+    journal: Option<&str>,
+    resume: bool,
     read_file: &dyn Fn(&str) -> Result<String, String>,
 ) -> Result<String, String> {
-    let report = rigid_bench::perf::run(quick);
+    let (report, journal_counts) = match journal {
+        Some(path) => {
+            let run =
+                rigid_bench::perf::run_journaled(quick, std::path::Path::new(path), resume)?;
+            (run.report, Some((run.executed, run.replayed)))
+        }
+        None => (rigid_bench::perf::run(quick), None),
+    };
     let mut text = rigid_bench::perf::render_table(&report);
+    if let Some((executed, replayed)) = journal_counts {
+        text.push_str(&format!(
+            "\nscenarios executed : {executed}\nscenarios replayed : {replayed}\n"
+        ));
+    }
     if json {
         let doc = serde_json::to_string_pretty(&report)
             .map_err(|e| format!("cannot serialize report: {e}"))?;
@@ -315,9 +422,21 @@ fn bench_cmd(
         text.push_str(&format!("\nwrote {out}\n"));
     }
     if let Some(base_path) = check {
-        let base_text = read_file(base_path)?;
+        let base_text = read_file(base_path).map_err(|e| {
+            format!(
+                "--check baseline unavailable: {e}\n\
+                 create one with `catbatch bench --json --out {base_path}` \
+                 (or point --check at an existing report)"
+            )
+        })?;
         let baseline: rigid_bench::perf::BenchReport = serde_json::from_str(&base_text)
-            .map_err(|e| format!("{base_path}: invalid baseline JSON: {e}"))?;
+            .map_err(|e| {
+                format!(
+                    "{base_path}: not a {} report: {e}\n\
+                     regenerate it with `catbatch bench --json --out {base_path}`",
+                    rigid_bench::perf::SCHEMA
+                )
+            })?;
         rigid_bench::perf::check_regression(&report, &baseline, 2.0)?;
         text.push_str(&format!(
             "regression check vs {base_path}: OK (threshold 2x)\n"
@@ -388,7 +507,20 @@ mod tests {
         let cmd =
             parse_args(&["bench", "--quick", "--check", "sample.rigid"]).unwrap();
         let err = run_command(&cmd, &fs).unwrap_err();
-        assert!(err.contains("invalid baseline JSON"), "{err}");
+        assert!(err.contains("not a catbatch-bench-engine/v1 report"), "{err}");
+        assert!(err.contains("catbatch bench --json --out"), "{err}");
+    }
+
+    #[test]
+    fn bench_check_missing_baseline_says_how_to_create_one() {
+        let cmd =
+            parse_args(&["bench", "--quick", "--check", "results/bench_baseline.json"]).unwrap();
+        let err = run_command(&cmd, &fs).unwrap_err();
+        assert!(err.contains("--check baseline unavailable"), "{err}");
+        assert!(
+            err.contains("catbatch bench --json --out results/bench_baseline.json"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -481,6 +613,77 @@ mod tests {
         assert!(out.contains("completed      : 5/5"));
         assert!(out.contains("total failures : 0"));
         assert!(out.contains("max inflation  : 1.0000"));
+    }
+
+    #[test]
+    fn faults_journal_resume_skips_completed_trials() {
+        let path = std::env::temp_dir().join(format!(
+            "catbatch-cli-journal-test-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let p = path.to_string_lossy().to_string();
+
+        let first = run_command(
+            &parse_args(&["faults", "sample.rigid", "--trials", "4", "--journal", &p]).unwrap(),
+            &fs,
+        )
+        .unwrap();
+        assert!(first.contains("executed       : 4"), "{first}");
+        assert!(first.contains("replayed       : 0"), "{first}");
+
+        let second = run_command(
+            &parse_args(&[
+                "faults", "sample.rigid", "--trials", "4", "--journal", &p, "--resume",
+            ])
+            .unwrap(),
+            &fs,
+        )
+        .unwrap();
+        assert!(second.contains("executed       : 0"), "{second}");
+        assert!(second.contains("replayed       : 4"), "{second}");
+
+        // The replayed per-seed lines are byte-identical to the run that
+        // produced them.
+        let seed_lines = |s: &str| -> Vec<String> {
+            s.lines().filter(|l| l.starts_with("seed ")).map(String::from).collect()
+        };
+        assert_eq!(seed_lines(&first), seed_lines(&second));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn faults_supervised_path_matches_plain_report() {
+        // A never-tripping event budget routes through the supervised
+        // campaign; the per-seed results must match the plain path.
+        let plain = run_command(&parse_args(&["faults", "sample.rigid"]).unwrap(), &fs).unwrap();
+        let supervised = run_command(
+            &parse_args(&["faults", "sample.rigid", "--max-events", "18446744073709551615"])
+                .unwrap(),
+            &fs,
+        )
+        .unwrap();
+        let seed_lines = |s: &str| -> Vec<String> {
+            s.lines().filter(|l| l.starts_with("seed ")).map(String::from).collect()
+        };
+        assert_eq!(seed_lines(&plain), seed_lines(&supervised));
+        assert!(supervised.contains("executed       : 5"), "{supervised}");
+    }
+
+    #[test]
+    fn faults_event_budget_records_typed_trial_errors() {
+        let out = run_command(
+            &parse_args(&["faults", "sample.rigid", "--max-events", "1", "--trials", "3"])
+                .unwrap(),
+            &fs,
+        )
+        .unwrap();
+        // Every trial blows the 1-event budget, is recorded as a typed
+        // error, and the campaign still completes and reports.
+        assert!(out.contains("ABORTED"), "{out}");
+        assert!(out.contains("event budget of 1"), "{out}");
+        assert!(out.contains("completed      : 0/3"), "{out}");
+        assert!(out.contains("executed       : 3"), "{out}");
     }
 
     #[test]

@@ -3,6 +3,10 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // SIGINT/SIGTERM set a flag that long-running campaigns poll between
+    // trials, so ^C flushes journals and prints partial stats instead of
+    // killing the process mid-write.
+    rigid_supervise::interrupt::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match catbatch_cli::parse_args(&args) {
         Ok(c) => c,

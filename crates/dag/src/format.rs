@@ -70,6 +70,9 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
                 let v: u32 = v
                     .parse()
                     .map_err(|_| err(lineno, format!("bad processor count {v:?}")))?;
+                if v == 0 {
+                    return Err(err(lineno, "platform needs at least one processor"));
+                }
                 if procs.replace(v).is_some() {
                     return Err(err(lineno, "duplicate procs line"));
                 }
@@ -91,6 +94,9 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
                 let p: u32 = p
                     .parse()
                     .map_err(|_| err(lineno, format!("bad processor count {p:?}")))?;
+                if p == 0 {
+                    return Err(err(lineno, "task needs at least one processor"));
+                }
                 if labels.iter().any(|l| l == label) {
                     return Err(err(lineno, format!("duplicate task {label:?}")));
                 }
@@ -117,6 +123,7 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
     }
 
     let procs = procs.ok_or_else(|| err(0, "missing `procs` line"))?;
+    let mut seen_edges: Vec<(String, String)> = Vec::new();
     for (from, to, lineno) in edges {
         if builder.id(&from).is_none() {
             return Err(err(lineno, format!("edge references unknown task {from:?}")));
@@ -124,7 +131,14 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
         if builder.id(&to).is_none() {
             return Err(err(lineno, format!("edge references unknown task {to:?}")));
         }
+        if from == to {
+            return Err(err(lineno, format!("edge {from:?} -> {to:?} is a self-loop")));
+        }
+        if seen_edges.iter().any(|(f, t)| *f == from && *t == to) {
+            return Err(err(lineno, format!("duplicate edge {from:?} -> {to:?}")));
+        }
         builder = builder.edge(&from, &to);
+        seen_edges.push((from, to));
     }
     let graph = builder.build_graph();
     if !graph.is_acyclic() {
@@ -234,6 +248,47 @@ mod tests {
     fn oversized_task_rejected() {
         let bad = "procs 2\ntask A 1 5\n";
         assert!(parse(bad).unwrap_err().message.contains("processors"));
+    }
+
+    #[test]
+    fn zero_proc_task_is_typed_error() {
+        // Regression: this used to reach `TaskSpec::new`'s assert and
+        // panic instead of returning a `ParseError`.
+        let bad = "procs 2\ntask A 1 0\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("at least one processor"));
+    }
+
+    #[test]
+    fn zero_platform_is_typed_error() {
+        let e = parse("procs 0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("at least one processor"));
+    }
+
+    #[test]
+    fn self_loop_edge_is_typed_error() {
+        // Regression: used to hit `TaskGraph::add_edge`'s self-loop assert.
+        let bad = "procs 2\ntask A 1 1\nedge A A\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("self-loop"));
+    }
+
+    #[test]
+    fn duplicate_edge_is_typed_error() {
+        // Regression: used to hit `TaskGraph::add_edge`'s duplicate assert.
+        let bad = "procs 2\ntask A 1 1\ntask B 1 1\nedge A B\nedge A B\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("duplicate edge"));
+    }
+
+    #[test]
+    fn negative_and_zero_times_are_typed_errors() {
+        assert!(parse("procs 2\ntask A -1 1\n").unwrap_err().message.contains("positive"));
+        assert!(parse("procs 2\ntask A 0 1\n").unwrap_err().message.contains("positive"));
     }
 
     #[test]

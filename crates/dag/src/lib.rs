@@ -39,6 +39,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod fingerprint;
 pub mod format;
 pub mod gen;
 pub mod graph;
@@ -48,6 +49,7 @@ pub mod source;
 pub mod task;
 
 pub use builder::DagBuilder;
+pub use fingerprint::{instance_fingerprint, StableHasher};
 pub use graph::{Instance, InstanceError, TaskGraph};
 pub use source::{InstanceSource, ReleasedTask, StaticSource};
 pub use task::{TaskId, TaskSpec};

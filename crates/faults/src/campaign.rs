@@ -3,18 +3,72 @@
 
 use crate::injector::{FaultConfig, FaultInjector};
 use rigid_dag::{Instance, StaticSource};
-use rigid_sim::{try_run, try_run_faulty, OnlineScheduler, RunError};
+use rigid_sim::{try_run, try_run_budgeted, OnlineScheduler, RunBudget, RunError};
 use rigid_time::{Rational, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why a trial failed without producing a makespan. Everything a trial
+/// can do wrong — including panicking or hanging — lands here as data,
+/// so one poisoned seed can never take down a campaign.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialError {
+    /// The engine returned a typed error (abandonment, a contract
+    /// violation, or a blown [`RunBudget`]).
+    Run(RunError),
+    /// The scheduler or injector panicked; the payload message is
+    /// preserved for the report.
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The trial outlived its supervisor's wall-clock watchdog.
+    TimedOut {
+        /// The watchdog limit, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The `(seed, scenario)` pair was quarantined: every supervised
+    /// attempt panicked or timed out.
+    Quarantined {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialError::Run(e) => e.fmt(f),
+            TrialError::Panicked { message } => write!(f, "trial panicked: {message}"),
+            TrialError::TimedOut { limit_ms } => {
+                write!(f, "trial exceeded its {limit_ms} ms watchdog")
+            }
+            TrialError::Quarantined { attempts } => {
+                write!(f, "quarantined after {attempts} failed attempt(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+impl From<RunError> for TrialError {
+    fn from(e: RunError) -> Self {
+        TrialError::Run(e)
+    }
+}
 
 /// The outcome of one seeded trial.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrialStats {
     /// The injector seed this trial ran under.
     pub seed: u64,
     /// `Ok(makespan)` if the run completed; the typed error otherwise
-    /// (typically [`RunError::TaskAbandoned`] when the scheduler's
-    /// retry budget ran out).
-    pub outcome: Result<Time, RunError>,
+    /// (typically [`TrialError::Run`] wrapping
+    /// [`RunError::TaskAbandoned`] when the scheduler's retry budget
+    /// ran out).
+    pub outcome: Result<Time, TrialError>,
     /// Failed attempts injected.
     pub failures: u64,
     /// Area consumed by failed attempts.
@@ -35,7 +89,7 @@ impl TrialStats {
 }
 
 /// Aggregated results of a campaign over one instance.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CampaignStats {
     /// Makespan of the fault-free run (the baseline).
     pub fault_free_makespan: Time,
@@ -93,11 +147,54 @@ impl CampaignStats {
     }
 }
 
+/// Runs the single trial for `seed`: a fresh [`FaultInjector`] over the
+/// instance under `budget`. This is the primitive the supervision layer
+/// (`rigid-supervise`) isolates in a worker — it performs **no** panic
+/// capture itself; a panicking scheduler propagates to the caller.
+pub fn run_trial(
+    instance: &Instance,
+    config: &FaultConfig,
+    seed: u64,
+    budget: RunBudget,
+    scheduler: &mut dyn OnlineScheduler,
+) -> TrialStats {
+    let mut injector = FaultInjector::new(seed, config.clone());
+    let run = try_run_budgeted(
+        &mut StaticSource::new(instance.clone()),
+        scheduler,
+        &mut injector,
+        budget,
+    );
+    match run {
+        Ok(result) => TrialStats {
+            seed,
+            outcome: Ok(result.makespan()),
+            failures: result.faults.failures,
+            wasted_area: result.faults.wasted_area,
+            inflated_area: result.faults.inflated_area,
+            min_capacity: result.faults.min_capacity,
+        },
+        Err(err) => TrialStats {
+            seed,
+            failures: injector.injected_failures(),
+            wasted_area: Time::ZERO,
+            inflated_area: Time::ZERO,
+            min_capacity: instance.procs(),
+            outcome: Err(err.into()),
+        },
+    }
+}
+
 /// Runs a fault-free baseline plus one faulty trial per seed, each with
 /// a fresh scheduler from `make_scheduler`, and aggregates the results.
 ///
 /// Everything is deterministic: the same `(instance, config, seeds)`
 /// triple produces identical [`CampaignStats`] on every call.
+///
+/// A trial that **panics** is captured (`catch_unwind`) and recorded as
+/// [`TrialError::Panicked`]; the remaining trials still run. For
+/// watchdog timeouts and journaled resume, use the `rigid-supervise`
+/// crate, which builds on [`run_trial`].
 ///
 /// # Panics
 /// Panics if the *fault-free* run fails — a scheduler that cannot even
@@ -107,6 +204,26 @@ pub fn run_trials<S, F>(
     instance: &Instance,
     config: &FaultConfig,
     seeds: &[u64],
+    make_scheduler: F,
+) -> CampaignStats
+where
+    S: OnlineScheduler,
+    F: FnMut() -> S,
+{
+    run_trials_budgeted(instance, config, seeds, RunBudget::UNLIMITED, make_scheduler)
+}
+
+/// [`run_trials`] under a hard per-trial [`RunBudget`]: a trial that
+/// processes too many events or outlives the wall deadline is recorded
+/// as [`TrialError::Run`] wrapping [`RunError::BudgetExceeded`].
+///
+/// # Panics
+/// Panics if the fault-free baseline run fails (see [`run_trials`]).
+pub fn run_trials_budgeted<S, F>(
+    instance: &Instance,
+    config: &FaultConfig,
+    seeds: &[u64],
+    budget: RunBudget,
     mut make_scheduler: F,
 ) -> CampaignStats
 where
@@ -120,37 +237,36 @@ where
     let trials = seeds
         .iter()
         .map(|&seed| {
-            let mut injector = FaultInjector::new(seed, config.clone());
-            let mut sched = make_scheduler();
-            let run = try_run_faulty(
-                &mut StaticSource::new(instance.clone()),
-                &mut sched,
-                &mut injector,
-            );
-            match run {
-                Ok(result) => TrialStats {
-                    seed,
-                    outcome: Ok(result.makespan()),
-                    failures: result.faults.failures,
-                    wasted_area: result.faults.wasted_area,
-                    inflated_area: result.faults.inflated_area,
-                    min_capacity: result.faults.min_capacity,
-                },
-                Err(err) => TrialStats {
-                    seed,
-                    failures: injector.injected_failures(),
-                    wasted_area: Time::ZERO,
-                    inflated_area: Time::ZERO,
-                    min_capacity: instance.procs(),
-                    outcome: Err(err),
-                },
-            }
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let mut sched = make_scheduler();
+                run_trial(instance, config, seed, budget, &mut sched)
+            }));
+            attempt.unwrap_or_else(|payload| TrialStats {
+                seed,
+                outcome: Err(TrialError::Panicked { message: panic_message(payload) }),
+                failures: 0,
+                wasted_area: Time::ZERO,
+                inflated_area: Time::ZERO,
+                min_capacity: instance.procs(),
+            })
         })
         .collect();
 
     CampaignStats {
         fault_free_makespan: baseline.makespan(),
         trials,
+    }
+}
+
+/// Stringifies a panic payload (the two shapes `panic!` produces, plus
+/// a fallback for exotic payloads).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -216,8 +332,97 @@ mod tests {
         assert_eq!(stats.completed(), 0);
         assert!(stats.max_inflation().is_none());
         for t in &stats.trials {
-            assert!(matches!(t.outcome, Err(RunError::TaskAbandoned { .. })));
+            assert!(matches!(
+                t.outcome,
+                Err(TrialError::Run(RunError::TaskAbandoned { .. }))
+            ));
         }
+    }
+
+    /// Regression: a scheduler that panics on one seed used to take the
+    /// whole campaign down; now the panic is captured as a typed
+    /// [`TrialError::Panicked`] and the remaining seeds still run.
+    #[test]
+    fn panicking_scheduler_poisons_one_trial_not_the_campaign() {
+        use rigid_dag::{ReleasedTask, TaskId};
+        use rigid_sim::FailureResponse;
+
+        /// Delegates to CatBatch but panics on the first injected
+        /// failure — so it panics exactly on seeds where the injector
+        /// fires, and behaves on the rest.
+        struct Grenade {
+            inner: catbatch::CatBatch,
+        }
+        impl OnlineScheduler for Grenade {
+            fn name(&self) -> &'static str {
+                "grenade"
+            }
+            fn on_release(&mut self, t: &ReleasedTask, now: Time) {
+                self.inner.on_release(t, now);
+            }
+            fn on_complete(&mut self, t: TaskId, now: Time) {
+                self.inner.on_complete(t, now);
+            }
+            fn decide(&mut self, now: Time, free: u32) -> Vec<TaskId> {
+                self.inner.decide(now, free)
+            }
+            fn on_failure(&mut self, t: TaskId, now: Time) -> FailureResponse {
+                panic!("grenade scheduler exploded on failure of {t} at t={now}");
+            }
+        }
+
+        // 100% failure probability: every seed injects a failure on the
+        // very first attempt, so every trial panics...
+        let all_bad = run_trials(
+            &figure3(),
+            &FaultConfig::fail_stop(1000, 1),
+            &[1, 2, 3],
+            || Grenade { inner: catbatch::CatBatch::new() },
+        );
+        assert_eq!(all_bad.trials.len(), 3, "campaign must survive every panic");
+        for t in &all_bad.trials {
+            match &t.outcome {
+                Err(TrialError::Panicked { message }) => {
+                    assert!(message.contains("grenade scheduler exploded"));
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+        }
+
+        // A moderate probability leaves some seeds clean: those trials
+        // complete normally alongside the poisoned ones.
+        let mixed = run_trials(
+            &figure3(),
+            &FaultConfig::fail_stop(150, 1),
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            || Grenade { inner: catbatch::CatBatch::new() },
+        );
+        assert_eq!(mixed.trials.len(), 8);
+        assert!(mixed.completed() > 0, "some seeds stay clean at 15%");
+        assert!(
+            mixed.trials.iter().any(|t| matches!(t.outcome, Err(TrialError::Panicked { .. }))),
+            "some seeds inject a failure and trip the grenade"
+        );
+    }
+
+    #[test]
+    fn trial_stats_roundtrip_through_json() {
+        let stats = fig3_campaign(2);
+        for t in &stats.trials {
+            let json = serde_json::to_string(t).unwrap();
+            let back: TrialStats = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, t);
+        }
+        let poisoned = TrialStats {
+            seed: 9,
+            outcome: Err(TrialError::Panicked { message: "boom".into() }),
+            failures: 0,
+            wasted_area: Time::ZERO,
+            inflated_area: Time::ZERO,
+            min_capacity: 8,
+        };
+        let json = serde_json::to_string(&poisoned).unwrap();
+        assert_eq!(serde_json::from_str::<TrialStats>(&json).unwrap(), poisoned);
     }
 
     #[test]

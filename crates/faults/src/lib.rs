@@ -31,5 +31,8 @@
 pub mod campaign;
 pub mod injector;
 
-pub use campaign::{run_trials, CampaignStats, TrialStats};
+pub use campaign::{
+    panic_message, run_trial, run_trials, run_trials_budgeted, CampaignStats, TrialError,
+    TrialStats,
+};
 pub use injector::{CapacityDip, FaultConfig, FaultInjector};

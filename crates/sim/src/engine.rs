@@ -34,11 +34,12 @@
 //! identical [`RunResult`]s.
 //!
 //! Entry points: [`try_run`] (fault-free, returns `Result`),
-//! [`try_run_faulty`] (with a fault model), and [`run`] — a thin wrapper
-//! that panics on any violation, for tests and callers that treat
-//! violations as bugs.
+//! [`try_run_faulty`] (with a fault model), [`try_run_budgeted`] (fault
+//! model plus a hard [`RunBudget`] on events and wall-clock time), and
+//! [`run`] — a thin wrapper that panics on any violation, for tests and
+//! callers that treat violations as bugs.
 
-use crate::error::{RunError, SchedulerViolation, SourceViolation};
+use crate::error::{BudgetKind, RunError, SchedulerViolation, SourceViolation};
 use crate::fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
 use crate::schedule::Schedule;
 use crate::scheduler::{FailureResponse, OnlineScheduler};
@@ -47,6 +48,7 @@ use rigid_time::Time;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
 
 /// Counters the event-driven engine maintains while it runs, reported
 /// in [`RunResult::stats`] and consumed by the `rigid-bench` perf
@@ -60,6 +62,97 @@ pub struct EngineStats {
     /// Peak size of the ready set — tasks released but neither running
     /// nor complete — observed at any decision point.
     pub peak_ready: u64,
+}
+
+/// Hard resource limits on a single engine run.
+///
+/// An unbudgeted run of an adversarial instance (or a buggy scheduler
+/// whose retries never converge) can spin forever; a budget turns that
+/// into a typed [`RunError::BudgetExceeded`] instead. The default is
+/// unlimited, and [`try_run`]/[`try_run_faulty`] run unlimited — budgets
+/// are opt-in through [`try_run_budgeted`].
+///
+/// * `max_events` is **deterministic**: the same run under the same
+///   ceiling always trips at the same point (events are releases plus
+///   attempt completions/failures, exactly [`EngineStats::events`]).
+///   A run fails once it has processed *more than* `max_events` events.
+/// * `wall_deadline` is a wall-clock safety net, checked once per
+///   decision instant — inherently nondeterministic, so keep it out of
+///   reproducible experiment configs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Fail the run after processing more than this many events.
+    pub max_events: Option<u64>,
+    /// Fail the run once this much wall-clock time has elapsed.
+    pub wall_deadline: Option<Duration>,
+}
+
+impl RunBudget {
+    /// No limits — the budget every non-budgeted entry point uses.
+    pub const UNLIMITED: RunBudget = RunBudget { max_events: None, wall_deadline: None };
+
+    /// A budget bounding only the event count.
+    pub fn max_events(limit: u64) -> Self {
+        RunBudget { max_events: Some(limit), wall_deadline: None }
+    }
+
+    /// A budget bounding only wall-clock time.
+    pub fn wall_deadline(limit: Duration) -> Self {
+        RunBudget { max_events: None, wall_deadline: Some(limit) }
+    }
+
+    /// Adds an event ceiling to this budget.
+    pub fn with_max_events(mut self, limit: u64) -> Self {
+        self.max_events = Some(limit);
+        self
+    }
+
+    /// Adds a wall-clock deadline to this budget.
+    pub fn with_wall_deadline(mut self, limit: Duration) -> Self {
+        self.wall_deadline = Some(limit);
+        self
+    }
+}
+
+/// The armed form of a [`RunBudget`]: the wall deadline resolved to an
+/// [`Instant`] when the run started.
+#[derive(Clone, Copy)]
+struct ArmedBudget {
+    max_events: Option<u64>,
+    deadline: Option<(Instant, u64)>,
+}
+
+impl ArmedBudget {
+    fn arm(budget: RunBudget) -> Self {
+        ArmedBudget {
+            max_events: budget.max_events,
+            deadline: budget
+                .wall_deadline
+                .map(|d| (Instant::now() + d, d.as_millis() as u64)),
+        }
+    }
+
+    fn check(&self, events: u64, now: Time) -> Result<(), RunError> {
+        if let Some(limit) = self.max_events {
+            if events > limit {
+                return Err(RunError::BudgetExceeded {
+                    exceeded: BudgetKind::Events { limit },
+                    events,
+                    at: now,
+                });
+            }
+        }
+        if let Some((deadline, limit_ms)) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(RunError::BudgetExceeded {
+                    exceeded: BudgetKind::WallClock { limit_ms },
+                    events,
+                    at: now,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The outcome of a run: the schedule, reconstruction of everything the
@@ -192,6 +285,20 @@ pub fn try_run_faulty(
     scheduler: &mut dyn OnlineScheduler,
     faults: &mut dyn FaultModel,
 ) -> Result<RunResult, RunError> {
+    try_run_budgeted(source, scheduler, faults, RunBudget::UNLIMITED)
+}
+
+/// [`try_run_faulty`] under a hard [`RunBudget`]: the run additionally
+/// fails with [`RunError::BudgetExceeded`] once it processes more than
+/// `budget.max_events` events or outlives `budget.wall_deadline`.
+/// `RunBudget::UNLIMITED` makes this identical to [`try_run_faulty`].
+pub fn try_run_budgeted(
+    source: &mut dyn InstanceSource,
+    scheduler: &mut dyn OnlineScheduler,
+    faults: &mut dyn FaultModel,
+    budget: RunBudget,
+) -> Result<RunResult, RunError> {
+    let budget = ArmedBudget::arm(budget);
     let procs = source.procs();
     assert!(procs >= 1);
 
@@ -274,6 +381,7 @@ pub fn try_run_faulty(
             stats.events += 1;
         }
         stats.peak_ready = stats.peak_ready.max(ready);
+        budget.check(stats.events, now)?;
 
         // Ask the scheduler what to start now. Repeat until it passes,
         // since starting a task may change what it wants (some schedulers
@@ -453,6 +561,7 @@ pub fn try_run_faulty(
                     pending_releases.extend(newly);
                 }
             }
+            budget.check(stats.events, now)?;
             // Clock arrivals landing exactly at this instant join the
             // same decision round.
             pending_releases.extend(source.timed_releases(now));
@@ -1126,6 +1235,104 @@ mod tests {
             err,
             RunError::SchedulerViolation(SchedulerViolation::Deadlock { capacity: 0, .. })
         ));
+    }
+
+    // ---- run budgets ----
+
+    #[test]
+    fn ample_budget_matches_unbudgeted_run() {
+        let inst = chain();
+        let budgeted = try_run_budgeted(
+            &mut StaticSource::new(inst.clone()),
+            &mut Greedy::new(),
+            &mut NoFaults,
+            RunBudget::max_events(1_000).with_wall_deadline(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        let plain = try_run(&mut StaticSource::new(inst), &mut Greedy::new()).unwrap();
+        assert_eq!(budgeted.schedule, plain.schedule);
+        assert_eq!(budgeted.stats, plain.stats);
+    }
+
+    #[test]
+    fn exact_event_budget_still_completes() {
+        // The chain processes exactly 6 events; a ceiling of 6 is enough.
+        let inst = chain();
+        let result = try_run_budgeted(
+            &mut StaticSource::new(inst),
+            &mut Greedy::new(),
+            &mut NoFaults,
+            RunBudget::max_events(6),
+        )
+        .unwrap();
+        assert_eq!(result.stats.events, 6);
+    }
+
+    #[test]
+    fn event_budget_trips_deterministically() {
+        let inst = chain();
+        let run = |limit: u64| {
+            try_run_budgeted(
+                &mut StaticSource::new(inst.clone()),
+                &mut Greedy::new(),
+                &mut NoFaults,
+                RunBudget::max_events(limit),
+            )
+        };
+        for limit in 0..6 {
+            let err = run(limit).unwrap_err();
+            let again = run(limit).unwrap_err();
+            assert_eq!(err, again, "budget cutoff must be deterministic");
+            match err {
+                RunError::BudgetExceeded { exceeded, events, .. } => {
+                    assert_eq!(exceeded, BudgetKind::Events { limit });
+                    assert!(events > limit);
+                }
+                other => panic!("expected BudgetExceeded, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_wall_deadline_trips_immediately() {
+        let inst = chain();
+        let err = try_run_budgeted(
+            &mut StaticSource::new(inst),
+            &mut Greedy::new(),
+            &mut NoFaults,
+            RunBudget::wall_deadline(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::BudgetExceeded { exceeded: BudgetKind::WallClock { limit_ms: 0 }, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_instance_survives_zero_event_budget() {
+        // No events are processed, so `events > 0` never holds.
+        let inst = Instance::new(rigid_dag::TaskGraph::new(), 2);
+        let result = try_run_budgeted(
+            &mut StaticSource::new(inst),
+            &mut Greedy::new(),
+            &mut NoFaults,
+            RunBudget::max_events(0),
+        )
+        .unwrap();
+        assert_eq!(result.stats.events, 0);
+    }
+
+    #[test]
+    fn budget_error_roundtrips_through_json() {
+        let err = RunError::BudgetExceeded {
+            exceeded: BudgetKind::Events { limit: 7 },
+            events: 8,
+            at: Time::from_int(3),
+        };
+        let json = serde_json::to_string(&Err::<Time, RunError>(err.clone())).unwrap();
+        let back: Result<Time, RunError> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Err(err));
     }
 
     #[test]

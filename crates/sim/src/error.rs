@@ -14,10 +14,11 @@
 
 use rigid_dag::TaskId;
 use rigid_time::Time;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An illegal release stream from the instance source.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SourceViolation {
     /// The same task id was released twice.
     DuplicateRelease {
@@ -85,7 +86,7 @@ impl fmt::Display for SourceViolation {
 }
 
 /// An illegal move by the online scheduler.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SchedulerViolation {
     /// `decide` listed the same task twice in one decision.
     DuplicateDecision {
@@ -149,8 +150,38 @@ impl fmt::Display for SchedulerViolation {
     }
 }
 
+/// Which limit of a [`RunBudget`](crate::engine::RunBudget) was
+/// exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetKind {
+    /// The event-count ceiling (`max_events`). Deterministic: the same
+    /// run under the same budget always trips at the same point.
+    Events {
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// The wall-clock deadline (`wall_deadline`). Inherently
+    /// nondeterministic — use it as a safety net, not a reproducible
+    /// experiment knob.
+    WallClock {
+        /// The configured limit, in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Events { limit } => write!(f, "event budget of {limit}"),
+            BudgetKind::WallClock { limit_ms } => {
+                write!(f, "wall-clock budget of {limit_ms} ms")
+            }
+        }
+    }
+}
+
 /// Why an engine run could not produce a schedule.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunError {
     /// The instance source broke the revelation contract.
     SourceViolation(SourceViolation),
@@ -166,6 +197,16 @@ pub enum RunError {
         /// Simulation time of the abandonment.
         at: Time,
     },
+    /// The run was cut off by its [`RunBudget`](crate::engine::RunBudget)
+    /// before reaching quiescence.
+    BudgetExceeded {
+        /// Which limit tripped.
+        exceeded: BudgetKind,
+        /// Events processed when the run was cut off.
+        events: u64,
+        /// Simulation instant at the cutoff.
+        at: Time,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -176,6 +217,10 @@ impl fmt::Display for RunError {
             RunError::TaskAbandoned { task, attempts, at } => write!(
                 f,
                 "task {task} abandoned after {attempts} failed attempt(s) at t={at}"
+            ),
+            RunError::BudgetExceeded { exceeded, events, at } => write!(
+                f,
+                "run exceeded its {exceeded} after {events} event(s) at t={at}"
             ),
         }
     }

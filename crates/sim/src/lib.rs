@@ -59,8 +59,8 @@ pub mod svg;
 pub mod trace;
 pub mod scheduler;
 
-pub use engine::{run, try_run, try_run_faulty, EngineStats, RunResult};
-pub use error::{RunError, SchedulerViolation, SourceViolation};
+pub use engine::{run, try_run, try_run_budgeted, try_run_faulty, EngineStats, RunBudget, RunResult};
+pub use error::{BudgetKind, RunError, SchedulerViolation, SourceViolation};
 pub use fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
 pub use offline::OfflineScheduler;
 pub use schedule::{Placement, Schedule, Violation};

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use rigid_dag::gen::{self, LengthDist, ProcDist, TaskSampler};
 use rigid_dag::{Instance, ReleasedTask, StaticSource, TaskId};
 use rigid_sim::fault::{Attempt, FaultModel};
-use rigid_sim::{engine, reference, FailureResponse, OnlineScheduler, RunResult};
+use rigid_sim::{engine, reference, FailureResponse, OnlineScheduler, RunBudget, RunError, RunResult};
 use rigid_time::Time;
 
 /// FIFO greedy: start anything that fits, in release order; retries
@@ -179,8 +179,14 @@ fn check_instance(inst: &Instance, fault_seed: u64, fail_mod: u64, inflate_mod: 
         } else {
             Box::new(LongestFirst::new())
         };
+        let mut budget_sched: Box<dyn OnlineScheduler> = if sched_kind == 0 {
+            Box::new(Fifo::new())
+        } else {
+            Box::new(LongestFirst::new())
+        };
         let mut new_faults = HashFaults { seed: fault_seed, fail_mod, inflate_mod };
         let mut old_faults = HashFaults { seed: fault_seed, fail_mod, inflate_mod };
+        let mut budget_faults = HashFaults { seed: fault_seed, fail_mod, inflate_mod };
         let new = engine::try_run_faulty(
             &mut StaticSource::new(inst.clone()),
             new_sched.as_mut(),
@@ -191,15 +197,28 @@ fn check_instance(inst: &Instance, fault_seed: u64, fail_mod: u64, inflate_mod: 
             old_sched.as_mut(),
             &mut old_faults,
         );
-        match (new, old) {
-            (Ok(new), Ok(old)) => assert_identical(&new, &old),
-            (Err(new), Err(old)) => {
-                assert_eq!(new, old, "engines disagree on the typed error")
+        // Below an ample budget the budgeted entry point must agree with
+        // the frozen reference engine bit for bit as well.
+        let budgeted = engine::try_run_budgeted(
+            &mut StaticSource::new(inst.clone()),
+            budget_sched.as_mut(),
+            &mut budget_faults,
+            RunBudget::max_events(u64::MAX),
+        );
+        match (new, old, budgeted) {
+            (Ok(new), Ok(old), Ok(budgeted)) => {
+                assert_identical(&new, &old);
+                assert_identical(&budgeted, &old);
             }
-            (new, old) => panic!(
-                "engines disagree on success: new = {:?}, old = {:?}",
+            (Err(new), Err(old), Err(budgeted)) => {
+                assert_eq!(new, old, "engines disagree on the typed error");
+                assert_eq!(budgeted, old, "budgeted engine disagrees on the typed error");
+            }
+            (new, old, budgeted) => panic!(
+                "engines disagree on success: new = {:?}, old = {:?}, budgeted = {:?}",
                 new.map(|r| r.makespan()),
                 old.map(|r| r.makespan()),
+                budgeted.map(|r| r.makespan()),
             ),
         }
     }
@@ -273,4 +292,43 @@ fn engines_agree_on_large_fixed_instance() {
 fn engines_agree_on_paper_example() {
     let inst = rigid_dag::paper::figure3();
     check_instance(&inst, 0, 0, 0);
+}
+
+/// A budget tight enough to trip cuts the run off with a typed
+/// `BudgetExceeded` where the unbudgeted reference engine completes —
+/// the budget changes the outcome, never the semantics below it.
+#[test]
+fn tight_budget_trips_where_reference_completes() {
+    let inst = rigid_dag::paper::figure3();
+    let reference = reference::try_run_faulty(
+        &mut StaticSource::new(inst.clone()),
+        &mut Fifo::new(),
+        &mut HashFaults { seed: 0, fail_mod: 0, inflate_mod: 0 },
+    )
+    .expect("reference run completes");
+    let total_events = inst.graph().len() as u64 * 2; // releases + completions
+    let err = engine::try_run_budgeted(
+        &mut StaticSource::new(inst.clone()),
+        &mut Fifo::new(),
+        &mut HashFaults { seed: 0, fail_mod: 0, inflate_mod: 0 },
+        RunBudget::max_events(total_events / 2),
+    )
+    .expect_err("halved event budget must trip");
+    match err {
+        RunError::BudgetExceeded { events, .. } => {
+            assert!(events <= total_events);
+            assert!(events > total_events / 2);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    // And at exactly the full event count the budgeted run matches the
+    // reference bit for bit.
+    let at_limit = engine::try_run_budgeted(
+        &mut StaticSource::new(inst),
+        &mut Fifo::new(),
+        &mut HashFaults { seed: 0, fail_mod: 0, inflate_mod: 0 },
+        RunBudget::max_events(total_events),
+    )
+    .expect("budget equal to the event count must not trip");
+    assert_identical(&at_limit, &reference);
 }

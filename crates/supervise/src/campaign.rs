@@ -1,0 +1,279 @@
+//! The resumable campaign loop: supervised trials + journaled
+//! checkpoints + graceful interrupt points.
+
+use crate::journal::{read_journal, JournalError, JournalHeader, JournalWriter, JOURNAL_SCHEMA};
+use crate::supervisor::{Supervisor, SupervisorPolicy};
+use rigid_dag::{instance_fingerprint, Instance, StableHasher, StaticSource};
+use rigid_faults::{run_trial, CampaignStats, FaultConfig, TrialStats};
+use rigid_sim::{try_run, OnlineScheduler, RunBudget, RunError};
+use rigid_time::Time;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// How a campaign should be supervised, journaled, and budgeted.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOptions {
+    /// Watchdog / retry / quarantine policy for each trial.
+    pub policy: SupervisorPolicy,
+    /// Hard per-trial engine budget (events, wall clock).
+    pub budget: RunBudget,
+    /// Journal path. `None` runs without checkpoints.
+    pub journal: Option<PathBuf>,
+    /// With a journal: replay existing records instead of truncating.
+    /// A missing journal file resumes into a fresh one.
+    pub resume: bool,
+}
+
+/// What a campaign invocation did, beyond the aggregate stats.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// The aggregate stats — byte-identical between an uninterrupted
+    /// run and any interrupted-then-resumed sequence over the same
+    /// seeds.
+    pub stats: CampaignStats,
+    /// Trials actually executed by this invocation.
+    pub executed: usize,
+    /// Trials replayed from the journal without re-execution.
+    pub replayed: usize,
+    /// Whether the stop condition (e.g. SIGINT) ended the run early;
+    /// `stats` then covers only the seeds processed so far.
+    pub interrupted: bool,
+    /// Whether the journal had a torn trailing line (crash artifact,
+    /// discarded; that trial re-executes).
+    pub torn_tail: bool,
+}
+
+/// Why a campaign could not run at all (per-trial failures never land
+/// here — they are recorded in the trial stats).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The journal could not be written, read, or matched.
+    Journal(JournalError),
+    /// The fault-free baseline run failed — the scheduler cannot even
+    /// schedule the unperturbed instance.
+    Baseline(RunError),
+    /// The fault-free baseline run panicked.
+    BaselinePanicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Journal(e) => e.fmt(f),
+            CampaignError::Baseline(e) => write!(f, "fault-free baseline failed: {e}"),
+            CampaignError::BaselinePanicked { message } => {
+                write!(f, "fault-free baseline panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
+/// The stable scenario fingerprint a journal is keyed on: instance,
+/// fault config, scheduler name, and the deterministic part of the
+/// budget (`max_events`). The wall-clock deadline is deliberately
+/// excluded — it cannot be reproduced anyway.
+pub fn campaign_fingerprint(
+    instance: &Instance,
+    config: &FaultConfig,
+    scheduler: &str,
+    budget: RunBudget,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(instance_fingerprint(instance));
+    h.write_u32(config.fail_permille);
+    h.write_u32(config.max_failures_per_task);
+    h.write_u32(config.straggle_permille);
+    h.write_u32(config.straggle_factor_permille.0);
+    h.write_u32(config.straggle_factor_permille.1);
+    h.write_u64(config.dips.len() as u64);
+    for dip in &config.dips {
+        h.write_str(&dip.from.to_string());
+        h.write_str(&dip.until.to_string());
+        h.write_u32(dip.capacity);
+    }
+    h.write_str(scheduler);
+    h.write_u64(budget.max_events.map_or(u64::MAX, |e| e));
+    h.finish()
+}
+
+/// Runs a supervised, journaled, resumable fault campaign.
+///
+/// Per seed, in order: if `stop()` returns true the campaign winds down
+/// (journal already flushed — every finished trial is fsynced); if the
+/// journal holds the seed's record it is replayed **byte-for-byte**;
+/// otherwise the trial runs under the supervisor (panic capture,
+/// watchdog, retries, quarantine) and its record is appended and
+/// fsynced before the next seed starts.
+///
+/// Resuming a journal written for a different scenario (instance,
+/// config, scheduler, or event budget) fails with
+/// [`JournalError::FingerprintMismatch`]; resuming a *complete* journal
+/// executes zero trials and reproduces the aggregates exactly.
+pub fn run_campaign<S, F>(
+    instance: &Instance,
+    config: &FaultConfig,
+    seeds: &[u64],
+    options: &CampaignOptions,
+    stop: impl Fn() -> bool,
+    make_scheduler: F,
+) -> Result<CampaignOutcome, CampaignError>
+where
+    S: OnlineScheduler + 'static,
+    F: Fn() -> S + Clone + Send + Sync + 'static,
+{
+    let scheduler_name = make_scheduler().name().to_string();
+    let fingerprint = campaign_fingerprint(instance, config, &scheduler_name, options.budget);
+    let fingerprint_hex = format!("{fingerprint:016x}");
+
+    // Resume: load the journal and index its records by seed.
+    let mut replay: BTreeMap<u64, TrialStats> = BTreeMap::new();
+    let mut torn_tail = false;
+    let mut writer: Option<JournalWriter> = None;
+    let mut baseline: Option<Time> = None;
+    if let Some(path) = &options.journal {
+        if options.resume && path.exists() {
+            let contents = read_journal(path)?;
+            if contents.header.fingerprint != fingerprint_hex {
+                return Err(JournalError::FingerprintMismatch {
+                    journal: contents.header.fingerprint,
+                    campaign: fingerprint_hex,
+                }
+                .into());
+            }
+            baseline = Some(contents.header.fault_free_makespan);
+            torn_tail = contents.torn_tail;
+            for t in contents.trials {
+                replay.entry(t.seed).or_insert(t);
+            }
+            writer = Some(JournalWriter::append(path)?);
+        }
+    }
+
+    // The baseline: reused from the journal header on resume, computed
+    // (with panic capture — nothing may kill the campaign) otherwise.
+    let fault_free_makespan = match baseline {
+        Some(m) => m,
+        None => {
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let mut sched = make_scheduler();
+                try_run(&mut StaticSource::new(instance.clone()), &mut sched)
+            }))
+            .map_err(|p| CampaignError::BaselinePanicked {
+                message: rigid_faults::panic_message(p),
+            })?;
+            run.map_err(CampaignError::Baseline)?.makespan()
+        }
+    };
+
+    if writer.is_none() {
+        if let Some(path) = &options.journal {
+            let header = JournalHeader {
+                schema: JOURNAL_SCHEMA.to_string(),
+                fingerprint: fingerprint_hex,
+                scheduler: scheduler_name,
+                fault_free_makespan,
+            };
+            writer = Some(JournalWriter::create(path, &header)?);
+        }
+    }
+
+    let mut supervisor = Supervisor::new(options.policy);
+    let mut trials = Vec::with_capacity(seeds.len());
+    let mut executed = 0;
+    let mut replayed = 0;
+    let mut interrupted = false;
+
+    for &seed in seeds {
+        if stop() {
+            interrupted = true;
+            break;
+        }
+        if let Some(t) = replay.get(&seed) {
+            trials.push(t.clone());
+            replayed += 1;
+            continue;
+        }
+        let budget = options.budget;
+        let inst = instance.clone();
+        let cfg = config.clone();
+        let mk = make_scheduler.clone();
+        let trial = supervisor
+            .run_trial(seed, fingerprint, move || {
+                let inst = inst.clone();
+                let cfg = cfg.clone();
+                let mk = mk.clone();
+                move || {
+                    let mut sched = mk();
+                    run_trial(&inst, &cfg, seed, budget, &mut sched)
+                }
+            })
+            .unwrap_or_else(|err| TrialStats {
+                seed,
+                outcome: Err(err),
+                failures: 0,
+                wasted_area: Time::ZERO,
+                inflated_area: Time::ZERO,
+                min_capacity: instance.procs(),
+            });
+        if let Some(w) = writer.as_mut() {
+            w.record(&trial)?;
+        }
+        executed += 1;
+        // Duplicate seeds later in the list replay this result instead
+        // of re-running.
+        replay.insert(seed, trial.clone());
+        trials.push(trial);
+    }
+
+    Ok(CampaignOutcome {
+        stats: CampaignStats { fault_free_makespan, trials },
+        executed,
+        replayed,
+        interrupted,
+        torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_scenarios() {
+        let inst = rigid_dag::paper::figure3();
+        let cfg = FaultConfig::fail_stop(300, 2);
+        let base = campaign_fingerprint(&inst, &cfg, "catbatch", RunBudget::UNLIMITED);
+        assert_eq!(
+            base,
+            campaign_fingerprint(&inst, &cfg, "catbatch", RunBudget::UNLIMITED),
+            "fingerprint must be stable"
+        );
+        assert_ne!(
+            base,
+            campaign_fingerprint(&inst, &FaultConfig::fail_stop(301, 2), "catbatch", RunBudget::UNLIMITED)
+        );
+        assert_ne!(
+            base,
+            campaign_fingerprint(&inst, &cfg, "list", RunBudget::UNLIMITED)
+        );
+        assert_ne!(
+            base,
+            campaign_fingerprint(&inst, &cfg, "catbatch", RunBudget::max_events(10_000))
+        );
+        let other = rigid_dag::paper::intro_example(8, rigid_time::Time::from_ratio(1, 100));
+        assert_ne!(base, campaign_fingerprint(&other, &cfg, "catbatch", RunBudget::UNLIMITED));
+    }
+}

@@ -1,0 +1,362 @@
+//! The append-only campaign journal (`catbatch-journal/v1`).
+//!
+//! A journal is a JSONL file: one header line, then one record per
+//! finished trial, each flushed **and fsynced** before the campaign
+//! moves on — so after a crash the journal holds every trial that
+//! finished, plus at most one torn trailing line (tolerated and
+//! discarded on read). Records are [`TrialStats`] serialized verbatim;
+//! replaying a record *is* re-obtaining the trial's result, which is
+//! what makes resumed aggregates byte-identical.
+//!
+//! The header pins the schema version and a stable fingerprint of
+//! `(instance, fault config, scheduler, budget)` — resuming against a
+//! journal written for a different scenario is a typed error, not a
+//! silently mixed data set.
+
+use rigid_faults::TrialStats;
+use rigid_time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// The journal schema this crate writes and reads.
+pub const JOURNAL_SCHEMA: &str = "catbatch-journal/v1";
+
+/// The first line of every journal.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Always [`JOURNAL_SCHEMA`] for files this crate writes.
+    pub schema: String,
+    /// Stable hex fingerprint of the campaign scenario (see
+    /// [`campaign_fingerprint`](crate::campaign_fingerprint)).
+    pub fingerprint: String,
+    /// Name of the scheduler under test.
+    pub scheduler: String,
+    /// Makespan of the fault-free baseline run, stored so a resumed
+    /// campaign does not recompute it.
+    pub fault_free_makespan: Time,
+}
+
+/// Why a journal could not be written or read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// An I/O failure (path and OS message).
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file has no header line.
+    MissingHeader,
+    /// The header names a schema this crate does not speak.
+    SchemaMismatch {
+        /// The schema string found in the file.
+        found: String,
+    },
+    /// The journal was written for a different scenario.
+    FingerprintMismatch {
+        /// Fingerprint in the journal header.
+        journal: String,
+        /// Fingerprint of the campaign trying to resume.
+        campaign: String,
+    },
+    /// A non-final line failed to parse — the file is damaged beyond
+    /// the torn-tail tolerance.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// The parse error.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, message } => write!(f, "journal {path}: {message}"),
+            JournalError::MissingHeader => write!(f, "journal has no header line"),
+            JournalError::SchemaMismatch { found } => write!(
+                f,
+                "journal schema {found:?} is not {JOURNAL_SCHEMA:?} — \
+                 written by an incompatible version"
+            ),
+            JournalError::FingerprintMismatch { journal, campaign } => write!(
+                f,
+                "journal was written for scenario {journal} but this campaign is {campaign} \
+                 (instance, fault config, scheduler, or budget differ)"
+            ),
+            JournalError::Corrupt { line, message } => {
+                write!(f, "journal line {line} is corrupt: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(path: &Path, e: std::io::Error) -> JournalError {
+    JournalError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+/// Appends records to a journal, fsyncing each one.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: std::path::PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a fresh journal and writes its header.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Self, JournalError> {
+        let file = File::create(path).map_err(|e| io_err(path, e))?;
+        let mut w = JournalWriter { file, path: path.to_path_buf() };
+        let json = serde_json::to_string(header).map_err(|e| JournalError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        w.write_line(&json)?;
+        Ok(w)
+    }
+
+    /// Opens an existing journal for appending (resume). The caller is
+    /// expected to have validated it with [`read_journal`] first.
+    pub fn append(path: &Path) -> Result<Self, JournalError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        Ok(JournalWriter { file, path: path.to_path_buf() })
+    }
+
+    /// Appends one trial record and fsyncs it to disk before returning
+    /// — after this call the record survives a crash.
+    pub fn record(&mut self, trial: &TrialStats) -> Result<(), JournalError> {
+        let json = serde_json::to_string(trial).map_err(|e| JournalError::Io {
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        self.write_line(&json)
+    }
+
+    fn write_line(&mut self, json: &str) -> Result<(), JournalError> {
+        let path = self.path.clone();
+        self.file
+            .write_all(format!("{json}\n").as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err(&path, e))
+    }
+}
+
+/// A parsed journal: the header, every intact trial record in file
+/// order, and whether a torn trailing line was discarded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalContents {
+    /// The header line.
+    pub header: JournalHeader,
+    /// Trial records, in the order they were written (duplicate seeds
+    /// possible if a campaign was resumed with overlapping seed lists;
+    /// the campaign layer keeps the first).
+    pub trials: Vec<TrialStats>,
+    /// Whether a torn trailing line (crash artifact) was discarded.
+    pub torn_tail: bool,
+}
+
+/// Reads and validates a journal file.
+///
+/// Tolerates exactly the damage a kill can cause — a final line without
+/// its newline, or a final line that does not parse — and rejects
+/// everything else as typed [`JournalError`]s.
+pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+
+    // Only newline-terminated lines are complete records; a trailing
+    // fragment is a torn write from a crash.
+    let mut torn_tail = !text.is_empty() && !text.ends_with('\n');
+    let complete: Vec<(usize, &str)> = text
+        .split_inclusive('\n')
+        .enumerate()
+        .filter(|(_, l)| l.ends_with('\n'))
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let Some(&(_, header_line)) = complete.first() else {
+        return Err(JournalError::MissingHeader);
+    };
+    let header: JournalHeader = serde_json::from_str(header_line)
+        .map_err(|_| JournalError::MissingHeader)?;
+    if header.schema != JOURNAL_SCHEMA {
+        return Err(JournalError::SchemaMismatch { found: header.schema });
+    }
+
+    let mut trials = Vec::new();
+    let records = &complete[1..];
+    for (pos, &(lineno, line)) in records.iter().enumerate() {
+        match serde_json::from_str::<TrialStats>(line) {
+            Ok(t) => trials.push(t),
+            // A garbled *final* record is a crash artifact (e.g. a torn
+            // write that happened to end in '\n'); anything earlier
+            // means real damage.
+            Err(e) if pos + 1 == records.len() => {
+                let _ = e;
+                torn_tail = true;
+            }
+            Err(e) => {
+                return Err(JournalError::Corrupt { line: lineno, message: e.to_string() })
+            }
+        }
+    }
+    Ok(JournalContents { header, trials, torn_tail })
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use rigid_faults::TrialError;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique temp path per call; removed by [`TempFile::drop`].
+    pub(crate) struct TempFile(pub PathBuf);
+
+    impl TempFile {
+        pub(crate) fn new(tag: &str) -> Self {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let n = N.fetch_add(1, Ordering::SeqCst);
+            let path = std::env::temp_dir().join(format!(
+                "catbatch-journal-test-{}-{tag}-{n}.jsonl",
+                std::process::id()
+            ));
+            TempFile(path)
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            schema: JOURNAL_SCHEMA.to_string(),
+            fingerprint: "deadbeefdeadbeef".to_string(),
+            scheduler: "catbatch".to_string(),
+            fault_free_makespan: Time::from_int(15),
+        }
+    }
+
+    fn trial(seed: u64) -> TrialStats {
+        TrialStats {
+            seed,
+            outcome: if seed.is_multiple_of(2) {
+                Ok(Time::from_int(seed as i64 + 20))
+            } else {
+                Err(TrialError::Panicked { message: format!("boom {seed}") })
+            },
+            failures: seed,
+            wasted_area: Time::from_int(seed as i64),
+            inflated_area: Time::ZERO,
+            min_capacity: 8,
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let tmp = TempFile::new("roundtrip");
+        let mut w = JournalWriter::create(&tmp.0, &header()).unwrap();
+        for seed in 0..5 {
+            w.record(&trial(seed)).unwrap();
+        }
+        let j = read_journal(&tmp.0).unwrap();
+        assert_eq!(j.header, header());
+        assert_eq!(j.trials, (0..5).map(trial).collect::<Vec<_>>());
+        assert!(!j.torn_tail);
+    }
+
+    #[test]
+    fn append_resumes_the_same_file() {
+        let tmp = TempFile::new("append");
+        let mut w = JournalWriter::create(&tmp.0, &header()).unwrap();
+        w.record(&trial(1)).unwrap();
+        drop(w);
+        let mut w = JournalWriter::append(&tmp.0).unwrap();
+        w.record(&trial(2)).unwrap();
+        let j = read_journal(&tmp.0).unwrap();
+        assert_eq!(j.trials.len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_without_newline_is_discarded() {
+        let tmp = TempFile::new("torn");
+        let mut w = JournalWriter::create(&tmp.0, &header()).unwrap();
+        w.record(&trial(1)).unwrap();
+        drop(w);
+        // Simulate a crash mid-write: half a record, no newline.
+        let mut text = std::fs::read_to_string(&tmp.0).unwrap();
+        text.push_str("{\"seed\":2,\"outco");
+        std::fs::write(&tmp.0, text).unwrap();
+        let j = read_journal(&tmp.0).unwrap();
+        assert_eq!(j.trials.len(), 1);
+        assert!(j.torn_tail);
+    }
+
+    #[test]
+    fn garbled_final_line_is_torn_not_corrupt() {
+        let tmp = TempFile::new("garbled");
+        let mut w = JournalWriter::create(&tmp.0, &header()).unwrap();
+        w.record(&trial(1)).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&tmp.0).unwrap();
+        text.push_str("{\"seed\":2}\n");
+        std::fs::write(&tmp.0, text).unwrap();
+        let j = read_journal(&tmp.0).unwrap();
+        assert_eq!(j.trials.len(), 1);
+        assert!(j.torn_tail);
+    }
+
+    #[test]
+    fn garbled_middle_line_is_corrupt() {
+        let tmp = TempFile::new("corrupt");
+        let mut w = JournalWriter::create(&tmp.0, &header()).unwrap();
+        w.record(&trial(1)).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&tmp.0).unwrap();
+        text.push_str("not json at all\n");
+        std::fs::write(&tmp.0, text).unwrap();
+        let mut w = JournalWriter::append(&tmp.0).unwrap();
+        w.record(&trial(3)).unwrap();
+        assert!(matches!(
+            read_journal(&tmp.0),
+            Err(JournalError::Corrupt { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_schema_is_typed() {
+        let tmp = TempFile::new("schema");
+        let mut h = header();
+        h.schema = "catbatch-journal/v999".to_string();
+        JournalWriter::create(&tmp.0, &h).unwrap();
+        assert_eq!(
+            read_journal(&tmp.0),
+            Err(JournalError::SchemaMismatch { found: "catbatch-journal/v999".to_string() })
+        );
+    }
+
+    #[test]
+    fn empty_file_is_missing_header() {
+        let tmp = TempFile::new("empty");
+        std::fs::write(&tmp.0, "").unwrap();
+        assert_eq!(read_journal(&tmp.0), Err(JournalError::MissingHeader));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let tmp = TempFile::new("missing");
+        assert!(matches!(read_journal(&tmp.0), Err(JournalError::Io { .. })));
+    }
+}

@@ -1,0 +1,40 @@
+//! # rigid-supervise — crash-safe campaign orchestration
+//!
+//! The paper's hardest experiments (the adaptive `Z^Alg_P(K)` gadget of
+//! Section 6, large seeded fault sweeps) run thousands of trials; this
+//! crate makes a campaign survive anything a trial can throw at it:
+//!
+//! * [`Supervisor`] — runs each trial in an isolated worker with
+//!   `catch_unwind` panic capture, a per-trial wall-clock watchdog,
+//!   bounded retries with deterministic exponential backoff, and
+//!   quarantine of poison `(seed, scenario)` pairs. Every failure mode
+//!   becomes a typed [`TrialError`](rigid_faults::TrialError) instead
+//!   of process death.
+//! * [`journal`] — an append-only JSONL journal (`catbatch-journal/v1`)
+//!   with one fsynced record per finished trial, tolerant of a torn
+//!   trailing line after a crash.
+//! * [`run_campaign`] — the resumable campaign loop: replays journaled
+//!   trials byte-for-byte (the seed's record *is* the result), executes
+//!   only what is missing, and stops gracefully at interrupt points.
+//! * [`interrupt`] — SIGINT/SIGTERM → an atomic flag the campaign loop
+//!   polls between trials, so `^C` flushes the journal and reports
+//!   partial stats instead of killing the process mid-write.
+//!
+//! See `docs/resilience.md` for the journal schema and resume
+//! semantics.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod interrupt;
+pub mod journal;
+pub mod supervisor;
+
+pub use campaign::{
+    campaign_fingerprint, run_campaign, CampaignError, CampaignOptions, CampaignOutcome,
+};
+pub use journal::{
+    read_journal, JournalContents, JournalError, JournalHeader, JournalWriter, JOURNAL_SCHEMA,
+};
+pub use supervisor::{Supervisor, SupervisorPolicy};

@@ -1,0 +1,241 @@
+//! Trial supervision: isolated execution with panic capture, watchdog
+//! timeouts, bounded retries, and quarantine.
+//!
+//! A [`Supervisor`] never lets a trial take the process down. Panics
+//! are captured with `catch_unwind`; hangs are cut off by running the
+//! attempt on a detached worker thread and waiting with a timeout (the
+//! hung worker itself cannot be killed — it is *leaked*, which is the
+//! documented cost of a watchdog without process isolation); repeated
+//! offenders are quarantined so a poison `(seed, scenario)` pair is
+//! attempted at most once per campaign.
+
+use rigid_faults::{panic_message, TrialError};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+/// Retry and watchdog policy for supervised trials.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Per-attempt wall-clock limit. `None` runs attempts inline with
+    /// panic capture only (no worker thread, nothing can leak).
+    pub watchdog: Option<Duration>,
+    /// Extra attempts after the first one panics or times out. Typed
+    /// trial errors (engine violations, blown budgets) are
+    /// deterministic and are **not** retried.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (1-based): `backoff_base * 2^(k-1)`.
+    /// The schedule is deterministic — no jitter — so supervised
+    /// campaigns stay reproducible.
+    pub backoff_base: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            watchdog: None,
+            max_retries: 1,
+            backoff_base: Duration::ZERO,
+        }
+    }
+}
+
+/// Runs trials in isolation and tracks poison `(seed, scenario)` pairs.
+///
+/// The scenario is a caller-chosen stable fingerprint (see
+/// [`campaign_fingerprint`](crate::campaign_fingerprint)); quarantine
+/// keys on `(seed, scenario)` so the same seed under a different config
+/// is still attempted.
+#[derive(Debug)]
+pub struct Supervisor {
+    policy: SupervisorPolicy,
+    quarantined: BTreeMap<(u64, u64), u32>,
+}
+
+impl Supervisor {
+    /// A supervisor with the given policy and an empty quarantine.
+    pub fn new(policy: SupervisorPolicy) -> Self {
+        Supervisor { policy, quarantined: BTreeMap::new() }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &SupervisorPolicy {
+        &self.policy
+    }
+
+    /// Whether `(seed, scenario)` has been quarantined.
+    pub fn is_quarantined(&self, seed: u64, scenario: u64) -> bool {
+        self.quarantined.contains_key(&(seed, scenario))
+    }
+
+    /// The quarantined `(seed, scenario)` pairs with the attempts each
+    /// consumed, in key order.
+    pub fn quarantined(&self) -> Vec<((u64, u64), u32)> {
+        self.quarantined.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Runs one trial under supervision. `make_attempt` is called once
+    /// per attempt and must hand back a self-contained job (retries
+    /// need a fresh one because a panicked job is consumed).
+    ///
+    /// Returns the job's value, or a typed [`TrialError`]:
+    /// [`Panicked`](TrialError::Panicked) /
+    /// [`TimedOut`](TrialError::TimedOut) from the final attempt, or
+    /// [`Quarantined`](TrialError::Quarantined) if the pair was already
+    /// poisoned by an earlier call.
+    pub fn run_trial<T, A, F>(
+        &mut self,
+        seed: u64,
+        scenario: u64,
+        mut make_attempt: F,
+    ) -> Result<T, TrialError>
+    where
+        T: Send + 'static,
+        A: FnOnce() -> T + Send + 'static,
+        F: FnMut() -> A,
+    {
+        if let Some(&attempts) = self.quarantined.get(&(seed, scenario)) {
+            return Err(TrialError::Quarantined { attempts });
+        }
+        let attempts = 1 + self.policy.max_retries;
+        let mut last = TrialError::Quarantined { attempts: 0 };
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let shift = (attempt - 1).min(16);
+                let backoff = self.policy.backoff_base.saturating_mul(1u32 << shift);
+                if !backoff.is_zero() {
+                    thread::sleep(backoff);
+                }
+            }
+            match self.run_attempt(make_attempt()) {
+                Ok(value) => return Ok(value),
+                Err(err) => last = err,
+            }
+        }
+        self.quarantined.insert((seed, scenario), attempts);
+        Err(last)
+    }
+
+    /// Runs one attempt: inline when no watchdog is configured,
+    /// otherwise on a detached worker thread with a receive timeout. A
+    /// timed-out worker keeps running detached until it finishes or the
+    /// process exits — a leak, but one that cannot corrupt campaign
+    /// state, because its result channel is already closed.
+    fn run_attempt<T, A>(&self, job: A) -> Result<T, TrialError>
+    where
+        T: Send + 'static,
+        A: FnOnce() -> T + Send + 'static,
+    {
+        let Some(limit) = self.policy.watchdog else {
+            return catch_unwind(AssertUnwindSafe(job))
+                .map_err(|p| TrialError::Panicked { message: panic_message(p) });
+        };
+        let (tx, rx) = mpsc::channel();
+        thread::spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(job));
+            let _ = tx.send(result);
+        });
+        match rx.recv_timeout(limit) {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(p)) => Err(TrialError::Panicked { message: panic_message(p) }),
+            Err(_) => Err(TrialError::TimedOut { limit_ms: limit.as_millis() as u64 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn policy(watchdog_ms: Option<u64>, retries: u32) -> SupervisorPolicy {
+        SupervisorPolicy {
+            watchdog: watchdog_ms.map(Duration::from_millis),
+            max_retries: retries,
+            backoff_base: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn success_passes_through() {
+        let mut sup = Supervisor::new(policy(None, 0));
+        assert_eq!(sup.run_trial(1, 7, || || 42), Ok(42));
+        assert!(!sup.is_quarantined(1, 7));
+    }
+
+    #[test]
+    fn panic_is_captured_retried_and_quarantined() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let mut sup = Supervisor::new(policy(None, 2));
+        let c = calls.clone();
+        let result: Result<u32, _> = sup.run_trial(5, 9, move || {
+            let c = c.clone();
+            move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                panic!("kaboom {}", c.load(Ordering::SeqCst));
+            }
+        });
+        match result {
+            Err(TrialError::Panicked { message }) => assert!(message.contains("kaboom")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+        assert!(sup.is_quarantined(5, 9));
+        assert_eq!(sup.quarantined(), vec![((5, 9), 3)]);
+
+        // A second call does not re-run the poison pair.
+        let again: Result<u32, _> = sup.run_trial(5, 9, || || unreachable!("quarantined"));
+        assert_eq!(again, Err(TrialError::Quarantined { attempts: 3 }));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn recovery_on_retry_is_a_success() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let mut sup = Supervisor::new(policy(None, 3));
+        let c = calls.clone();
+        let result = sup.run_trial(2, 2, move || {
+            let c = c.clone();
+            move || {
+                if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("flaky");
+                }
+                "ok"
+            }
+        });
+        assert_eq!(result, Ok("ok"));
+        assert!(!sup.is_quarantined(2, 2));
+    }
+
+    #[test]
+    fn watchdog_cuts_off_a_hang() {
+        let mut sup = Supervisor::new(policy(Some(40), 0));
+        let result: Result<u32, _> = sup.run_trial(3, 3, || {
+            || {
+                // Far beyond the watchdog; the worker thread is leaked.
+                thread::sleep(Duration::from_secs(600));
+                0
+            }
+        });
+        assert_eq!(result, Err(TrialError::TimedOut { limit_ms: 40 }));
+        assert!(sup.is_quarantined(3, 3));
+    }
+
+    #[test]
+    fn watchdog_lets_fast_trials_through() {
+        let mut sup = Supervisor::new(policy(Some(5_000), 0));
+        assert_eq!(sup.run_trial(4, 4, || || 7), Ok(7));
+    }
+
+    #[test]
+    fn quarantine_is_scenario_scoped() {
+        let mut sup = Supervisor::new(policy(None, 0));
+        let _: Result<(), _> = sup.run_trial(1, 100, || || panic!("bad config"));
+        assert!(sup.is_quarantined(1, 100));
+        // Same seed, different scenario: runs fine.
+        assert_eq!(sup.run_trial(1, 200, || || 1), Ok(1));
+    }
+}

@@ -241,6 +241,32 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize(&self) -> Value {
+        let mut obj = Value::object();
+        match self {
+            Ok(v) => obj.insert("Ok", v.serialize()),
+            Err(e) => obj.insert("Err", e.serialize()),
+        }
+        obj
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        if let Some(v) = value.field("Ok") {
+            return T::deserialize(v).map(Ok);
+        }
+        if let Some(e) = value.field("Err") {
+            return E::deserialize(e).map(Err);
+        }
+        Err(Error::new(format!(
+            "expected object with `Ok` or `Err` key, found {}",
+            value.kind()
+        )))
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn serialize(&self) -> Value {
         Value::Array(self.iter().map(Serialize::serialize).collect())
