@@ -9,10 +9,17 @@
 //! ([`rigid_sim::reference`]) so the event-driven speedup is recorded in
 //! every report.
 //!
+//! Timing discipline: every scenario gets one untimed warmup run, then
+//! `reps` timed repetitions whose **median** wall time is reported (the
+//! old schema reported the minimum; the median is stable under
+//! scheduling noise without being as optimistic). The repetition count
+//! is recorded per scenario so a report is self-describing.
+//!
 //! The JSON shape (`BENCH_engine.json`, schema
-//! `catbatch-bench-engine/v1`) is documented in `docs/performance.md`;
+//! `catbatch-bench-engine/v1.1`) is documented in `docs/performance.md`;
 //! [`check_regression`] is the guard CI's `bench-smoke` job runs against
-//! the committed snapshot in `results/bench_baseline.json`.
+//! the committed snapshot in `results/bench_baseline.json` (v1 baselines
+//! are still accepted — the field added in v1.1 is optional).
 
 use crate::harness::Sched;
 use rigid_baselines::Priority;
@@ -85,8 +92,14 @@ impl OnlineScheduler for PreRefactorFifo {
     }
 }
 
-/// Schema identifier written into every report.
-pub const SCHEMA: &str = "catbatch-bench-engine/v1";
+/// Schema identifier written into every report. The `v1.1` minor bump
+/// added the optional per-scenario `repeats` field and switched
+/// `wall_ms` from best-of-reps to median-of-reps (after a warmup run);
+/// [`check_regression`] still accepts [`SCHEMA_V1`] baselines.
+pub const SCHEMA: &str = "catbatch-bench-engine/v1.1";
+
+/// The previous report schema, accepted as a `--check` baseline.
+pub const SCHEMA_V1: &str = "catbatch-bench-engine/v1";
 
 /// Schema identifier of the resumable scenario journal
 /// (`catbatch bench --journal`).
@@ -105,7 +118,8 @@ pub struct Scenario {
     pub family: &'static str,
     /// Scheduler to run.
     pub sched: Sched,
-    /// How many timed repetitions (the minimum wall time is kept).
+    /// How many timed repetitions (the median wall time is kept; one
+    /// extra untimed warmup run precedes them).
     pub reps: u32,
     build: fn() -> Instance,
 }
@@ -210,7 +224,8 @@ pub struct ScenarioResult {
     pub procs: u32,
     /// Scheduler name.
     pub scheduler: String,
-    /// Best wall-clock time over the repetitions, milliseconds.
+    /// Median wall-clock time over the timed repetitions, milliseconds
+    /// (minimum in v1 reports).
     pub wall_ms: f64,
     /// Engine events (releases + completions + failures).
     pub events: u64,
@@ -227,6 +242,9 @@ pub struct ScenarioResult {
     /// Instance max/min task length ratio (`None` for degenerate
     /// instances — serialized as `null`).
     pub length_ratio: Option<f64>,
+    /// Timed repetitions behind `wall_ms` (added in schema v1.1;
+    /// `None` when reading a v1 report).
+    pub repeats: Option<u32>,
 }
 
 /// The event-driven vs pre-refactor hot-path comparison (full tier
@@ -269,31 +287,41 @@ pub struct BenchReport {
 
 /// Times `reps` runs of `engine_fn` against fresh source/scheduler
 /// pairs (instance cloning and scheduler construction stay outside the
-/// timed region) and returns the best wall time with the last result.
-fn time_best(
+/// timed region) and returns the **median** wall time with the last
+/// result. One extra untimed warmup run precedes the timed ones, so
+/// cold caches, lazy page faults and allocator growth land outside the
+/// measurement; the median (upper median for even `reps`) keeps a
+/// single preempted repetition from skewing the number either way.
+fn time_median(
     inst: &Instance,
     reps: u32,
     mut build_sched: impl FnMut() -> Box<dyn OnlineScheduler>,
     engine_fn: impl Fn(&mut StaticSource, &mut dyn OnlineScheduler) -> RunResult,
 ) -> (f64, RunResult) {
-    let mut best = f64::INFINITY;
+    {
+        let mut source = StaticSource::new(inst.clone());
+        let mut sched = build_sched();
+        engine_fn(&mut source, sched.as_mut());
+    }
+    let mut times = Vec::with_capacity(reps.max(1) as usize);
     let mut out = None;
     for _ in 0..reps.max(1) {
         let mut source = StaticSource::new(inst.clone());
         let mut sched = build_sched();
         let t0 = Instant::now();
         let r = engine_fn(&mut source, sched.as_mut());
-        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
         out = Some(r);
     }
-    (best, out.expect("reps >= 1"))
+    times.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    (times[times.len() / 2], out.expect("reps >= 1"))
 }
 
 fn run_scenario(sc: &Scenario) -> ScenarioResult {
     let inst = sc.instance();
     let stats = analysis::stats(&inst);
     let lb = analysis::lower_bound(&inst);
-    let (wall_ms, result) = time_best(
+    let (wall_ms, result) = time_median(
         &inst,
         sc.reps,
         || sc.sched.build(inst.procs()),
@@ -315,18 +343,19 @@ fn run_scenario(sc: &Scenario) -> ScenarioResult {
         lower_bound: lb.to_f64(),
         makespan_ratio: result.makespan().ratio(lb).to_f64(),
         length_ratio: stats.length_ratio(),
+        repeats: Some(sc.reps),
     }
 }
 
 fn run_reference_comparison(sc: &Scenario, event_driven_ms: f64) -> RefComparison {
     let inst = sc.instance();
-    let (reference_ms, old_result) = time_best(
+    let (reference_ms, old_result) = time_median(
         &inst,
         sc.reps,
         || Box::new(PreRefactorFifo::new()),
         |src, sched| reference::run(src, sched),
     );
-    let (engine_only_ms, _) = time_best(
+    let (engine_only_ms, _) = time_median(
         &inst,
         sc.reps,
         || sc.sched.build(inst.procs()),
@@ -353,9 +382,20 @@ fn run_reference_comparison(sc: &Scenario, event_driven_ms: f64) -> RefCompariso
 /// Runs the matrix and assembles the report. The full tier
 /// (`quick = false`) also times [`REFERENCE_SCENARIO`] on the frozen
 /// pre-refactor engine and records the speedup.
-pub fn run(quick: bool) -> BenchReport {
+///
+/// `jobs >= 2` sweeps the scenarios on a worker pool; the report lists
+/// them in matrix order regardless. Per-scenario wall times measured
+/// under a concurrent sweep include cross-scenario contention — use
+/// `jobs = 1` when the absolute numbers matter, `jobs > 1` when sweep
+/// latency does (e.g. the CI smoke tier). The reference-engine
+/// comparison is always timed serially, after the sweep.
+pub fn run(quick: bool, jobs: usize) -> BenchReport {
     let matrix = scenarios(quick);
-    let results: Vec<ScenarioResult> = matrix.iter().map(run_scenario).collect();
+    let results: Vec<ScenarioResult> = rigid_exec::ordered_map(
+        (0..matrix.len()).collect(),
+        jobs,
+        |_, i| run_scenario(&matrix[i]),
+    );
     let reference = if quick {
         None
     } else {
@@ -413,10 +453,16 @@ pub struct JournaledRun {
 /// Runs the matrix with a scenario journal at `path`. Tolerates a torn
 /// trailing line (crash artifact); rejects a journal written for a
 /// different tier or schema with a clear message.
+///
+/// `jobs >= 2` times the pending scenarios on a worker pool and then
+/// journals them in matrix order (a crash mid-sweep loses the whole
+/// in-flight batch, which resume simply re-times); `jobs <= 1` keeps
+/// the serial per-scenario checkpoint discipline.
 pub fn run_journaled(
     quick: bool,
     path: &std::path::Path,
     resume: bool,
+    jobs: usize,
 ) -> Result<JournaledRun, String> {
     use std::io::Write;
 
@@ -496,16 +542,37 @@ pub fn run_journaled(
     let mut results = Vec::with_capacity(matrix.len());
     let mut executed = 0;
     let mut replayed = 0;
-    for sc in &matrix {
-        if let Some(r) = done.get(sc.name) {
-            results.push(r.clone());
-            replayed += 1;
-            continue;
+    if jobs <= 1 {
+        for sc in &matrix {
+            if let Some(r) = done.get(sc.name) {
+                results.push(r.clone());
+                replayed += 1;
+                continue;
+            }
+            let r = run_scenario(sc);
+            record(&mut file, &BenchRecord::Scenario { result: r.clone() })?;
+            executed += 1;
+            results.push(r);
         }
-        let r = run_scenario(sc);
-        record(&mut file, &BenchRecord::Scenario { result: r.clone() })?;
-        executed += 1;
-        results.push(r);
+    } else {
+        let pending: Vec<usize> = (0..matrix.len())
+            .filter(|&i| !done.contains_key(matrix[i].name))
+            .collect();
+        let fresh =
+            rigid_exec::ordered_map(pending.clone(), jobs, |_, i| run_scenario(&matrix[i]));
+        let mut fresh_by_index: std::collections::BTreeMap<usize, ScenarioResult> =
+            pending.into_iter().zip(fresh).collect();
+        for (i, sc) in matrix.iter().enumerate() {
+            if let Some(r) = done.get(sc.name) {
+                results.push(r.clone());
+                replayed += 1;
+                continue;
+            }
+            let r = fresh_by_index.remove(&i).expect("pending scenario was timed");
+            record(&mut file, &BenchRecord::Scenario { result: r.clone() })?;
+            executed += 1;
+            results.push(r);
+        }
     }
 
     let reference = if quick {
@@ -580,9 +647,9 @@ pub fn check_regression(
     factor: f64,
 ) -> Result<(), String> {
     assert!(factor >= 1.0, "regression factor must be >= 1");
-    if baseline.schema != SCHEMA {
+    if baseline.schema != SCHEMA && baseline.schema != SCHEMA_V1 {
         return Err(format!(
-            "baseline schema {:?} does not match {SCHEMA:?}",
+            "baseline schema {:?} does not match {SCHEMA:?} (or {SCHEMA_V1:?})",
             baseline.schema
         ));
     }
@@ -612,7 +679,7 @@ mod tests {
 
     #[test]
     fn quick_tier_runs_and_reports() {
-        let report = run(true);
+        let report = run(true, 1);
         assert_eq!(report.schema, SCHEMA);
         assert!(report.quick);
         assert!(report.reference.is_none());
@@ -628,22 +695,35 @@ mod tests {
                 r.makespan_ratio
             );
             assert!(r.length_ratio.is_some(), "{}: degenerate stats", r.name);
+            assert!(r.repeats.is_some_and(|n| n >= 1), "{}: no repeat count", r.name);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_keeps_matrix_order_and_measurements_sane() {
+        let report = run(true, 4);
+        let serial_names: Vec<&str> = scenarios(true).iter().map(|s| s.name).collect();
+        let swept: Vec<String> = report.scenarios.iter().map(|r| r.name.clone()).collect();
+        assert_eq!(swept, serial_names, "parallel sweep must keep matrix order");
+        for r in &report.scenarios {
+            assert!(r.events > 0 && r.wall_ms > 0.0, "{}: bad measurement", r.name);
         }
     }
 
     #[test]
     fn report_roundtrips_through_json() {
-        let report = run(true);
+        let report = run(true, 1);
         let text = serde_json::to_string_pretty(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back.schema, report.schema);
         assert_eq!(back.scenarios.len(), report.scenarios.len());
         assert_eq!(back.scenarios[0].events, report.scenarios[0].events);
+        assert_eq!(back.scenarios[0].repeats, report.scenarios[0].repeats);
     }
 
     #[test]
     fn regression_check_accepts_self_and_rejects_collapse() {
-        let report = run(true);
+        let report = run(true, 1);
         check_regression(&report, &report, 2.0).expect("self-comparison passes");
         let mut slow = report.clone();
         for r in &mut slow.scenarios {
@@ -659,6 +739,41 @@ mod tests {
     }
 
     #[test]
+    fn regression_check_accepts_v1_baselines_without_repeats() {
+        let report = run(true, 1);
+        // A v1 baseline: old schema string, no `repeats` field at all.
+        let mut v1_json = serde_json::to_string(&report).unwrap();
+        v1_json = v1_json.replace(SCHEMA, SCHEMA_V1);
+        let v1_json = regex_strip_repeats(&v1_json);
+        let baseline: BenchReport =
+            serde_json::from_str(&v1_json).expect("v1 report must still parse");
+        assert_eq!(baseline.schema, SCHEMA_V1);
+        assert!(baseline.scenarios.iter().all(|r| r.repeats.is_none()));
+        check_regression(&report, &baseline, 2.0).expect("v1 baseline accepted");
+        // Unknown schemas are still rejected.
+        let mut alien = report.clone();
+        alien.schema = "catbatch-bench-engine/v99".into();
+        assert!(check_regression(&report, &alien, 2.0).is_err());
+    }
+
+    /// Drops every `"repeats": <n>` member from a serialized report,
+    /// emulating a document written before the field existed.
+    fn regex_strip_repeats(json: &str) -> String {
+        let mut out = String::with_capacity(json.len());
+        let mut rest = json;
+        while let Some(pos) = rest.find(",\"repeats\":") {
+            out.push_str(&rest[..pos]);
+            let after = &rest[pos + ",\"repeats\":".len()..];
+            let end = after
+                .find(|c: char| !c.is_ascii_digit())
+                .expect("repeats value is followed by more JSON");
+            rest = &after[end..];
+        }
+        out.push_str(rest);
+        out
+    }
+
+    #[test]
     fn journal_resume_skips_completed_scenarios() {
         let path = std::env::temp_dir().join(format!(
             "catbatch-bench-journal-test-{}.jsonl",
@@ -666,31 +781,39 @@ mod tests {
         ));
         let _ = std::fs::remove_file(&path);
 
-        let first = run_journaled(true, &path, false).expect("fresh journaled run");
+        let first = run_journaled(true, &path, false, 1).expect("fresh journaled run");
         assert_eq!(first.executed, scenarios(true).len());
         assert_eq!(first.replayed, 0);
 
         // A complete journal resumes without timing anything, and the
-        // replayed measurements are the journaled ones verbatim.
-        let second = run_journaled(true, &path, true).expect("no-op resume");
-        assert_eq!(second.executed, 0);
-        assert_eq!(second.replayed, scenarios(true).len());
-        assert_eq!(
-            serde_json::to_string(&second.report.scenarios).unwrap(),
-            serde_json::to_string(&first.report.scenarios).unwrap(),
-        );
+        // replayed measurements are the journaled ones verbatim — on any
+        // worker count.
+        for jobs in [1, 4] {
+            let second = run_journaled(true, &path, true, jobs).expect("no-op resume");
+            assert_eq!(second.executed, 0, "jobs={jobs}");
+            assert_eq!(second.replayed, scenarios(true).len(), "jobs={jobs}");
+            assert_eq!(
+                serde_json::to_string(&second.report.scenarios).unwrap(),
+                serde_json::to_string(&first.report.scenarios).unwrap(),
+            );
+        }
 
         // Truncate to the header plus two records — a crash mid-run —
-        // and resume: only the lost scenarios re-run.
+        // and resume on a worker pool: only the lost scenarios re-run,
+        // and the journal order matches the matrix.
         let text = std::fs::read_to_string(&path).unwrap();
         let kept: String = text.split_inclusive('\n').take(3).collect();
         std::fs::write(&path, kept).unwrap();
-        let third = run_journaled(true, &path, true).expect("resume after crash");
+        let third = run_journaled(true, &path, true, 4).expect("resume after crash");
         assert_eq!(third.replayed, 2);
         assert_eq!(third.executed, scenarios(true).len() - 2);
+        let matrix_names: Vec<&str> = scenarios(true).iter().map(|s| s.name).collect();
+        let reported: Vec<String> =
+            third.report.scenarios.iter().map(|r| r.name.clone()).collect();
+        assert_eq!(reported, matrix_names);
 
         // The quick-tier journal must not be mixed into a full-tier run.
-        let err = run_journaled(false, &path, true).unwrap_err();
+        let err = run_journaled(false, &path, true, 1).unwrap_err();
         assert!(err.contains("tier"), "{err}");
         let _ = std::fs::remove_file(&path);
     }

@@ -73,8 +73,8 @@ pub enum Command {
     },
     /// `faults <file> [--scheduler S] [--seed N] [--trials K] [--fail F]
     /// [--straggle G] [--retries R] [--journal PATH [--resume]]
-    /// [--watchdog-ms N] [--max-events N]` — seeded fault campaign,
-    /// optionally supervised and journaled.
+    /// [--watchdog-ms N] [--max-events N] [--jobs N]` — seeded fault
+    /// campaign, optionally supervised, journaled, and parallel.
     Faults {
         /// Instance file path.
         file: String,
@@ -98,6 +98,9 @@ pub enum Command {
         watchdog_ms: Option<u64>,
         /// Per-trial engine event budget.
         max_events: Option<u64>,
+        /// Worker threads for trial execution (`None` = all cores).
+        /// Results are byte-identical for every value.
+        jobs: Option<usize>,
     },
     /// `bench [--json] [--quick] [--out PATH] [--check BASELINE]` — run
     /// the fixed perf scenario matrix.
@@ -117,6 +120,8 @@ pub enum Command {
         journal: Option<String>,
         /// Replay journaled scenarios instead of re-timing them.
         resume: bool,
+        /// Worker threads for the scenario sweep (`None` = all cores).
+        jobs: Option<usize>,
     },
     /// `verify <file> <schedule.json>` — validate an externally produced
     /// schedule against an instance.
@@ -149,7 +154,7 @@ USAGE:
   catbatch faults <file.rigid> [--scheduler S] [--seed N] [--trials K]
                   [--fail F] [--straggle G] [--retries R]
                   [--journal PATH [--resume]] [--watchdog-ms N]
-                  [--max-events N]
+                  [--max-events N] [--jobs N]
       run a seeded fault campaign: K trials with fail-stop probability
       F permille and straggler probability G permille per attempt,
       retrying each task up to R times; reports retries, wasted area
@@ -160,15 +165,18 @@ USAGE:
       a killed campaign picks up where it stopped; --watchdog-ms cuts
       off hung trials; --max-events bounds each trial's engine events;
       panics, timeouts and blown budgets are recorded per trial while
-      the rest of the campaign keeps running (see docs/resilience.md)
+      the rest of the campaign keeps running (see docs/resilience.md);
+      --jobs fans trials out over N worker threads (default: all
+      cores) — reports and journals are byte-identical for every N
   catbatch bench [--json] [--quick] [--out PATH] [--check BASELINE]
-                 [--journal PATH [--resume]]
+                 [--journal PATH [--resume]] [--jobs N]
       run the fixed perf scenario matrix (paper figures + random DAGs
       at n = 1e3/1e4/1e5) and print the throughput table; --json also
       writes BENCH_engine.json (or PATH); --quick runs the small tier;
       --check fails on a >2x events/sec regression vs a baseline report;
       --journal/--resume checkpoint finished scenarios so a killed
-      bench run resumes without re-timing them
+      bench run resumes without re-timing them; --jobs runs the sweep
+      on N worker threads (scenario order in the report is unchanged)
   catbatch convert <file.rigid> --dot
       emit Graphviz DOT to stdout
   catbatch verify <file.rigid> <schedule.json>
@@ -184,6 +192,14 @@ fn take_value<'a>(
     it.next()
         .map(str::to_string)
         .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_jobs(value: &str) -> Result<usize, String> {
+    let n: usize = value.parse().map_err(|_| "bad --jobs value".to_string())?;
+    if n == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    Ok(n)
 }
 
 /// Parses command-line arguments (without the program name).
@@ -273,6 +289,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             let mut resume = false;
             let mut watchdog_ms = None;
             let mut max_events = None;
+            let mut jobs = None;
             while let Some(a) = it.next() {
                 match a {
                     "--scheduler" => {
@@ -319,6 +336,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                                 .map_err(|_| "bad --max-events value".to_string())?,
                         )
                     }
+                    "--jobs" => jobs = Some(parse_jobs(&take_value(a, &mut it)?)?),
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unexpected argument {other:?}")),
                 }
@@ -344,6 +362,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 resume,
                 watchdog_ms,
                 max_events,
+                jobs,
             })
         }
         Some("bench") => {
@@ -353,6 +372,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             let mut check = None;
             let mut journal = None;
             let mut resume = false;
+            let mut jobs = None;
             while let Some(a) = it.next() {
                 match a {
                     "--json" => json = true,
@@ -361,6 +381,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                     "--check" => check = Some(take_value(a, &mut it)?),
                     "--journal" => journal = Some(take_value(a, &mut it)?),
                     "--resume" => resume = true,
+                    "--jobs" => jobs = Some(parse_jobs(&take_value(a, &mut it)?)?),
                     other => return Err(format!("unexpected argument {other:?}")),
                 }
             }
@@ -374,6 +395,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 check,
                 journal,
                 resume,
+                jobs,
             })
         }
         Some("verify") => {
@@ -459,12 +481,13 @@ mod tests {
                 check: None,
                 journal: None,
                 resume: false,
+                jobs: None,
             }
         );
         assert_eq!(
             parse_args(&[
                 "bench", "--json", "--quick", "--out", "b.json", "--check", "base.json",
-                "--journal", "j.jsonl", "--resume",
+                "--journal", "j.jsonl", "--resume", "--jobs", "4",
             ])
             .unwrap(),
             Command::Bench {
@@ -474,11 +497,27 @@ mod tests {
                 check: Some("base.json".into()),
                 journal: Some("j.jsonl".into()),
                 resume: true,
+                jobs: Some(4),
             }
         );
         assert!(parse_args(&["bench", "--out"]).is_err());
         assert!(parse_args(&["bench", "extra"]).is_err());
         assert!(parse_args(&["bench", "--resume"]).is_err());
+    }
+
+    #[test]
+    fn parses_and_validates_jobs() {
+        match parse_args(&["faults", "w.rigid", "--jobs", "8"]).unwrap() {
+            Command::Faults { jobs, .. } => assert_eq!(jobs, Some(8)),
+            other => panic!("expected Faults, got {other:?}"),
+        }
+        match parse_args(&["faults", "w.rigid"]).unwrap() {
+            Command::Faults { jobs, .. } => assert_eq!(jobs, None),
+            other => panic!("expected Faults, got {other:?}"),
+        }
+        assert!(parse_args(&["faults", "w.rigid", "--jobs", "0"]).is_err());
+        assert!(parse_args(&["faults", "w.rigid", "--jobs", "lots"]).is_err());
+        assert!(parse_args(&["bench", "--jobs", "0"]).is_err());
     }
 
     #[test]

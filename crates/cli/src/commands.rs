@@ -57,6 +57,7 @@ pub fn run_command(
             resume,
             watchdog_ms,
             max_events,
+            jobs,
         } => {
             let inst = load(file, read_file)?;
             faults_cmd(
@@ -71,6 +72,7 @@ pub fn run_command(
                 *resume,
                 *watchdog_ms,
                 *max_events,
+                *jobs,
             )
         }
         Command::Bench {
@@ -80,6 +82,7 @@ pub fn run_command(
             check,
             journal,
             resume,
+            jobs,
         } => bench_cmd(
             *json,
             *quick,
@@ -87,6 +90,7 @@ pub fn run_command(
             check.as_deref(),
             journal.as_deref(),
             *resume,
+            *jobs,
             read_file,
         ),
         Command::Verify { file, schedule } => {
@@ -207,8 +211,9 @@ fn faults_cmd(
     resume: bool,
     watchdog_ms: Option<u64>,
     max_events: Option<u64>,
+    jobs: Option<usize>,
 ) -> Result<String, String> {
-    use rigid_faults::{run_trials, FaultConfig};
+    use rigid_faults::{run_trials_jobs, FaultConfig};
 
     let config = FaultConfig {
         fail_permille: fail,
@@ -219,15 +224,23 @@ fn faults_cmd(
     };
     let seeds: Vec<u64> = (0..trials as u64).map(|i| seed + i).collect();
     let name = build_fault_scheduler(choice, inst.procs(), retries).name();
+    let jobs = rigid_exec::resolve_jobs(jobs);
+    let started = std::time::Instant::now();
 
     let supervised =
         journal.is_some() || resume || watchdog_ms.is_some() || max_events.is_some();
     if !supervised {
-        // The plain path is untouched: same campaign runner, same
-        // byte-for-byte report as before supervision existed.
-        let stats = run_trials(inst, &config, &seeds, || {
-            build_fault_scheduler(choice, inst.procs(), retries)
-        });
+        // Same campaign semantics as before supervision existed; the
+        // report is byte-for-byte identical for every worker count.
+        let stats = run_trials_jobs(
+            inst,
+            &config,
+            &seeds,
+            rigid_sim::RunBudget::UNLIMITED,
+            jobs,
+            || build_fault_scheduler(choice, inst.procs(), retries),
+        );
+        report_throughput(trials, jobs, started.elapsed());
         return Ok(render_campaign(
             name, inst, &config, seed, trials, fail, straggle, retries, &stats,
         ));
@@ -244,6 +257,7 @@ fn faults_cmd(
             .map_or(rigid_sim::RunBudget::UNLIMITED, rigid_sim::RunBudget::max_events),
         journal: journal.map(std::path::PathBuf::from),
         resume,
+        jobs,
     };
     rigid_supervise::interrupt::install();
     let outcome = run_campaign(
@@ -255,6 +269,7 @@ fn faults_cmd(
         move || build_fault_scheduler(choice, procs, retries),
     )
     .map_err(|e| e.to_string())?;
+    report_throughput(outcome.executed, jobs, started.elapsed());
 
     let mut out = render_campaign(
         name, inst, &config, seed, trials, fail, straggle, retries, &outcome.stats,
@@ -273,6 +288,19 @@ fn faults_cmd(
         );
     }
     Ok(out)
+}
+
+/// Prints the campaign throughput line to **stderr**: stdout is the
+/// byte-reproducible report (CI diffs it across runs and worker
+/// counts), while throughput is wall-clock-dependent telemetry.
+fn report_throughput(executed: usize, jobs: usize, elapsed: std::time::Duration) {
+    let secs = elapsed.as_secs_f64();
+    if executed > 0 && secs > 0.0 {
+        eprintln!(
+            "campaign throughput: {:.0} trials/sec ({executed} trials, --jobs {jobs})",
+            executed as f64 / secs
+        );
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -391,6 +419,7 @@ fn generate_cmd(family: &str, n: usize, procs: u32, seed: u64) -> Result<String,
 /// place this CLI writes a file, since the trajectory is the product).
 /// With `--check`, the run fails if events/sec regressed more than 2x
 /// against the given baseline report for any shared scenario.
+#[allow(clippy::too_many_arguments)]
 fn bench_cmd(
     json: bool,
     quick: bool,
@@ -398,15 +427,21 @@ fn bench_cmd(
     check: Option<&str>,
     journal: Option<&str>,
     resume: bool,
+    jobs: Option<usize>,
     read_file: &dyn Fn(&str) -> Result<String, String>,
 ) -> Result<String, String> {
+    let jobs = rigid_exec::resolve_jobs(jobs);
     let (report, journal_counts) = match journal {
         Some(path) => {
-            let run =
-                rigid_bench::perf::run_journaled(quick, std::path::Path::new(path), resume)?;
+            let run = rigid_bench::perf::run_journaled(
+                quick,
+                std::path::Path::new(path),
+                resume,
+                jobs,
+            )?;
             (run.report, Some((run.executed, run.replayed)))
         }
-        None => (rigid_bench::perf::run(quick), None),
+        None => (rigid_bench::perf::run(quick, jobs), None),
     };
     let mut text = rigid_bench::perf::render_table(&report);
     if let Some((executed, replayed)) = journal_counts {
@@ -507,7 +542,7 @@ mod tests {
         let cmd =
             parse_args(&["bench", "--quick", "--check", "sample.rigid"]).unwrap();
         let err = run_command(&cmd, &fs).unwrap_err();
-        assert!(err.contains("not a catbatch-bench-engine/v1 report"), "{err}");
+        assert!(err.contains("not a catbatch-bench-engine/v1.1 report"), "{err}");
         assert!(err.contains("catbatch bench --json --out"), "{err}");
     }
 

@@ -3,7 +3,10 @@
 
 use crate::injector::{FaultConfig, FaultInjector};
 use rigid_dag::{Instance, StaticSource};
-use rigid_sim::{try_run, try_run_budgeted, OnlineScheduler, RunBudget, RunError};
+use rigid_exec::{ordered_map, ScratchPool};
+use rigid_sim::{
+    try_run, try_run_budgeted_reusing, EngineScratch, OnlineScheduler, RunBudget, RunError,
+};
 use rigid_time::{Rational, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -158,12 +161,28 @@ pub fn run_trial(
     budget: RunBudget,
     scheduler: &mut dyn OnlineScheduler,
 ) -> TrialStats {
+    run_trial_reusing(instance, config, seed, budget, scheduler, &mut EngineScratch::new())
+}
+
+/// [`run_trial`] with caller-owned [`EngineScratch`] so campaign runners
+/// can keep the engine's allocations warm across trials. Identical
+/// results for any scratch history (see
+/// [`rigid_sim::try_run_budgeted_reusing`]).
+pub fn run_trial_reusing(
+    instance: &Instance,
+    config: &FaultConfig,
+    seed: u64,
+    budget: RunBudget,
+    scheduler: &mut dyn OnlineScheduler,
+    scratch: &mut EngineScratch,
+) -> TrialStats {
     let mut injector = FaultInjector::new(seed, config.clone());
-    let run = try_run_budgeted(
+    let run = try_run_budgeted_reusing(
         &mut StaticSource::new(instance.clone()),
         scheduler,
         &mut injector,
         budget,
+        scratch,
     );
     match run {
         Ok(result) => TrialStats {
@@ -234,27 +253,87 @@ where
     let baseline = try_run(&mut StaticSource::new(instance.clone()), &mut baseline_sched)
         .expect("fault-free baseline run must succeed");
 
+    let mut scratch = EngineScratch::new();
     let trials = seeds
         .iter()
         .map(|&seed| {
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 let mut sched = make_scheduler();
-                run_trial(instance, config, seed, budget, &mut sched)
+                run_trial_reusing(instance, config, seed, budget, &mut sched, &mut scratch)
             }));
-            attempt.unwrap_or_else(|payload| TrialStats {
-                seed,
-                outcome: Err(TrialError::Panicked { message: panic_message(payload) }),
-                failures: 0,
-                wasted_area: Time::ZERO,
-                inflated_area: Time::ZERO,
-                min_capacity: instance.procs(),
-            })
+            attempt.unwrap_or_else(|payload| panicked_trial(instance, seed, payload))
         })
         .collect();
 
     CampaignStats {
         fault_free_makespan: baseline.makespan(),
         trials,
+    }
+}
+
+/// The parallel form of [`run_trials_budgeted`]: trials fan out over up
+/// to `jobs` worker threads (work-stealing over the seed list), each
+/// reusing pooled [`EngineScratch`], and the aggregated result is
+/// **identical** to the serial runners — trials stay in input seed order
+/// and every per-trial value is a pure function of
+/// `(instance, config, seed, budget)`.
+///
+/// `make_scheduler` is `Fn + Sync` (not `FnMut`) because workers call it
+/// concurrently; scheduler construction must not carry mutable state
+/// across trials (the serial runners' `FnMut` callers almost never do,
+/// and a campaign whose trials depend on construction order would not be
+/// reproducible anyway).
+///
+/// # Panics
+/// Panics if the fault-free baseline run fails (see [`run_trials`]).
+pub fn run_trials_jobs<S, F>(
+    instance: &Instance,
+    config: &FaultConfig,
+    seeds: &[u64],
+    budget: RunBudget,
+    jobs: usize,
+    make_scheduler: F,
+) -> CampaignStats
+where
+    S: OnlineScheduler,
+    F: Fn() -> S + Sync,
+{
+    let mut baseline_sched = make_scheduler();
+    let baseline = try_run(&mut StaticSource::new(instance.clone()), &mut baseline_sched)
+        .expect("fault-free baseline run must succeed");
+
+    let scratch: ScratchPool<EngineScratch> = ScratchPool::new();
+    let trials = ordered_map(seeds.to_vec(), jobs, |_, seed| {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            scratch.with(EngineScratch::new, |scratch| {
+                let mut sched = make_scheduler();
+                run_trial_reusing(instance, config, seed, budget, &mut sched, scratch)
+            })
+        }));
+        attempt.unwrap_or_else(|payload| panicked_trial(instance, seed, payload))
+    });
+
+    CampaignStats {
+        fault_free_makespan: baseline.makespan(),
+        trials,
+    }
+}
+
+/// The `TrialStats` recorded for a trial whose scheduler (or injector)
+/// panicked — shared by the serial and parallel runners so both record
+/// byte-identical outcomes.
+fn panicked_trial(
+    instance: &Instance,
+    seed: u64,
+    payload: Box<dyn std::any::Any + Send>,
+) -> TrialStats {
+    TrialStats {
+        seed,
+        outcome: Err(TrialError::Panicked { message: panic_message(payload) }),
+        failures: 0,
+        wasted_area: Time::ZERO,
+        inflated_area: Time::ZERO,
+        min_capacity: instance.procs(),
     }
 }
 
@@ -403,6 +482,22 @@ mod tests {
             mixed.trials.iter().any(|t| matches!(t.outcome, Err(TrialError::Panicked { .. }))),
             "some seeds inject a failure and trip the grenade"
         );
+    }
+
+    #[test]
+    fn parallel_trials_match_serial_for_any_jobs() {
+        let inst = figure3();
+        let cfg = FaultConfig::fail_stop(400, 2);
+        let seeds: Vec<u64> = (100..140).collect();
+        let serial = run_trials(&inst, &cfg, &seeds, || {
+            CatBatch::new().with_retry_budget(2)
+        });
+        for jobs in [1, 2, 8] {
+            let parallel = run_trials_jobs(&inst, &cfg, &seeds, RunBudget::UNLIMITED, jobs, || {
+                CatBatch::new().with_retry_budget(2)
+            });
+            assert_eq!(parallel, serial, "jobs={jobs} must be trial-for-trial identical");
+        }
     }
 
     #[test]

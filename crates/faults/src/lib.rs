@@ -32,7 +32,7 @@ pub mod campaign;
 pub mod injector;
 
 pub use campaign::{
-    panic_message, run_trial, run_trials, run_trials_budgeted, CampaignStats, TrialError,
-    TrialStats,
+    panic_message, run_trial, run_trial_reusing, run_trials, run_trials_budgeted,
+    run_trials_jobs, CampaignStats, TrialError, TrialStats,
 };
 pub use injector::{CapacityDip, FaultConfig, FaultInjector};

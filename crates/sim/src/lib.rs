@@ -59,7 +59,10 @@ pub mod svg;
 pub mod trace;
 pub mod scheduler;
 
-pub use engine::{run, try_run, try_run_budgeted, try_run_faulty, EngineStats, RunBudget, RunResult};
+pub use engine::{
+    run, try_run, try_run_budgeted, try_run_budgeted_reusing, try_run_faulty, EngineScratch,
+    EngineStats, RunBudget, RunResult,
+};
 pub use error::{BudgetKind, RunError, SchedulerViolation, SourceViolation};
 pub use fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
 pub use offline::OfflineScheduler;

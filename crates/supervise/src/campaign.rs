@@ -2,15 +2,20 @@
 //! checkpoints + graceful interrupt points.
 
 use crate::journal::{read_journal, JournalError, JournalHeader, JournalWriter, JOURNAL_SCHEMA};
-use crate::supervisor::{Supervisor, SupervisorPolicy};
+use crate::supervisor::{run_supervised, SharedQuarantine, Supervisor, SupervisorPolicy};
 use rigid_dag::{instance_fingerprint, Instance, StableHasher, StaticSource};
-use rigid_faults::{run_trial, CampaignStats, FaultConfig, TrialStats};
-use rigid_sim::{try_run, OnlineScheduler, RunBudget, RunError};
+use rigid_exec::{ReorderBuffer, ReorderWait, ScratchPool};
+use rigid_faults::{run_trial, run_trial_reusing, CampaignStats, FaultConfig, TrialError, TrialStats};
+use rigid_sim::{try_run, EngineScratch, OnlineScheduler, RunBudget, RunError};
 use rigid_time::Time;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// How a campaign should be supervised, journaled, and budgeted.
 #[derive(Clone, Debug, Default)]
@@ -24,6 +29,13 @@ pub struct CampaignOptions {
     /// With a journal: replay existing records instead of truncating.
     /// A missing journal file resumes into a fresh one.
     pub resume: bool,
+    /// Worker threads for trial execution. `0` and `1` both run the
+    /// serial in-line loop (with its per-trial fsync durability); `>= 2`
+    /// fans trials out over a work-stealing pool whose results are
+    /// reordered into canonical seed order and journaled with group
+    /// commit — journals and aggregates stay **byte-identical** to
+    /// serial execution for any value.
+    pub jobs: usize,
 }
 
 /// What a campaign invocation did, beyond the aggregate stats.
@@ -109,14 +121,89 @@ pub fn campaign_fingerprint(
     h.finish()
 }
 
+/// Group commit: fsync the journal after this many buffered records…
+const GROUP_COMMIT_BATCH: usize = 64;
+/// …or once the oldest unsynced record is this stale, whichever first.
+const GROUP_COMMIT_DEADLINE: Duration = Duration::from_millis(25);
+/// How often the parallel coordinator wakes while waiting for an
+/// out-of-order result, to honor the flush deadline.
+const COORDINATOR_POLL: Duration = Duration::from_millis(5);
+
+/// Batches journal appends into group commits: records are written (one
+/// `write` each, surviving a process kill) but fsynced only per batch or
+/// per deadline — one disk stall per [`GROUP_COMMIT_BATCH`] trials
+/// instead of one per trial. [`flush`](GroupCommit::flush) runs on
+/// interrupt and at campaign end, so a graceful stop loses nothing; an
+/// outright power loss costs at most the unsynced suffix, which resume
+/// re-executes.
+struct GroupCommit<'a> {
+    writer: Option<&'a mut JournalWriter>,
+    pending: usize,
+    dirty_since: Option<Instant>,
+}
+
+impl<'a> GroupCommit<'a> {
+    fn new(writer: Option<&'a mut JournalWriter>) -> Self {
+        GroupCommit { writer, pending: 0, dirty_since: None }
+    }
+
+    fn record(&mut self, trial: &TrialStats) -> Result<(), JournalError> {
+        let Some(w) = self.writer.as_deref_mut() else { return Ok(()) };
+        w.record_buffered(trial)?;
+        self.pending += 1;
+        self.dirty_since.get_or_insert_with(Instant::now);
+        if self.pending >= GROUP_COMMIT_BATCH {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush_if_due(&mut self) -> Result<(), JournalError> {
+        if self.dirty_since.is_some_and(|t| t.elapsed() >= GROUP_COMMIT_DEADLINE) {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), JournalError> {
+        if self.pending > 0 {
+            if let Some(w) = self.writer.as_deref_mut() {
+                w.sync()?;
+            }
+        }
+        self.pending = 0;
+        self.dirty_since = None;
+        Ok(())
+    }
+}
+
+/// The `TrialStats` recorded when the supervision envelope — not the
+/// engine — rejected the trial (panicked, timed out, quarantined).
+fn enveloped_failure(instance: &Instance, seed: u64, err: TrialError) -> TrialStats {
+    TrialStats {
+        seed,
+        outcome: Err(err),
+        failures: 0,
+        wasted_area: Time::ZERO,
+        inflated_area: Time::ZERO,
+        min_capacity: instance.procs(),
+    }
+}
+
 /// Runs a supervised, journaled, resumable fault campaign.
 ///
 /// Per seed, in order: if `stop()` returns true the campaign winds down
-/// (journal already flushed — every finished trial is fsynced); if the
+/// (journal flushed — every recorded trial is fsynced); if the
 /// journal holds the seed's record it is replayed **byte-for-byte**;
-/// otherwise the trial runs under the supervisor (panic capture,
-/// watchdog, retries, quarantine) and its record is appended and
-/// fsynced before the next seed starts.
+/// otherwise the trial runs under the supervision envelope (panic
+/// capture, watchdog, retries, quarantine) and its record is appended
+/// in canonical seed order.
+///
+/// With `options.jobs >= 2`, trials fan out over a work-stealing worker
+/// pool; a single coordinator reorders results into seed order before
+/// journaling, batching appends with group commit. Journals, aggregates,
+/// and `TrialStats` are byte-identical to serial execution for any
+/// thread count, and kill-and-resume replays exactly the same records.
 ///
 /// Resuming a journal written for a different scenario (instance,
 /// config, scheduler, or event budget) fails with
@@ -127,7 +214,7 @@ pub fn run_campaign<S, F>(
     config: &FaultConfig,
     seeds: &[u64],
     options: &CampaignOptions,
-    stop: impl Fn() -> bool,
+    stop: impl Fn() -> bool + Sync,
     make_scheduler: F,
 ) -> Result<CampaignOutcome, CampaignError>
 where
@@ -155,10 +242,10 @@ where
             }
             baseline = Some(contents.header.fault_free_makespan);
             torn_tail = contents.torn_tail;
+            writer = Some(JournalWriter::append_validated(path, &contents)?);
             for t in contents.trials {
                 replay.entry(t.seed).or_insert(t);
             }
-            writer = Some(JournalWriter::append(path)?);
         }
     }
 
@@ -190,52 +277,164 @@ where
         }
     }
 
-    let mut supervisor = Supervisor::new(options.policy);
     let mut trials = Vec::with_capacity(seeds.len());
     let mut executed = 0;
     let mut replayed = 0;
     let mut interrupted = false;
+    let jobs = options.jobs.max(1);
 
-    for &seed in seeds {
-        if stop() {
-            interrupted = true;
-            break;
+    if jobs <= 1 {
+        let mut supervisor = Supervisor::new(options.policy);
+        for &seed in seeds {
+            if stop() {
+                interrupted = true;
+                break;
+            }
+            if let Some(t) = replay.get(&seed) {
+                trials.push(t.clone());
+                replayed += 1;
+                continue;
+            }
+            let budget = options.budget;
+            let inst = instance.clone();
+            let cfg = config.clone();
+            let mk = make_scheduler.clone();
+            let trial = supervisor
+                .run_trial(seed, fingerprint, move || {
+                    let inst = inst.clone();
+                    let cfg = cfg.clone();
+                    let mk = mk.clone();
+                    move || {
+                        let mut sched = mk();
+                        run_trial(&inst, &cfg, seed, budget, &mut sched)
+                    }
+                })
+                .unwrap_or_else(|err| enveloped_failure(instance, seed, err));
+            if let Some(w) = writer.as_mut() {
+                w.record(&trial)?;
+            }
+            executed += 1;
+            // Duplicate seeds later in the list replay this result
+            // instead of re-running.
+            replay.insert(seed, trial.clone());
+            trials.push(trial);
         }
-        if let Some(t) = replay.get(&seed) {
-            trials.push(t.clone());
-            replayed += 1;
-            continue;
+    } else {
+        // Work list: the first occurrence of each seed that is not
+        // already in the journal. Duplicates and replayed seeds are
+        // resolved by the coordinator from `replay`, exactly like the
+        // serial loop.
+        let mut desc_index: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut descs: Vec<u64> = Vec::new();
+        for &seed in seeds {
+            if !replay.contains_key(&seed) && !desc_index.contains_key(&seed) {
+                desc_index.insert(seed, descs.len());
+                descs.push(seed);
+            }
         }
+        let total = descs.len();
+        let quarantine = SharedQuarantine::new();
+        let scratch: Arc<ScratchPool<EngineScratch>> = Arc::new(ScratchPool::new());
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, TrialStats)>();
+        let mut gc = GroupCommit::new(writer.as_mut());
+        let mut journal_error: Option<JournalError> = None;
+        let policy = options.policy;
         let budget = options.budget;
-        let inst = instance.clone();
-        let cfg = config.clone();
-        let mk = make_scheduler.clone();
-        let trial = supervisor
-            .run_trial(seed, fingerprint, move || {
-                let inst = inst.clone();
-                let cfg = cfg.clone();
-                let mk = mk.clone();
-                move || {
-                    let mut sched = mk();
-                    run_trial(&inst, &cfg, seed, budget, &mut sched)
+        let descs = &descs;
+        let quarantine = &quarantine;
+        let cursor = &cursor;
+        let stop = &stop;
+        thread::scope(|scope| {
+            for _ in 0..jobs.min(total) {
+                let tx = tx.clone();
+                let scratch = Arc::clone(&scratch);
+                let mk = make_scheduler.clone();
+                scope.spawn(move || loop {
+                    if stop() {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let seed = descs[i];
+                    let trial = run_supervised(&policy, quarantine, seed, fingerprint, || {
+                        let inst = instance.clone();
+                        let cfg = config.clone();
+                        let mk = mk.clone();
+                        let scratch = Arc::clone(&scratch);
+                        move || {
+                            scratch.with(EngineScratch::new, |s| {
+                                let mut sched = mk();
+                                run_trial_reusing(&inst, &cfg, seed, budget, &mut sched, s)
+                            })
+                        }
+                    })
+                    .unwrap_or_else(|err| enveloped_failure(instance, seed, err));
+                    if tx.send((i, trial)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Owned by the scope body: dropping it on an early break
+            // closes the result channel, so workers notice on their next
+            // send and stop claiming descriptors.
+            let mut reorder = ReorderBuffer::new(rx);
+
+            // Coordinator: walk the seed list in canonical order,
+            // journaling each result as soon as its turn comes up. The
+            // descriptor indices are assigned in first-occurrence order,
+            // so the requests below are monotonic and the reorder buffer
+            // holds at most what the workers have run ahead by.
+            'seeds: for &seed in seeds {
+                if stop() {
+                    interrupted = true;
+                    break 'seeds;
                 }
-            })
-            .unwrap_or_else(|err| TrialStats {
-                seed,
-                outcome: Err(err),
-                failures: 0,
-                wasted_area: Time::ZERO,
-                inflated_area: Time::ZERO,
-                min_capacity: instance.procs(),
-            });
-        if let Some(w) = writer.as_mut() {
-            w.record(&trial)?;
+                if let Some(t) = replay.get(&seed) {
+                    trials.push(t.clone());
+                    replayed += 1;
+                    continue;
+                }
+                let idx = desc_index[&seed];
+                let trial = loop {
+                    match reorder.recv_index(idx, COORDINATOR_POLL) {
+                        Ok(t) => break t,
+                        Err(ReorderWait::Tick) => {
+                            if let Err(e) = gc.flush_if_due() {
+                                journal_error = Some(e);
+                                break 'seeds;
+                            }
+                        }
+                        Err(ReorderWait::Disconnected) => {
+                            // Every worker exited without producing this
+                            // result: the stop condition interrupted the
+                            // fan-out. In-flight results past this point
+                            // are discarded so the journal stays a
+                            // contiguous, in-order prefix.
+                            interrupted = true;
+                            break 'seeds;
+                        }
+                    }
+                };
+                if let Err(e) = gc.record(&trial) {
+                    journal_error = Some(e);
+                    break 'seeds;
+                }
+                executed += 1;
+                replay.insert(seed, trial.clone());
+                trials.push(trial);
+            }
+        });
+        // Flush on interrupt and at completion alike: every journaled
+        // record is durable before the campaign returns.
+        let flushed = gc.flush();
+        if let Some(e) = journal_error {
+            return Err(e.into());
         }
-        executed += 1;
-        // Duplicate seeds later in the list replay this result instead
-        // of re-running.
-        replay.insert(seed, trial.clone());
-        trials.push(trial);
+        flushed?;
     }
 
     Ok(CampaignOutcome {

@@ -131,14 +131,53 @@ impl JournalWriter {
         Ok(JournalWriter { file, path: path.to_path_buf() })
     }
 
+    /// Opens a validated journal for appending, first truncating any
+    /// torn trailing damage `contents` identified — so a record appended
+    /// after a crash artifact starts on its own line instead of merging
+    /// into the artifact's bytes.
+    pub fn append_validated(path: &Path, contents: &JournalContents) -> Result<Self, JournalError> {
+        if contents.torn_tail {
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| io_err(path, e))?;
+            file.set_len(contents.valid_len).map_err(|e| io_err(path, e))?;
+            file.sync_data().map_err(|e| io_err(path, e))?;
+        }
+        JournalWriter::append(path)
+    }
+
     /// Appends one trial record and fsyncs it to disk before returning
     /// — after this call the record survives a crash.
     pub fn record(&mut self, trial: &TrialStats) -> Result<(), JournalError> {
+        self.record_buffered(trial)?;
+        self.sync()
+    }
+
+    /// Appends one trial record **without** fsyncing — the group-commit
+    /// half of [`record`](Self::record). The bytes reach the kernel
+    /// (surviving a process kill) but not necessarily the disk; callers
+    /// batch several records and then [`sync`](Self::sync) once, turning
+    /// N fsync stalls into one. A power loss before the sync costs at
+    /// most the unsynced suffix, which resume re-executes — and a torn
+    /// write inside that suffix is exactly the trailing damage
+    /// [`read_journal`] already tolerates.
+    pub fn record_buffered(&mut self, trial: &TrialStats) -> Result<(), JournalError> {
         let json = serde_json::to_string(trial).map_err(|e| JournalError::Io {
             path: self.path.display().to_string(),
             message: e.to_string(),
         })?;
-        self.write_line(&json)
+        let path = self.path.clone();
+        self.file
+            .write_all(format!("{json}\n").as_bytes())
+            .map_err(|e| io_err(&path, e))
+    }
+
+    /// Fsyncs everything appended so far (the commit of a group-commit
+    /// batch). A no-op-cheap call when nothing is pending.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        let path = self.path.clone();
+        self.file.sync_data().map_err(|e| io_err(&path, e))
     }
 
     fn write_line(&mut self, json: &str) -> Result<(), JournalError> {
@@ -162,6 +201,10 @@ pub struct JournalContents {
     pub trials: Vec<TrialStats>,
     /// Whether a torn trailing line (crash artifact) was discarded.
     pub torn_tail: bool,
+    /// Length in bytes of the valid prefix (header + intact records).
+    /// When `torn_tail` is set, everything past this offset is crash
+    /// damage; [`JournalWriter::append_validated`] truncates to it.
+    pub valid_len: u64,
 }
 
 /// Reads and validates a journal file.
@@ -173,17 +216,20 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
     let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
 
     // Only newline-terminated lines are complete records; a trailing
-    // fragment is a torn write from a crash.
+    // fragment is a torn write from a crash. Each entry carries the byte
+    // offset just past its newline so the valid prefix length survives
+    // into the result.
     let mut torn_tail = !text.is_empty() && !text.ends_with('\n');
-    let complete: Vec<(usize, &str)> = text
-        .split_inclusive('\n')
-        .enumerate()
-        .filter(|(_, l)| l.ends_with('\n'))
-        .map(|(i, l)| (i + 1, l.trim()))
-        .filter(|(_, l)| !l.is_empty())
-        .collect();
+    let mut offset = 0usize;
+    let mut complete: Vec<(usize, &str, usize)> = Vec::new();
+    for (i, l) in text.split_inclusive('\n').enumerate() {
+        offset += l.len();
+        if l.ends_with('\n') && !l.trim().is_empty() {
+            complete.push((i + 1, l.trim(), offset));
+        }
+    }
 
-    let Some(&(_, header_line)) = complete.first() else {
+    let Some(&(_, header_line, header_end)) = complete.first() else {
         return Err(JournalError::MissingHeader);
     };
     let header: JournalHeader = serde_json::from_str(header_line)
@@ -193,10 +239,14 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
     }
 
     let mut trials = Vec::new();
+    let mut valid_len = header_end as u64;
     let records = &complete[1..];
-    for (pos, &(lineno, line)) in records.iter().enumerate() {
+    for (pos, &(lineno, line, end)) in records.iter().enumerate() {
         match serde_json::from_str::<TrialStats>(line) {
-            Ok(t) => trials.push(t),
+            Ok(t) => {
+                trials.push(t);
+                valid_len = end as u64;
+            }
             // A garbled *final* record is a crash artifact (e.g. a torn
             // write that happened to end in '\n'); anything earlier
             // means real damage.
@@ -209,7 +259,7 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
             }
         }
     }
-    Ok(JournalContents { header, trials, torn_tail })
+    Ok(JournalContents { header, trials, torn_tail, valid_len })
 }
 
 #[cfg(test)]
@@ -287,6 +337,68 @@ pub(crate) mod tests {
         w.record(&trial(2)).unwrap();
         let j = read_journal(&tmp.0).unwrap();
         assert_eq!(j.trials.len(), 2);
+    }
+
+    #[test]
+    fn buffered_batch_plus_sync_equals_per_record_fsync_bytes() {
+        // Group commit changes durability timing, never file contents.
+        let synced = TempFile::new("gc-synced");
+        let mut w = JournalWriter::create(&synced.0, &header()).unwrap();
+        for seed in 0..10 {
+            w.record(&trial(seed)).unwrap();
+        }
+        drop(w);
+
+        let batched = TempFile::new("gc-batched");
+        let mut w = JournalWriter::create(&batched.0, &header()).unwrap();
+        for seed in 0..10 {
+            w.record_buffered(&trial(seed)).unwrap();
+            if seed % 4 == 3 {
+                w.sync().unwrap();
+            }
+        }
+        w.sync().unwrap();
+        drop(w);
+
+        assert_eq!(
+            std::fs::read(&synced.0).unwrap(),
+            std::fs::read(&batched.0).unwrap(),
+            "group-committed journal must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn torn_batch_tail_discards_only_the_torn_suffix() {
+        // A crash mid-batch: some buffered records made it to disk whole,
+        // the last one only partially. Reading back keeps every intact
+        // record — including unsynced-but-complete ones — and discards
+        // exactly the torn suffix, so resume re-executes only that trial.
+        let tmp = TempFile::new("gc-torn-batch");
+        let mut w = JournalWriter::create(&tmp.0, &header()).unwrap();
+        w.record_buffered(&trial(1)).unwrap();
+        w.sync().unwrap();
+        // An unsynced batch of two whole records...
+        w.record_buffered(&trial(2)).unwrap();
+        w.record_buffered(&trial(3)).unwrap();
+        drop(w);
+        // ...followed by a torn half-record from the crash instant.
+        let mut text = std::fs::read_to_string(&tmp.0).unwrap();
+        text.push_str("{\"seed\":4,\"outcome\":{\"O");
+        std::fs::write(&tmp.0, text).unwrap();
+
+        let j = read_journal(&tmp.0).unwrap();
+        assert_eq!(j.trials, vec![trial(1), trial(2), trial(3)]);
+        assert!(j.torn_tail, "the torn suffix is a tolerated crash artifact");
+
+        // The journal is resumable: append_validated truncates the torn
+        // fragment, so the re-executed trial's record starts on its own
+        // line and the next read sees a fully intact journal.
+        let mut w = JournalWriter::append_validated(&tmp.0, &j).unwrap();
+        w.record(&trial(4)).unwrap();
+        drop(w);
+        let j = read_journal(&tmp.0).unwrap();
+        assert_eq!(j.trials, vec![trial(1), trial(2), trial(3), trial(4)]);
+        assert!(!j.torn_tail, "truncation removed the crash artifact");
     }
 
     #[test]

@@ -3,16 +3,19 @@
 //!
 //! A [`Supervisor`] never lets a trial take the process down. Panics
 //! are captured with `catch_unwind`; hangs are cut off by running the
-//! attempt on a detached worker thread and waiting with a timeout (the
-//! hung worker itself cannot be killed — it is *leaked*, which is the
-//! documented cost of a watchdog without process isolation); repeated
+//! attempt on a pooled watchdog thread ([`rigid_exec::WatchdogPool`])
+//! and waiting with a timeout — the hung worker cannot be killed, but it
+//! is *pooled*, not leaked: it finishes its stale job eventually and
+//! returns to the pool, and a campaign of 10 000 watchdogged trials
+//! shares a handful of threads instead of spawning one each. Repeated
 //! offenders are quarantined so a poison `(seed, scenario)` pair is
 //! attempted at most once per campaign.
 
+use rigid_exec::{WatchdogOutcome, WatchdogPool};
 use rigid_faults::{panic_message, TrialError};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::Mutex;
 use std::thread;
 use std::time::Duration;
 
@@ -20,7 +23,7 @@ use std::time::Duration;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SupervisorPolicy {
     /// Per-attempt wall-clock limit. `None` runs attempts inline with
-    /// panic capture only (no worker thread, nothing can leak).
+    /// panic capture only (no worker thread, nothing can hang over).
     pub watchdog: Option<Duration>,
     /// Extra attempts after the first one panics or times out. Typed
     /// trial errors (engine violations, blown budgets) are
@@ -40,6 +43,114 @@ impl Default for SupervisorPolicy {
             backoff_base: Duration::ZERO,
         }
     }
+}
+
+/// Runs one attempt under `policy`: inline when no watchdog is
+/// configured, otherwise on a pooled watchdog thread with a receive
+/// timeout. A timed-out job keeps running on its pool thread until it
+/// finishes — it cannot corrupt campaign state (its result channel is
+/// already closed) and its thread rejoins the pool afterwards.
+fn run_attempt<T, A>(policy: &SupervisorPolicy, job: A) -> Result<T, TrialError>
+where
+    T: Send + 'static,
+    A: FnOnce() -> T + Send + 'static,
+{
+    let Some(limit) = policy.watchdog else {
+        return catch_unwind(AssertUnwindSafe(job))
+            .map_err(|p| TrialError::Panicked { message: panic_message(p) });
+    };
+    match WatchdogPool::global().run(job, limit) {
+        WatchdogOutcome::Completed(value) => Ok(value),
+        WatchdogOutcome::Panicked(p) => Err(TrialError::Panicked { message: panic_message(p) }),
+        WatchdogOutcome::TimedOut => {
+            Err(TrialError::TimedOut { limit_ms: limit.as_millis() as u64 })
+        }
+    }
+}
+
+/// The retry loop shared by [`Supervisor::run_trial`] and the parallel
+/// campaign workers: run attempts (with deterministic backoff) until one
+/// succeeds or the budget is spent. On exhaustion returns the final
+/// error plus the attempt count for the quarantine record.
+fn attempt_loop<T, A, F>(policy: &SupervisorPolicy, mut make_attempt: F) -> Result<T, (TrialError, u32)>
+where
+    T: Send + 'static,
+    A: FnOnce() -> T + Send + 'static,
+    F: FnMut() -> A,
+{
+    let attempts = 1 + policy.max_retries;
+    let mut last = TrialError::Quarantined { attempts: 0 };
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let shift = (attempt - 1).min(16);
+            let backoff = policy.backoff_base.saturating_mul(1u32 << shift);
+            if !backoff.is_zero() {
+                thread::sleep(backoff);
+            }
+        }
+        match run_attempt(policy, make_attempt()) {
+            Ok(value) => return Ok(value),
+            Err(err) => last = err,
+        }
+    }
+    Err((last, attempts))
+}
+
+/// A quarantine shared by concurrent campaign workers: the same
+/// `(seed, scenario)` poison tracking as [`Supervisor`], behind a lock.
+///
+/// Campaign workers operate on *distinct* seeds (duplicates are deduped
+/// into replays before dispatch), so entries never race for the same key
+/// and the map's contents — like everything else in a campaign — are
+/// independent of worker interleaving.
+#[derive(Debug, Default)]
+pub(crate) struct SharedQuarantine {
+    map: Mutex<BTreeMap<(u64, u64), u32>>,
+}
+
+impl SharedQuarantine {
+    pub(crate) fn new() -> Self {
+        SharedQuarantine::default()
+    }
+
+    fn check(&self, seed: u64, scenario: u64) -> Option<u32> {
+        self.map
+            .lock()
+            .expect("quarantine lock poisoned")
+            .get(&(seed, scenario))
+            .copied()
+    }
+
+    fn poison(&self, seed: u64, scenario: u64, attempts: u32) {
+        self.map
+            .lock()
+            .expect("quarantine lock poisoned")
+            .insert((seed, scenario), attempts);
+    }
+}
+
+/// The supervision envelope used by parallel campaign workers: identical
+/// semantics to [`Supervisor::run_trial`], with the quarantine shared
+/// across threads.
+pub(crate) fn run_supervised<T, A, F>(
+    policy: &SupervisorPolicy,
+    quarantine: &SharedQuarantine,
+    seed: u64,
+    scenario: u64,
+    make_attempt: F,
+) -> Result<T, TrialError>
+where
+    T: Send + 'static,
+    A: FnOnce() -> T + Send + 'static,
+    F: FnMut() -> A,
+{
+    if let Some(attempts) = quarantine.check(seed, scenario) {
+        return Err(TrialError::Quarantined { attempts });
+    }
+    attempt_loop(policy, make_attempt).map_err(|(last, attempts)| {
+        quarantine.poison(seed, scenario, attempts);
+        last
+    })
 }
 
 /// Runs trials in isolation and tracks poison `(seed, scenario)` pairs.
@@ -89,7 +200,7 @@ impl Supervisor {
         &mut self,
         seed: u64,
         scenario: u64,
-        mut make_attempt: F,
+        make_attempt: F,
     ) -> Result<T, TrialError>
     where
         T: Send + 'static,
@@ -99,49 +210,10 @@ impl Supervisor {
         if let Some(&attempts) = self.quarantined.get(&(seed, scenario)) {
             return Err(TrialError::Quarantined { attempts });
         }
-        let attempts = 1 + self.policy.max_retries;
-        let mut last = TrialError::Quarantined { attempts: 0 };
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                let shift = (attempt - 1).min(16);
-                let backoff = self.policy.backoff_base.saturating_mul(1u32 << shift);
-                if !backoff.is_zero() {
-                    thread::sleep(backoff);
-                }
-            }
-            match self.run_attempt(make_attempt()) {
-                Ok(value) => return Ok(value),
-                Err(err) => last = err,
-            }
-        }
-        self.quarantined.insert((seed, scenario), attempts);
-        Err(last)
-    }
-
-    /// Runs one attempt: inline when no watchdog is configured,
-    /// otherwise on a detached worker thread with a receive timeout. A
-    /// timed-out worker keeps running detached until it finishes or the
-    /// process exits — a leak, but one that cannot corrupt campaign
-    /// state, because its result channel is already closed.
-    fn run_attempt<T, A>(&self, job: A) -> Result<T, TrialError>
-    where
-        T: Send + 'static,
-        A: FnOnce() -> T + Send + 'static,
-    {
-        let Some(limit) = self.policy.watchdog else {
-            return catch_unwind(AssertUnwindSafe(job))
-                .map_err(|p| TrialError::Panicked { message: panic_message(p) });
-        };
-        let (tx, rx) = mpsc::channel();
-        thread::spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(job));
-            let _ = tx.send(result);
-        });
-        match rx.recv_timeout(limit) {
-            Ok(Ok(value)) => Ok(value),
-            Ok(Err(p)) => Err(TrialError::Panicked { message: panic_message(p) }),
-            Err(_) => Err(TrialError::TimedOut { limit_ms: limit.as_millis() as u64 }),
-        }
+        attempt_loop(&self.policy, make_attempt).map_err(|(last, attempts)| {
+            self.quarantined.insert((seed, scenario), attempts);
+            last
+        })
     }
 }
 
@@ -215,8 +287,9 @@ mod tests {
         let mut sup = Supervisor::new(policy(Some(40), 0));
         let result: Result<u32, _> = sup.run_trial(3, 3, || {
             || {
-                // Far beyond the watchdog; the worker thread is leaked.
-                thread::sleep(Duration::from_secs(600));
+                // Far beyond the watchdog; the pool worker stays busy
+                // with this stale job until it finishes.
+                thread::sleep(Duration::from_secs(2));
                 0
             }
         });
@@ -231,11 +304,41 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_attempts_share_pooled_threads() {
+        // Many sequential watchdogged trials must not spawn a thread
+        // each: the global pool grows only when attempts overlap (e.g. a
+        // stale hung job from another test still occupies a worker), so
+        // it stays far below the trial count.
+        let before = WatchdogPool::global().spawned_threads();
+        let mut sup = Supervisor::new(policy(Some(5_000), 0));
+        for seed in 0..100 {
+            assert_eq!(sup.run_trial(seed, 1, || move || seed), Ok(seed));
+        }
+        let grown = WatchdogPool::global().spawned_threads() - before;
+        assert!(
+            grown <= 1,
+            "100 sequential watchdog trials grew the pool by {grown} threads"
+        );
+    }
+
+    #[test]
     fn quarantine_is_scenario_scoped() {
         let mut sup = Supervisor::new(policy(None, 0));
         let _: Result<(), _> = sup.run_trial(1, 100, || || panic!("bad config"));
         assert!(sup.is_quarantined(1, 100));
         // Same seed, different scenario: runs fine.
         assert_eq!(sup.run_trial(1, 200, || || 1), Ok(1));
+    }
+
+    #[test]
+    fn shared_quarantine_matches_supervisor_semantics() {
+        let q = SharedQuarantine::new();
+        let p = policy(None, 1);
+        let r: Result<u32, _> = run_supervised(&p, &q, 7, 70, || || panic!("always"));
+        assert!(matches!(r, Err(TrialError::Panicked { .. })));
+        let again: Result<u32, _> = run_supervised(&p, &q, 7, 70, || || 1);
+        assert_eq!(again, Err(TrialError::Quarantined { attempts: 2 }));
+        // Different scenario is unaffected.
+        assert_eq!(run_supervised(&p, &q, 7, 71, || || 1), Ok(1));
     }
 }
