@@ -14,9 +14,16 @@
 use crate::harness::{f3, Table};
 use catbatch::CatBatch;
 use rigid_baselines::Optimal;
-use rigid_dag::{Instance, StaticSource, TaskGraph, TaskId, TaskSpec};
+use rigid_dag::{Instance, StableHasher, StaticSource, TaskGraph, TaskId, TaskSpec};
+use rigid_faults::TrialStats;
 use rigid_sim::engine;
-use rigid_time::Time;
+use rigid_supervise::{
+    read_journal, JournalHeader, JournalWriter, ShardInfo, ShardSpec, Supervisor,
+    SupervisorPolicy, JOURNAL_SCHEMA,
+};
+use rigid_time::{Rational, Time};
+use std::collections::BTreeMap;
+use std::path::Path;
 
 /// A mutable instance genome: `n` tasks with quarter-grid lengths, procs
 /// in `[1, P]`, and a forward edge matrix.
@@ -50,7 +57,8 @@ impl Genome {
         Instance::new(g, self.p)
     }
 
-    fn ratio(&self) -> f64 {
+    /// The exact competitive ratio `T_CatBatch / T_opt`.
+    fn ratio_exact(&self) -> Rational {
         let inst = self.instantiate();
         let cb = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new())
             .makespan();
@@ -58,7 +66,11 @@ impl Genome {
             node_limit: 3_000_000,
         }
         .makespan(&inst);
-        cb.ratio(opt).to_f64()
+        cb.ratio(opt)
+    }
+
+    fn ratio(&self) -> f64 {
+        self.ratio_exact().to_f64()
     }
 }
 
@@ -124,6 +136,209 @@ fn climb(seed: u64, n: usize, p: u32, steps: usize) -> (Genome, f64) {
     (cur, best_ratio)
 }
 
+/// [`climb`] with exact [`Rational`] comparisons — the campaign path.
+///
+/// The legacy f64 hill-climb stays untouched (the E21 report is
+/// byte-stable); this variant accepts a mutation only on an exact
+/// ratio increase, so a journaled hunt is reproducible to the bit on
+/// any host.
+fn climb_exact(seed: u64, n: usize, p: u32, steps: usize) -> (Genome, Rational) {
+    let mut rng = seed;
+    let mut cur = Genome {
+        len_q: vec![4; n],
+        procs: (0..n).map(|i| if i % 2 == 0 { 1 } else { p }).collect(),
+        edges: {
+            let mut e = vec![vec![false; n]; n];
+            for i in 0..n - 1 {
+                e[i][i + 1] = true;
+            }
+            e
+        },
+        p,
+    };
+    let mut best_ratio = cur.ratio_exact();
+    for _ in 0..steps {
+        let cand = mutate(&cur, &mut rng);
+        let r = cand.ratio_exact();
+        if r > best_ratio {
+            best_ratio = r;
+            cur = cand;
+        }
+    }
+    (cur, best_ratio)
+}
+
+/// One supervised hunt campaign: hill-climbs per restart seed under the
+/// same journal/resume/shard/merge stack as fault campaigns.
+#[derive(Clone, Copy, Debug)]
+pub struct HuntConfig {
+    /// Tasks per genome.
+    pub n: usize,
+    /// Machine size `P`.
+    pub procs: u32,
+    /// Hill-climbing steps per restart.
+    pub steps: usize,
+    /// Restart count — one supervised trial (and journal record) each.
+    pub restarts: u64,
+    /// First restart seed; restart `r` climbs from `seed_base + r`.
+    pub seed_base: u64,
+}
+
+impl HuntConfig {
+    /// The full restart seed list (shards carve slices out of this).
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.restarts).map(|r| self.seed_base + r).collect()
+    }
+
+    /// Scenario fingerprint pinning the search space — `n`, `P`, and
+    /// the step budget. Restart seeds are deliberately *not* hashed:
+    /// like fault campaigns, the seed slice is pinned per shard (via
+    /// the shard header) so differently-sized hunts over the same
+    /// space share a scenario.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("worst-case-hunt");
+        h.write_u64(self.n as u64);
+        h.write_u32(self.procs);
+        h.write_u64(self.steps as u64);
+        h.finish()
+    }
+}
+
+/// What [`hunt_campaign`] produced.
+#[derive(Clone, Debug)]
+pub struct HuntOutcome {
+    /// One record per restart seed this process ran or replayed, in
+    /// seed order.
+    pub trials: Vec<TrialStats>,
+    /// The best exact ratio over those trials (`None` when every trial
+    /// errored or none ran).
+    pub best: Option<Rational>,
+    /// Restarts climbed by this invocation.
+    pub executed: usize,
+    /// Restarts replayed from the journal.
+    pub replayed: usize,
+}
+
+/// Runs (or resumes) a journaled worst-case hunt.
+///
+/// The journal is an ordinary campaign journal — header scheduler
+/// `"worst-case-hunt"`, baseline [`Time::ONE`] so each record's
+/// inflation *is* its competitive ratio — which buys the whole
+/// resilience stack for free: kill-tolerant resume, `--shard i/N`
+/// fan-out, and `catbatch merge` reconstitution of the serial journal.
+pub fn hunt_campaign(
+    config: &HuntConfig,
+    journal: Option<&Path>,
+    resume: bool,
+    shard: Option<ShardSpec>,
+    stop: impl Fn() -> bool,
+) -> Result<HuntOutcome, String> {
+    let fingerprint = config.fingerprint();
+    let fingerprint_hex = format!("{fingerprint:016x}");
+    let all_seeds = config.seeds();
+    let seeds: Vec<u64> = match &shard {
+        Some(spec) => spec.plan(&all_seeds),
+        None => all_seeds,
+    };
+    let shard_info: Option<ShardInfo> = shard.map(|spec| spec.info(&seeds));
+
+    // Resume: replay journaled restarts, exactly like fault campaigns.
+    let mut replay: BTreeMap<u64, TrialStats> = BTreeMap::new();
+    let mut writer: Option<JournalWriter> = None;
+    if let Some(path) = journal {
+        if resume && path.exists() {
+            let contents = read_journal(path).map_err(|e| e.to_string())?;
+            if contents.header.fingerprint != fingerprint_hex {
+                return Err(format!(
+                    "journal {} was written for hunt scenario {} but this hunt is scenario \
+                     {fingerprint_hex} — same n/procs/steps required",
+                    path.display(),
+                    contents.header.fingerprint
+                ));
+            }
+            if contents.shard != shard_info {
+                let describe = |s: &Option<ShardInfo>| match s {
+                    Some(info) => info.to_string(),
+                    None => "unsharded".to_string(),
+                };
+                return Err(format!(
+                    "journal {} was written as {} but this hunt runs {} — each shard must \
+                     resume its own journal file",
+                    path.display(),
+                    describe(&contents.shard),
+                    describe(&shard_info)
+                ));
+            }
+            writer =
+                Some(JournalWriter::append_validated(path, &contents).map_err(|e| e.to_string())?);
+            for t in contents.trials {
+                replay.entry(t.seed).or_insert(t);
+            }
+        } else {
+            let header = JournalHeader {
+                schema: JOURNAL_SCHEMA.to_string(),
+                fingerprint: fingerprint_hex,
+                scheduler: "worst-case-hunt".to_string(),
+                fault_free_makespan: Time::ONE,
+            };
+            writer = Some(
+                match &shard_info {
+                    Some(info) => JournalWriter::create_shard(path, &header, info),
+                    None => JournalWriter::create(path, &header),
+                }
+                .map_err(|e| e.to_string())?,
+            );
+        }
+    }
+
+    let mut supervisor = Supervisor::new(SupervisorPolicy::default());
+    let mut trials = Vec::with_capacity(seeds.len());
+    let mut executed = 0;
+    let mut replayed = 0;
+    for &seed in &seeds {
+        if stop() {
+            break;
+        }
+        if let Some(t) = replay.get(&seed) {
+            trials.push(t.clone());
+            replayed += 1;
+            continue;
+        }
+        let cfg = *config;
+        let trial = match supervisor.run_trial(seed, fingerprint, move || {
+            move || Time::from_rational(climb_exact(seed, cfg.n, cfg.procs, cfg.steps).1)
+        }) {
+            Ok(best) => TrialStats {
+                seed,
+                outcome: Ok(best),
+                failures: 0,
+                wasted_area: Time::ZERO,
+                inflated_area: Time::ZERO,
+                min_capacity: config.procs,
+            },
+            Err(err) => TrialStats {
+                seed,
+                outcome: Err(err),
+                failures: 0,
+                wasted_area: Time::ZERO,
+                inflated_area: Time::ZERO,
+                min_capacity: config.procs,
+            },
+        };
+        if let Some(w) = writer.as_mut() {
+            w.record(&trial).map_err(|e| e.to_string())?;
+        }
+        executed += 1;
+        replay.insert(seed, trial.clone());
+        trials.push(trial);
+    }
+
+    // With a baseline of 1, inflation *is* the exact competitive ratio.
+    let best = trials.iter().filter_map(|t| t.inflation(Time::ONE)).max();
+    Ok(HuntOutcome { trials, best, executed, replayed })
+}
+
 /// E21 — the hunt report.
 pub fn worst_case_hunt() -> String {
     let mut out = String::from(
@@ -179,5 +394,92 @@ mod tests {
         let base = climb(11, 5, 2, 0).1;
         let better = climb(11, 5, 2, 40).1;
         assert!(better >= base - 1e-12);
+    }
+
+    fn small_config() -> HuntConfig {
+        HuntConfig { n: 5, procs: 2, steps: 8, restarts: 4, seed_base: 900 }
+    }
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rigid-hunt-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn hunt_campaign_journals_resumes_and_merges() {
+        let canon = temp("canon");
+        let _ = std::fs::remove_file(&canon);
+        let serial = hunt_campaign(&small_config(), Some(&canon), false, None, || false)
+            .expect("serial hunt");
+        assert_eq!(serial.executed, 4);
+        assert!(serial.best.expect("some restart succeeds") >= Rational::ONE);
+
+        // A finished journal resumes as a pure replay with equal results.
+        let resumed = hunt_campaign(&small_config(), Some(&canon), true, None, || false)
+            .expect("replay hunt");
+        assert_eq!(resumed.executed, 0);
+        assert_eq!(resumed.replayed, 4);
+        assert_eq!(resumed.best, serial.best);
+
+        // Two shards merge back to the serial journal byte-for-byte.
+        let shards: Vec<std::path::PathBuf> = (1..=2).map(|i| temp(&format!("s{i}"))).collect();
+        for (i, path) in shards.iter().enumerate() {
+            let _ = std::fs::remove_file(path);
+            let spec = ShardSpec::parse(&format!("{}/2", i + 1)).unwrap();
+            hunt_campaign(&small_config(), Some(path), false, Some(spec), || false)
+                .expect("shard hunt");
+        }
+        let merged = temp("merged");
+        let _ = std::fs::remove_file(&merged);
+        rigid_supervise::merge_shards(&shards, &merged).expect("merge hunt shards");
+        assert_eq!(
+            std::fs::read(&canon).unwrap(),
+            std::fs::read(&merged).unwrap(),
+            "merged hunt journal must equal the serial one"
+        );
+        for p in shards.iter().chain([&canon, &merged]) {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn hunt_campaign_survives_an_interrupt() {
+        let path = temp("stop");
+        let _ = std::fs::remove_file(&path);
+        let polls = std::sync::atomic::AtomicUsize::new(0);
+        let partial = hunt_campaign(&small_config(), Some(&path), false, None, || {
+            polls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) >= 2
+        })
+        .expect("interrupted hunt");
+        assert_eq!(partial.executed, 2);
+
+        let resumed =
+            hunt_campaign(&small_config(), Some(&path), true, None, || false).expect("resume hunt");
+        assert_eq!(resumed.replayed, 2);
+        assert_eq!(resumed.executed, 2);
+        let serial =
+            hunt_campaign(&small_config(), None, false, None, || false).expect("unjournaled hunt");
+        assert_eq!(resumed.best, serial.best);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hunt_campaign_rejects_a_foreign_journal() {
+        let path = temp("foreign");
+        let _ = std::fs::remove_file(&path);
+        hunt_campaign(&small_config(), Some(&path), false, None, || false).expect("serial hunt");
+        let other = HuntConfig { steps: 9, ..small_config() };
+        let err = hunt_campaign(&other, Some(&path), true, None, || false)
+            .expect_err("different step budget must not resume");
+        assert!(err.contains("scenario"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exact_climb_agrees_with_f64_climb_on_the_report_jobs() {
+        // The two accept rules can only disagree on sub-epsilon ratio
+        // differences; on the actual E21 search space they coincide.
+        let (_, exact) = climb_exact(700, 5, 2, 40);
+        let (_, legacy) = climb(700, 5, 2, 40);
+        assert!((exact.to_f64() - legacy).abs() < 1e-12);
     }
 }

@@ -473,13 +473,13 @@ pub fn run_journaled(
 
     let mut file = if resume && path.exists() {
         let text = std::fs::read_to_string(path).map_err(io)?;
-        let complete: Vec<&str> = text
-            .split_inclusive('\n')
-            .filter(|l| l.ends_with('\n'))
-            .map(str::trim)
-            .filter(|l| !l.is_empty())
-            .collect();
-        let Some(first) = complete.first() else {
+        // The shared scan/truncate/append discipline of every journal
+        // reader in the workspace (see rigid_supervise::journal): only
+        // a *final* garbled line is a tolerated crash artifact, and it
+        // is truncated away before appending so a fresh record never
+        // merges into torn bytes.
+        let scan = rigid_supervise::journal::complete_lines(&text);
+        let Some(&(_, first, _)) = scan.lines.first() else {
             return Err(format!(
                 "bench journal {} has no header line — not a {JOURNAL_SCHEMA} file",
                 path.display()
@@ -502,27 +502,24 @@ pub fn run_journaled(
                 if header.quick { "--quick" } else { "full" }
             ));
         }
-        for (i, line) in complete[1..].iter().enumerate() {
-            match serde_json::from_str::<BenchRecord>(line) {
-                Ok(BenchRecord::Scenario { result }) => {
+        let records = rigid_supervise::journal::scan_records(&scan, |line| {
+            serde_json::from_str::<BenchRecord>(line).map_err(|e| e.to_string())
+        })
+        .map_err(|(lineno, e)| {
+            format!("bench journal {} line {lineno} is corrupt: {e}", path.display())
+        })?;
+        for rec in records.records {
+            match rec {
+                BenchRecord::Scenario { result } => {
                     done.entry(result.name.clone()).or_insert(result);
                 }
-                Ok(BenchRecord::Reference { comparison }) => {
+                BenchRecord::Reference { comparison } => {
                     journaled_reference = Some(comparison);
-                }
-                // A garbled final line is a torn write from a crash;
-                // that scenario simply re-runs.
-                Err(_) if i + 2 == complete.len() => {}
-                Err(e) => {
-                    return Err(format!(
-                        "bench journal {} line {} is corrupt: {e}",
-                        path.display(),
-                        i + 2
-                    ))
                 }
             }
         }
-        std::fs::OpenOptions::new().append(true).open(path).map_err(io)?
+        rigid_supervise::journal::open_validated_append(path, records.torn_tail, records.valid_len)
+            .map_err(io)?
     } else {
         let mut f = std::fs::File::create(path).map_err(io)?;
         let header = BenchJournalHeader { schema: JOURNAL_SCHEMA.to_string(), quick };
@@ -815,6 +812,47 @@ mod tests {
         // The quick-tier journal must not be mixed into a full-tier run.
         let err = run_journaled(false, &path, true, 1).unwrap_err();
         assert!(err.contains("tier"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_resume_truncates_torn_tail_before_appending() {
+        let path = std::env::temp_dir().join(format!(
+            "catbatch-bench-journal-torn-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        run_journaled(true, &path, false, 1).expect("fresh journaled run");
+        let clean = std::fs::read_to_string(&path).unwrap();
+
+        // Tear the final record mid-line, as a crash during write would,
+        // and resume: the torn bytes must be cut before the re-run's
+        // record is appended — not merged into them.
+        let trimmed = clean.trim_end_matches('\n');
+        std::fs::write(&path, &trimmed[..trimmed.len() - 20]).unwrap();
+        let resumed = run_journaled(true, &path, true, 1).expect("resume over torn tail");
+        assert_eq!(resumed.executed, 1, "only the torn scenario re-runs");
+        let repaired = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            repaired.lines().count(),
+            clean.lines().count(),
+            "the torn fragment is gone, replaced by one whole record"
+        );
+        for line in repaired.lines().skip(1) {
+            serde_json::from_str::<BenchRecord>(line).expect("every journal line parses");
+        }
+
+        // Same discipline for a garbled-but-terminated final line.
+        let mut lines: Vec<&str> = clean.lines().collect();
+        lines.pop();
+        let mut garbled: String = lines.join("\n");
+        garbled.push_str("\n{\"Scenario\":{\"result\":GARBLED}}\n");
+        std::fs::write(&path, &garbled).unwrap();
+        let resumed = run_journaled(true, &path, true, 1).expect("resume over garbled line");
+        assert_eq!(resumed.executed, 1);
+        let repaired = std::fs::read_to_string(&path).unwrap();
+        assert!(!repaired.contains("GARBLED"), "the garbled line is truncated away");
         let _ = std::fs::remove_file(&path);
     }
 

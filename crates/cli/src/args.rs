@@ -1,5 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
+use rigid_supervise::ShardSpec;
+
 /// A scheduler selectable from the command line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SchedChoice {
@@ -101,6 +103,22 @@ pub enum Command {
         /// Worker threads for trial execution (`None` = all cores).
         /// Results are byte-identical for every value.
         jobs: Option<usize>,
+        /// Run only shard `i/N` of the campaign's seed space, writing a
+        /// shard journal that `catbatch merge` later reconstitutes.
+        shard: Option<ShardSpec>,
+        /// Hidden chaos hook: abort the process (as `kill -9` would)
+        /// after this many stop-condition polls. Used by the crash-chaos
+        /// tests and the CI `chaos-smoke` job; deliberately not in
+        /// `USAGE`.
+        chaos_exit_after: Option<u64>,
+    },
+    /// `merge <shard.jsonl>... --out PATH` — validate a full set of
+    /// shard journals and write the merged single-process journal.
+    Merge {
+        /// The shard journal files, in any order.
+        inputs: Vec<String>,
+        /// Output path for the merged v1 journal.
+        out: String,
     },
     /// `bench [--json] [--quick] [--out PATH] [--check BASELINE]` — run
     /// the fixed perf scenario matrix.
@@ -154,7 +172,7 @@ USAGE:
   catbatch faults <file.rigid> [--scheduler S] [--seed N] [--trials K]
                   [--fail F] [--straggle G] [--retries R]
                   [--journal PATH [--resume]] [--watchdog-ms N]
-                  [--max-events N] [--jobs N]
+                  [--max-events N] [--jobs N] [--shard I/N]
       run a seeded fault campaign: K trials with fail-stop probability
       F permille and straggler probability G permille per attempt,
       retrying each task up to R times; reports retries, wasted area
@@ -167,7 +185,17 @@ USAGE:
       panics, timeouts and blown budgets are recorded per trial while
       the rest of the campaign keeps running (see docs/resilience.md);
       --jobs fans trials out over N worker threads (default: all
-      cores) — reports and journals are byte-identical for every N
+      cores) — reports and journals are byte-identical for every N;
+      --shard I/N runs only the I-th of N balanced slices of the seed
+      space (requires --journal) so a campaign spreads over processes
+      or machines; `catbatch merge` rejoins the shard journals
+  catbatch merge <shard.jsonl>... --out PATH
+      validate a full set of --shard journal files (same scenario
+      fingerprint and shard count, all indices present exactly once,
+      every shard complete, no seed recorded twice) and write the
+      merged journal — byte-identical to the journal one unsharded
+      process would have written, so `faults --journal PATH --resume`
+      replays it into the single-process report
   catbatch bench [--json] [--quick] [--out PATH] [--check BASELINE]
                  [--journal PATH [--resume]] [--jobs N]
       run the fixed perf scenario matrix (paper figures + random DAGs
@@ -290,6 +318,8 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             let mut watchdog_ms = None;
             let mut max_events = None;
             let mut jobs = None;
+            let mut shard = None;
+            let mut chaos_exit_after = None;
             while let Some(a) = it.next() {
                 match a {
                     "--scheduler" => {
@@ -337,6 +367,19 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                         )
                     }
                     "--jobs" => jobs = Some(parse_jobs(&take_value(a, &mut it)?)?),
+                    "--shard" => {
+                        shard = Some(
+                            ShardSpec::parse(&take_value(a, &mut it)?)
+                                .map_err(|e| format!("--shard: {e}"))?,
+                        )
+                    }
+                    "--chaos-exit-after" => {
+                        chaos_exit_after = Some(
+                            take_value(a, &mut it)?
+                                .parse()
+                                .map_err(|_| "bad --chaos-exit-after value".to_string())?,
+                        )
+                    }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unexpected argument {other:?}")),
                 }
@@ -349,6 +392,11 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             }
             if resume && journal.is_none() {
                 return Err("--resume needs --journal".into());
+            }
+            if shard.is_some() && journal.is_none() {
+                return Err(
+                    "--shard needs --journal (each shard writes its own journal file)".into(),
+                );
             }
             Ok(Command::Faults {
                 file: file.ok_or("faults needs an instance file")?,
@@ -363,6 +411,26 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 watchdog_ms,
                 max_events,
                 jobs,
+                shard,
+                chaos_exit_after,
+            })
+        }
+        Some("merge") => {
+            let mut inputs = Vec::new();
+            let mut out = None;
+            while let Some(a) = it.next() {
+                match a {
+                    "--out" => out = Some(take_value(a, &mut it)?),
+                    f if !f.starts_with('-') => inputs.push(f.to_string()),
+                    other => return Err(format!("unexpected argument {other:?}")),
+                }
+            }
+            if inputs.is_empty() {
+                return Err("merge needs at least one shard journal file".into());
+            }
+            Ok(Command::Merge {
+                inputs,
+                out: out.ok_or("merge needs --out PATH for the merged journal")?,
             })
         }
         Some("bench") => {
@@ -538,6 +606,58 @@ mod tests {
         }
         assert!(parse_args(&["faults", "w.rigid", "--resume"]).is_err());
         assert!(parse_args(&["faults", "w.rigid", "--watchdog-ms", "abc"]).is_err());
+    }
+
+    #[test]
+    fn parses_and_validates_shard() {
+        match parse_args(&["faults", "w.rigid", "--journal", "j.jsonl", "--shard", "2/8"])
+            .unwrap()
+        {
+            Command::Faults { shard, .. } => {
+                assert_eq!(shard, Some(ShardSpec { index: 2, count: 8 }))
+            }
+            other => panic!("expected Faults, got {other:?}"),
+        }
+        // The full rejection matrix, each with an actionable message.
+        for bad in ["0/4", "5/4", "1/0", "2", "a/b", ""] {
+            let err = parse_args(&["faults", "w.rigid", "--journal", "j", "--shard", bad])
+                .expect_err(bad);
+            assert!(err.starts_with("--shard:"), "{bad}: {err}");
+        }
+        assert!(
+            parse_args(&["faults", "w.rigid", "--shard", "1/2"])
+                .unwrap_err()
+                .contains("--journal"),
+            "--shard without --journal must say what is missing"
+        );
+    }
+
+    #[test]
+    fn parses_chaos_hook_but_keeps_it_out_of_usage() {
+        match parse_args(&[
+            "faults", "w.rigid", "--journal", "j", "--chaos-exit-after", "7",
+        ])
+        .unwrap()
+        {
+            Command::Faults { chaos_exit_after, .. } => assert_eq!(chaos_exit_after, Some(7)),
+            other => panic!("expected Faults, got {other:?}"),
+        }
+        assert!(parse_args(&["faults", "w.rigid", "--chaos-exit-after", "x"]).is_err());
+        assert!(!USAGE.contains("chaos"), "the chaos hook is a hidden test surface");
+    }
+
+    #[test]
+    fn parses_merge() {
+        assert_eq!(
+            parse_args(&["merge", "a.jsonl", "b.jsonl", "--out", "m.jsonl"]).unwrap(),
+            Command::Merge {
+                inputs: vec!["a.jsonl".into(), "b.jsonl".into()],
+                out: "m.jsonl".into(),
+            }
+        );
+        assert!(parse_args(&["merge", "--out", "m.jsonl"]).is_err(), "no inputs");
+        assert!(parse_args(&["merge", "a.jsonl"]).is_err(), "no --out");
+        assert!(parse_args(&["merge", "a.jsonl", "--frob"]).is_err());
     }
 
     #[test]

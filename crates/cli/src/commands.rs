@@ -58,6 +58,8 @@ pub fn run_command(
             watchdog_ms,
             max_events,
             jobs,
+            shard,
+            chaos_exit_after,
         } => {
             let inst = load(file, read_file)?;
             faults_cmd(
@@ -73,8 +75,11 @@ pub fn run_command(
                 *watchdog_ms,
                 *max_events,
                 *jobs,
+                *shard,
+                *chaos_exit_after,
             )
         }
+        Command::Merge { inputs, out } => merge_cmd(inputs, out),
         Command::Bench {
             json,
             quick,
@@ -212,6 +217,8 @@ fn faults_cmd(
     watchdog_ms: Option<u64>,
     max_events: Option<u64>,
     jobs: Option<usize>,
+    shard: Option<rigid_supervise::ShardSpec>,
+    chaos_exit_after: Option<u64>,
 ) -> Result<String, String> {
     use rigid_faults::{run_trials_jobs, FaultConfig};
 
@@ -227,8 +234,12 @@ fn faults_cmd(
     let jobs = rigid_exec::resolve_jobs(jobs);
     let started = std::time::Instant::now();
 
-    let supervised =
-        journal.is_some() || resume || watchdog_ms.is_some() || max_events.is_some();
+    let supervised = journal.is_some()
+        || resume
+        || watchdog_ms.is_some()
+        || max_events.is_some()
+        || shard.is_some()
+        || chaos_exit_after.is_some();
     if !supervised {
         // Same campaign semantics as before supervision existed; the
         // report is byte-for-byte identical for every worker count.
@@ -258,14 +269,29 @@ fn faults_cmd(
         journal: journal.map(std::path::PathBuf::from),
         resume,
         jobs,
+        shard,
     };
     rigid_supervise::interrupt::install();
+    // The hidden chaos hook: after `chaos_exit_after` stop polls, die
+    // the way `kill -9` would — no unwinding, no flush, no destructors.
+    // With `--jobs 1` the stop condition is polled once per seed, so the
+    // abort lands at a deterministic trial count (what the chaos tests
+    // and the CI chaos-smoke job rely on).
+    let chaos_polls = std::sync::atomic::AtomicU64::new(0);
+    let stop = move || {
+        if let Some(k) = chaos_exit_after {
+            if chaos_polls.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= k {
+                std::process::abort();
+            }
+        }
+        rigid_supervise::interrupt::interrupted()
+    };
     let outcome = run_campaign(
         inst,
         &config,
         &seeds,
         &options,
-        rigid_supervise::interrupt::interrupted,
+        stop,
         move || build_fault_scheduler(choice, procs, retries),
     )
     .map_err(|e| e.to_string())?;
@@ -278,6 +304,12 @@ fn faults_cmd(
         "executed       : {}\nreplayed       : {}\n",
         outcome.executed, outcome.replayed
     ));
+    if let Some(spec) = shard {
+        out.push_str(&format!(
+            "shard          : {spec} ({} of {trials} seed(s) assigned to this process)\n",
+            spec.plan(&seeds).len()
+        ));
+    }
     if outcome.torn_tail {
         out.push_str("journal        : torn trailing record discarded (crash artifact)\n");
     }
@@ -288,6 +320,31 @@ fn faults_cmd(
         );
     }
     Ok(out)
+}
+
+/// Validates and merges a set of `--shard` journal files into the
+/// single-process journal (see `rigid_supervise::merge`). The merged
+/// file replays through `faults ... --journal PATH --resume` into the
+/// byte-identical single-process report.
+fn merge_cmd(inputs: &[String], out: &str) -> Result<String, String> {
+    let paths: Vec<std::path::PathBuf> =
+        inputs.iter().map(std::path::PathBuf::from).collect();
+    let report = rigid_supervise::merge_shards(&paths, std::path::Path::new(out))
+        .map_err(|e| e.to_string())?;
+    let mut text = format!(
+        "merged journal : {out}\nshards         : {}\ntrials         : {}\nscenario       : {} ({})\nfault-free     : {}\n",
+        report.shards,
+        report.trials,
+        report.header.fingerprint,
+        report.header.scheduler,
+        report.header.fault_free_makespan,
+    );
+    for index in &report.torn_tails {
+        text.push_str(&format!(
+            "torn tail      : shard {index} had a torn trailing record (crash artifact, discarded)\n"
+        ));
+    }
+    Ok(text)
 }
 
 /// Prints the campaign throughput line to **stderr**: stdout is the
@@ -783,5 +840,84 @@ mod tests {
     fn help_prints_usage() {
         let out = run_command(&Command::Help, &fs).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn sharded_campaign_merges_to_single_process_journal() {
+        let dir = std::env::temp_dir();
+        let tag = std::process::id();
+        let canon = dir.join(format!("catbatch-cli-merge-canon-{tag}.jsonl"));
+        let merged = dir.join(format!("catbatch-cli-merge-out-{tag}.jsonl"));
+        let shards: Vec<std::path::PathBuf> = (1..=3)
+            .map(|i| dir.join(format!("catbatch-cli-merge-shard-{tag}-{i}.jsonl")))
+            .collect();
+        for p in shards.iter().chain([&canon, &merged]) {
+            let _ = std::fs::remove_file(p);
+        }
+
+        // Single-process reference journal.
+        let canon_s = canon.to_string_lossy().to_string();
+        let canonical = run_command(
+            &parse_args(&[
+                "faults", "sample.rigid", "--trials", "7", "--journal", &canon_s,
+            ])
+            .unwrap(),
+            &fs,
+        )
+        .unwrap();
+
+        // The same campaign split over three shard processes.
+        for (i, path) in shards.iter().enumerate() {
+            let p = path.to_string_lossy().to_string();
+            let spec = format!("{}/3", i + 1);
+            let out = run_command(
+                &parse_args(&[
+                    "faults", "sample.rigid", "--trials", "7", "--journal", &p,
+                    "--shard", &spec,
+                ])
+                .unwrap(),
+                &fs,
+            )
+            .unwrap();
+            assert!(out.contains("shard          :"), "{out}");
+        }
+
+        let shard_args: Vec<String> =
+            shards.iter().map(|p| p.to_string_lossy().to_string()).collect();
+        let merged_s = merged.to_string_lossy().to_string();
+        let mut argv = vec!["merge".to_string()];
+        argv.extend(shard_args);
+        argv.push("--out".to_string());
+        argv.push(merged_s.clone());
+        let argv_refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+        let report = run_command(&parse_args(&argv_refs).unwrap(), &fs).unwrap();
+        assert!(report.contains("shards         : 3"), "{report}");
+        assert!(report.contains("trials         : 7"), "{report}");
+
+        // Byte-identical to the single-process journal, and replaying it
+        // reproduces the canonical per-seed report without executing.
+        assert_eq!(
+            std::fs::read(&canon).unwrap(),
+            std::fs::read(&merged).unwrap()
+        );
+        let replay = run_command(
+            &parse_args(&[
+                "faults", "sample.rigid", "--trials", "7", "--journal", &merged_s,
+                "--resume",
+            ])
+            .unwrap(),
+            &fs,
+        )
+        .unwrap();
+        assert!(replay.contains("executed       : 0"), "{replay}");
+        assert!(replay.contains("replayed       : 7"), "{replay}");
+        let seed_lines = |s: &str| -> Vec<String> {
+            s.lines().filter(|l| l.starts_with("seed ")).map(String::from).collect()
+        };
+        assert_eq!(seed_lines(&canonical), seed_lines(&replay));
+
+        for p in shards.iter().chain([&canon, &merged]) {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

@@ -1,7 +1,10 @@
 //! The resumable campaign loop: supervised trials + journaled
 //! checkpoints + graceful interrupt points.
 
-use crate::journal::{read_journal, JournalError, JournalHeader, JournalWriter, JOURNAL_SCHEMA};
+use crate::journal::{
+    read_journal, JournalError, JournalHeader, JournalWriter, ShardInfo, JOURNAL_SCHEMA,
+};
+use crate::shard::ShardSpec;
 use crate::supervisor::{run_supervised, SharedQuarantine, Supervisor, SupervisorPolicy};
 use rigid_dag::{instance_fingerprint, Instance, StableHasher, StaticSource};
 use rigid_exec::{ReorderBuffer, ReorderWait, ScratchPool};
@@ -36,6 +39,13 @@ pub struct CampaignOptions {
     /// commit — journals and aggregates stay **byte-identical** to
     /// serial execution for any value.
     pub jobs: usize,
+    /// Run only shard `i/N` of the deduplicated seed space (see
+    /// [`ShardSpec::plan`]). The journal (required for sharding to be
+    /// useful, though not enforced here) gets a
+    /// [`SHARD_SCHEMA`](crate::journal::SHARD_SCHEMA) header pinning the
+    /// shard coordinates; `merge` later reconstitutes the single-process
+    /// journal byte-for-byte from a full set of shard files.
+    pub shard: Option<ShardSpec>,
 }
 
 /// What a campaign invocation did, beyond the aggregate stats.
@@ -225,6 +235,20 @@ where
     let fingerprint = campaign_fingerprint(instance, config, &scheduler_name, options.budget);
     let fingerprint_hex = format!("{fingerprint:016x}");
 
+    // Sharding: restrict the run to this process's slice of the
+    // deduplicated seed space. The plan is a pure function of the full
+    // seed list, so every `--shard i/N` process computes the same
+    // partition independently.
+    let assigned: Vec<u64>;
+    let seeds: &[u64] = match &options.shard {
+        Some(spec) => {
+            assigned = spec.plan(seeds);
+            &assigned
+        }
+        None => seeds,
+    };
+    let shard_info: Option<ShardInfo> = options.shard.map(|spec| spec.info(seeds));
+
     // Resume: load the journal and index its records by seed.
     let mut replay: BTreeMap<u64, TrialStats> = BTreeMap::new();
     let mut torn_tail = false;
@@ -237,6 +261,17 @@ where
                 return Err(JournalError::FingerprintMismatch {
                     journal: contents.header.fingerprint,
                     campaign: fingerprint_hex,
+                }
+                .into());
+            }
+            if contents.shard != shard_info {
+                let describe = |s: &Option<ShardInfo>| match s {
+                    Some(info) => info.to_string(),
+                    None => "unsharded".to_string(),
+                };
+                return Err(JournalError::ShardMismatch {
+                    journal: describe(&contents.shard),
+                    campaign: describe(&shard_info),
                 }
                 .into());
             }
@@ -273,7 +308,10 @@ where
                 scheduler: scheduler_name,
                 fault_free_makespan,
             };
-            writer = Some(JournalWriter::create(path, &header)?);
+            writer = Some(match &shard_info {
+                Some(info) => JournalWriter::create_shard(path, &header, info)?,
+                None => JournalWriter::create(path, &header)?,
+            });
         }
     }
 

@@ -24,10 +24,17 @@ use std::path::Path;
 /// The journal schema this crate writes and reads.
 pub const JOURNAL_SCHEMA: &str = "catbatch-journal/v1";
 
+/// The schema of a **shard** journal: a v1 header plus the shard
+/// coordinates (`shard_index`/`shard_count`/seed range) pinned so
+/// `merge` can validate that a set of shard files belongs together.
+/// Plain (unsharded) journals keep the v1 schema byte-for-byte.
+pub const SHARD_SCHEMA: &str = "catbatch-journal/v2";
+
 /// The first line of every journal.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JournalHeader {
-    /// Always [`JOURNAL_SCHEMA`] for files this crate writes.
+    /// [`JOURNAL_SCHEMA`] for plain journals, [`SHARD_SCHEMA`] for
+    /// shard journals.
     pub schema: String,
     /// Stable hex fingerprint of the campaign scenario (see
     /// [`campaign_fingerprint`](crate::campaign_fingerprint)).
@@ -37,6 +44,53 @@ pub struct JournalHeader {
     /// Makespan of the fault-free baseline run, stored so a resumed
     /// campaign does not recompute it.
     pub fault_free_makespan: Time,
+}
+
+/// The shard coordinates a [`SHARD_SCHEMA`] header pins: which slice of
+/// the deduplicated seed space this file covers, out of how many.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// 1-based shard index.
+    pub index: usize,
+    /// Total number of shards in the plan.
+    pub count: usize,
+    /// First seed assigned to this shard (`0` when the slice is empty).
+    pub seed_first: u64,
+    /// Last seed assigned to this shard (`0` when the slice is empty).
+    pub seed_last: u64,
+    /// How many seeds the shard covers.
+    pub seed_count: usize,
+    /// Stable hex fingerprint of the assigned seed sequence — pins the
+    /// exact slice without storing every seed in the header.
+    pub seeds_fp: String,
+}
+
+impl fmt::Display for ShardInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {}/{} ({} seed(s), fp {})",
+            self.index, self.count, self.seed_count, self.seeds_fp
+        )
+    }
+}
+
+/// The on-disk shape of a [`SHARD_SCHEMA`] header line: every v1 field
+/// followed by the shard coordinates, as one flat object. Kept separate
+/// from [`JournalHeader`] so plain v1 headers serialize without any
+/// shard fields (the vendored serde stub cannot skip `None`s).
+#[derive(Serialize, Deserialize)]
+struct ShardHeaderLine {
+    schema: String,
+    fingerprint: String,
+    scheduler: String,
+    fault_free_makespan: Time,
+    shard_index: usize,
+    shard_count: usize,
+    seed_first: u64,
+    seed_last: u64,
+    seed_count: usize,
+    seeds_fp: String,
 }
 
 /// Why a journal could not be written or read.
@@ -71,6 +125,15 @@ pub enum JournalError {
         /// The parse error.
         message: String,
     },
+    /// The journal's shard header does not match the shard this
+    /// campaign was asked to run (or one side is sharded and the other
+    /// is not).
+    ShardMismatch {
+        /// Shard coordinates pinned in the journal ("unsharded" if none).
+        journal: String,
+        /// Shard coordinates of the resuming campaign.
+        campaign: String,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -80,7 +143,7 @@ impl fmt::Display for JournalError {
             JournalError::MissingHeader => write!(f, "journal has no header line"),
             JournalError::SchemaMismatch { found } => write!(
                 f,
-                "journal schema {found:?} is not {JOURNAL_SCHEMA:?} — \
+                "journal schema {found:?} is neither {JOURNAL_SCHEMA:?} nor {SHARD_SCHEMA:?} — \
                  written by an incompatible version"
             ),
             JournalError::FingerprintMismatch { journal, campaign } => write!(
@@ -91,6 +154,11 @@ impl fmt::Display for JournalError {
             JournalError::Corrupt { line, message } => {
                 write!(f, "journal line {line} is corrupt: {message}")
             }
+            JournalError::ShardMismatch { journal, campaign } => write!(
+                f,
+                "journal was written as {journal} but this campaign runs {campaign} — \
+                 each shard must resume its own journal file"
+            ),
         }
     }
 }
@@ -121,13 +189,41 @@ impl JournalWriter {
         Ok(w)
     }
 
+    /// Creates (truncating) a fresh **shard** journal: a
+    /// [`SHARD_SCHEMA`] header carrying the v1 fields plus the shard
+    /// coordinates. `header.schema` is ignored — shard files always get
+    /// [`SHARD_SCHEMA`].
+    pub fn create_shard(
+        path: &Path,
+        header: &JournalHeader,
+        shard: &ShardInfo,
+    ) -> Result<Self, JournalError> {
+        let line = ShardHeaderLine {
+            schema: SHARD_SCHEMA.to_string(),
+            fingerprint: header.fingerprint.clone(),
+            scheduler: header.scheduler.clone(),
+            fault_free_makespan: header.fault_free_makespan,
+            shard_index: shard.index,
+            shard_count: shard.count,
+            seed_first: shard.seed_first,
+            seed_last: shard.seed_last,
+            seed_count: shard.seed_count,
+            seeds_fp: shard.seeds_fp.clone(),
+        };
+        let file = File::create(path).map_err(|e| io_err(path, e))?;
+        let mut w = JournalWriter { file, path: path.to_path_buf() };
+        let json = serde_json::to_string(&line).map_err(|e| JournalError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        w.write_line(&json)?;
+        Ok(w)
+    }
+
     /// Opens an existing journal for appending (resume). The caller is
     /// expected to have validated it with [`read_journal`] first.
     pub fn append(path: &Path) -> Result<Self, JournalError> {
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
-            .map_err(|e| io_err(path, e))?;
+        let file = open_validated_append(path, false, 0).map_err(|e| io_err(path, e))?;
         Ok(JournalWriter { file, path: path.to_path_buf() })
     }
 
@@ -136,15 +232,9 @@ impl JournalWriter {
     /// after a crash artifact starts on its own line instead of merging
     /// into the artifact's bytes.
     pub fn append_validated(path: &Path, contents: &JournalContents) -> Result<Self, JournalError> {
-        if contents.torn_tail {
-            let file = OpenOptions::new()
-                .write(true)
-                .open(path)
-                .map_err(|e| io_err(path, e))?;
-            file.set_len(contents.valid_len).map_err(|e| io_err(path, e))?;
-            file.sync_data().map_err(|e| io_err(path, e))?;
-        }
-        JournalWriter::append(path)
+        let file = open_validated_append(path, contents.torn_tail, contents.valid_len)
+            .map_err(|e| io_err(path, e))?;
+        Ok(JournalWriter { file, path: path.to_path_buf() })
     }
 
     /// Appends one trial record and fsyncs it to disk before returning
@@ -189,12 +279,102 @@ impl JournalWriter {
     }
 }
 
+/// The complete (newline-terminated, non-blank) lines of a JSONL file:
+/// 1-based line number, trimmed text, and the byte offset just past the
+/// terminating newline. Produced by [`complete_lines`], consumed by
+/// [`scan_records`] — the shared first half of every journal reader.
+#[derive(Clone, Debug)]
+pub struct CompleteLines<'a> {
+    /// `(line_number, trimmed_text, end_offset)` per complete line.
+    pub lines: Vec<(usize, &'a str, usize)>,
+    /// Whether the file ends in an unterminated fragment (a torn write
+    /// from a crash).
+    pub trailing_fragment: bool,
+}
+
+/// Splits journal text into its complete lines. Only newline-terminated
+/// lines count — a trailing fragment is flagged, never parsed.
+pub fn complete_lines(text: &str) -> CompleteLines<'_> {
+    let trailing_fragment = !text.is_empty() && !text.ends_with('\n');
+    let mut offset = 0usize;
+    let mut lines = Vec::new();
+    for (i, l) in text.split_inclusive('\n').enumerate() {
+        offset += l.len();
+        if l.ends_with('\n') && !l.trim().is_empty() {
+            lines.push((i + 1, l.trim(), offset));
+        }
+    }
+    CompleteLines { lines, trailing_fragment }
+}
+
+/// The records of a journal scan: everything after the header that
+/// parsed, plus the shared crash-damage verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordScan<T> {
+    /// Every record that parsed, in file order.
+    pub records: Vec<T>,
+    /// Whether trailing crash damage (an unterminated fragment or a
+    /// garbled final line) was tolerated and excluded.
+    pub torn_tail: bool,
+    /// Length in bytes of the valid prefix (header + intact records).
+    /// Everything past this offset is crash damage to truncate before
+    /// appending.
+    pub valid_len: u64,
+}
+
+/// Parses the record lines after the header with the shared torn-tail
+/// tolerance rule every journal reader follows: a record that fails to
+/// parse is a tolerated crash artifact **iff** it is the final complete
+/// line (a torn write that happened to end in `'\n'`); any earlier
+/// parse failure is real damage, returned as `(line_number, message)`.
+pub fn scan_records<T>(
+    scan: &CompleteLines<'_>,
+    mut parse: impl FnMut(&str) -> Result<T, String>,
+) -> Result<RecordScan<T>, (usize, String)> {
+    let mut torn_tail = scan.trailing_fragment;
+    let header_end = scan.lines.first().map_or(0, |&(_, _, end)| end);
+    let mut records = Vec::new();
+    let mut valid_len = header_end as u64;
+    let lines = scan.lines.get(1..).unwrap_or_default();
+    for (pos, &(lineno, line, end)) in lines.iter().enumerate() {
+        match parse(line) {
+            Ok(t) => {
+                records.push(t);
+                valid_len = end as u64;
+            }
+            Err(_) if pos + 1 == lines.len() => torn_tail = true,
+            Err(message) => return Err((lineno, message)),
+        }
+    }
+    Ok(RecordScan { records, torn_tail, valid_len })
+}
+
+/// Opens a journal file for appending, first truncating torn trailing
+/// damage a scan identified — the shared repair step of every
+/// resume-append path, so a record appended after a crash artifact
+/// starts on its own line instead of merging into the artifact's bytes.
+pub fn open_validated_append(
+    path: &Path,
+    torn_tail: bool,
+    valid_len: u64,
+) -> std::io::Result<File> {
+    if torn_tail {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.sync_data()?;
+    }
+    OpenOptions::new().append(true).open(path)
+}
+
 /// A parsed journal: the header, every intact trial record in file
 /// order, and whether a torn trailing line was discarded.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JournalContents {
     /// The header line.
     pub header: JournalHeader,
+    /// Shard coordinates when the header is a [`SHARD_SCHEMA`] one;
+    /// `None` for plain v1 journals.
+    pub shard: Option<ShardInfo>,
     /// Trial records, in the order they were written (duplicate seeds
     /// possible if a campaign was resumed with overlapping seed lists;
     /// the campaign layer keeps the first).
@@ -207,59 +387,51 @@ pub struct JournalContents {
     pub valid_len: u64,
 }
 
-/// Reads and validates a journal file.
+/// Reads and validates a journal file (plain v1 or shard v2).
 ///
 /// Tolerates exactly the damage a kill can cause — a final line without
 /// its newline, or a final line that does not parse — and rejects
 /// everything else as typed [`JournalError`]s.
 pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
     let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let scan = complete_lines(&text);
 
-    // Only newline-terminated lines are complete records; a trailing
-    // fragment is a torn write from a crash. Each entry carries the byte
-    // offset just past its newline so the valid prefix length survives
-    // into the result.
-    let mut torn_tail = !text.is_empty() && !text.ends_with('\n');
-    let mut offset = 0usize;
-    let mut complete: Vec<(usize, &str, usize)> = Vec::new();
-    for (i, l) in text.split_inclusive('\n').enumerate() {
-        offset += l.len();
-        if l.ends_with('\n') && !l.trim().is_empty() {
-            complete.push((i + 1, l.trim(), offset));
-        }
-    }
-
-    let Some(&(_, header_line, header_end)) = complete.first() else {
+    let Some(&(_, header_line, _)) = scan.lines.first() else {
         return Err(JournalError::MissingHeader);
     };
     let header: JournalHeader = serde_json::from_str(header_line)
         .map_err(|_| JournalError::MissingHeader)?;
-    if header.schema != JOURNAL_SCHEMA {
-        return Err(JournalError::SchemaMismatch { found: header.schema });
-    }
-
-    let mut trials = Vec::new();
-    let mut valid_len = header_end as u64;
-    let records = &complete[1..];
-    for (pos, &(lineno, line, end)) in records.iter().enumerate() {
-        match serde_json::from_str::<TrialStats>(line) {
-            Ok(t) => {
-                trials.push(t);
-                valid_len = end as u64;
-            }
-            // A garbled *final* record is a crash artifact (e.g. a torn
-            // write that happened to end in '\n'); anything earlier
-            // means real damage.
-            Err(e) if pos + 1 == records.len() => {
-                let _ = e;
-                torn_tail = true;
-            }
-            Err(e) => {
-                return Err(JournalError::Corrupt { line: lineno, message: e.to_string() })
-            }
+    let shard = match header.schema.as_str() {
+        s if s == JOURNAL_SCHEMA => None,
+        s if s == SHARD_SCHEMA => {
+            let line: ShardHeaderLine =
+                serde_json::from_str(header_line).map_err(|e| JournalError::Corrupt {
+                    line: 1,
+                    message: format!("shard header is incomplete: {e}"),
+                })?;
+            Some(ShardInfo {
+                index: line.shard_index,
+                count: line.shard_count,
+                seed_first: line.seed_first,
+                seed_last: line.seed_last,
+                seed_count: line.seed_count,
+                seeds_fp: line.seeds_fp,
+            })
         }
-    }
-    Ok(JournalContents { header, trials, torn_tail, valid_len })
+        _ => return Err(JournalError::SchemaMismatch { found: header.schema }),
+    };
+
+    let records = scan_records(&scan, |line| {
+        serde_json::from_str::<TrialStats>(line).map_err(|e| e.to_string())
+    })
+    .map_err(|(line, message)| JournalError::Corrupt { line, message })?;
+    Ok(JournalContents {
+        header,
+        shard,
+        trials: records.records,
+        torn_tail: records.torn_tail,
+        valid_len: records.valid_len,
+    })
 }
 
 #[cfg(test)]
@@ -323,8 +495,64 @@ pub(crate) mod tests {
         }
         let j = read_journal(&tmp.0).unwrap();
         assert_eq!(j.header, header());
+        assert_eq!(j.shard, None, "a plain journal carries no shard info");
         assert_eq!(j.trials, (0..5).map(trial).collect::<Vec<_>>());
         assert!(!j.torn_tail);
+    }
+
+    fn shard_info() -> ShardInfo {
+        ShardInfo {
+            index: 2,
+            count: 3,
+            seed_first: 10,
+            seed_last: 12,
+            seed_count: 3,
+            seeds_fp: "00ffee1122334455".to_string(),
+        }
+    }
+
+    #[test]
+    fn shard_header_roundtrips() {
+        let tmp = TempFile::new("shard");
+        let mut w = JournalWriter::create_shard(&tmp.0, &header(), &shard_info()).unwrap();
+        w.record(&trial(10)).unwrap();
+        let j = read_journal(&tmp.0).unwrap();
+        assert_eq!(j.header.schema, SHARD_SCHEMA);
+        assert_eq!(j.header.fingerprint, header().fingerprint);
+        assert_eq!(j.header.fault_free_makespan, header().fault_free_makespan);
+        assert_eq!(j.shard, Some(shard_info()));
+        assert_eq!(j.trials, vec![trial(10)]);
+    }
+
+    #[test]
+    fn shard_header_without_shard_fields_is_corrupt() {
+        // A v2 schema string on a line with no shard coordinates is
+        // damage, not a tolerable variant.
+        let tmp = TempFile::new("shard-incomplete");
+        JournalWriter::create(&tmp.0, &header()).unwrap();
+        let text = std::fs::read_to_string(&tmp.0)
+            .unwrap()
+            .replace(JOURNAL_SCHEMA, SHARD_SCHEMA);
+        std::fs::write(&tmp.0, text).unwrap();
+        assert!(matches!(
+            read_journal(&tmp.0),
+            Err(JournalError::Corrupt { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn shard_journal_tolerates_torn_tail_like_v1() {
+        let tmp = TempFile::new("shard-torn");
+        let mut w = JournalWriter::create_shard(&tmp.0, &header(), &shard_info()).unwrap();
+        w.record(&trial(10)).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&tmp.0).unwrap();
+        text.push_str("{\"seed\":11,\"outco");
+        std::fs::write(&tmp.0, text).unwrap();
+        let j = read_journal(&tmp.0).unwrap();
+        assert_eq!(j.trials.len(), 1);
+        assert!(j.torn_tail);
+        assert_eq!(j.shard, Some(shard_info()));
     }
 
     #[test]
