@@ -28,7 +28,7 @@
 //!     .build(2);
 //!
 //! // Greedy list scheduling runs it online...
-//! let greedy = engine::run(&mut StaticSource::new(inst.clone()), &mut asap());
+//! let greedy = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut asap());
 //! // ...and the exact solver certifies it is optimal here.
 //! assert_eq!(greedy.makespan(), Optimal::default().makespan(&inst));
 //! ```
@@ -70,7 +70,7 @@ mod prop_tests {
             let lb = analysis::lower_bound(&inst);
             for priority in Priority::ALL {
                 let mut sched = ListScheduler::new(priority);
-                let r = engine::run(&mut StaticSource::new(inst.clone()), &mut sched);
+                let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut sched);
                 prop_assert!(r.schedule.validate(&inst).is_empty());
                 prop_assert!(r.makespan() <= lb.mul_int(p as i64));
             }
@@ -98,7 +98,7 @@ mod prop_tests {
             let opt = Optimal::default().makespan(&inst);
             let lb = analysis::lower_bound(&inst);
             prop_assert!(opt >= lb);
-            let r = engine::run(&mut StaticSource::new(inst.clone()), &mut asap());
+            let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut asap());
             prop_assert!(opt <= r.makespan());
             let ob = run_offline(&mut OfflineBatch::greedy(), &inst);
             prop_assert!(opt <= ob.makespan());

@@ -10,7 +10,7 @@ use crate::priority::Priority;
 use rigid_dag::{ReleasedTask, TaskId};
 use rigid_sim::{FailureResponse, OnlineScheduler};
 use rigid_time::Time;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One entry in the ready list.
 struct Ready {
@@ -27,9 +27,12 @@ pub struct ListScheduler {
     /// pattern — take a run of tasks from the best end — is O(1) per
     /// start instead of a full-list shift.
     ready: VecDeque<Ready>,
-    /// Keys of started tasks, kept so a failed task can re-enter the
-    /// ready list with its original priority.
-    keys: HashMap<TaskId, (crate::priority::PriorityKey, u32)>,
+    /// Keys of released tasks, kept so a failed task can re-enter the
+    /// ready list with its original priority. Task ids are dense run
+    /// indices, so a plain column beats a hash map: the per-release
+    /// write is one store instead of a hash + probe on a table that
+    /// grows with the instance.
+    keys: Vec<(crate::priority::PriorityKey, u32)>,
 }
 
 impl ListScheduler {
@@ -38,7 +41,7 @@ impl ListScheduler {
         ListScheduler {
             priority,
             ready: VecDeque::new(),
-            keys: HashMap::new(),
+            keys: Vec::new(),
         }
     }
 
@@ -76,22 +79,31 @@ impl OnlineScheduler for ListScheduler {
 
     fn on_release(&mut self, task: &ReleasedTask, _now: Time) {
         let key = self.priority.key(&task.spec);
-        self.keys.insert(task.id, (key, task.spec.procs));
+        let idx = task.id.index();
+        if idx >= self.keys.len() {
+            self.keys.resize(idx + 1, (crate::priority::PriorityKey::Index, 0));
+        }
+        self.keys[idx] = (key, task.spec.procs);
         self.insert_sorted(task.id, task.spec.procs, key);
     }
 
     fn on_complete(&mut self, _task: TaskId, _now: Time) {}
 
-    fn decide(&mut self, _now: Time, mut free: u32) -> Vec<TaskId> {
+    fn decide(&mut self, now: Time, free: u32) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        self.decide_into(now, free, &mut out);
+        out
+    }
+
+    fn decide_into(&mut self, _now: Time, mut free: u32, out: &mut Vec<TaskId>) {
         // Every rigid task needs ≥ 1 processor, so a saturated machine
         // (or an empty list) can never yield a start — skip the scan,
         // and stop scanning the moment the machine saturates mid-pass:
         // the tail could only have been skipped anyway, so the started
         // set and the remaining order are identical to a full scan.
         if free == 0 || self.ready.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         let mut i = 0;
         while i < self.ready.len() && free > 0 {
             if self.ready[i].procs <= free {
@@ -102,7 +114,6 @@ impl OnlineScheduler for ListScheduler {
                 i += 1;
             }
         }
-        out
     }
 
     fn on_failure(&mut self, task: TaskId, _now: Time) -> FailureResponse {
@@ -110,7 +121,7 @@ impl OnlineScheduler for ListScheduler {
         // with its original priority and restarts as soon as it fits.
         let (key, procs) = *self
             .keys
-            .get(&task)
+            .get(task.index())
             .expect("failed task was released to us");
         self.insert_sorted(task, procs, key);
         FailureResponse::Retry
@@ -136,7 +147,7 @@ mod tests {
             .task("b", Time::from_int(2), 2)
             .edge("a", "b")
             .build(4);
-        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut asap());
+        let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut asap());
         result.schedule.assert_valid(&inst);
         assert_eq!(result.makespan(), Time::from_int(3));
     }
@@ -150,7 +161,7 @@ mod tests {
         let inst = intro_example(p, eps);
         for priority in Priority::ALL {
             let mut sched = ListScheduler::new(priority);
-            let result = engine::run(&mut StaticSource::new(inst.clone()), &mut sched);
+            let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut sched);
             result.schedule.assert_valid(&inst);
             // ASAP starts C_k immediately; B_k must wait for C_k to end:
             // makespan ≥ P · 1 (each of the P unit-length C's serializes
@@ -175,7 +186,7 @@ mod tests {
             .task("short", Time::from_int(1), 2)
             .task("long", Time::from_int(5), 2)
             .build(2);
-        let r_long = engine::run(
+        let r_long = engine::EngineConfig::new().run(
             &mut StaticSource::new(inst.clone()),
             &mut ListScheduler::new(Priority::LongestFirst),
         );
@@ -185,7 +196,7 @@ mod tests {
             r_long.schedule.placement(long_id).unwrap().start,
             Time::ZERO
         );
-        let r_short = engine::run(
+        let r_short = engine::EngineConfig::new().run(
             &mut StaticSource::new(inst.clone()),
             &mut ListScheduler::new(Priority::ShortestFirst),
         );
@@ -201,7 +212,7 @@ mod tests {
     #[test]
     fn failed_task_is_requeued() {
         use rigid_sim::fault::{Attempt, FaultModel};
-        use rigid_sim::try_run_faulty;
+        use rigid_sim::EngineConfig;
 
         struct FailFirst;
         impl FaultModel for FailFirst {
@@ -226,9 +237,10 @@ mod tests {
             .task("b", Time::from_int(1), 2)
             .edge("a", "b")
             .build(4);
-        let result =
-            try_run_faulty(&mut StaticSource::new(inst.clone()), &mut asap(), &mut FailFirst)
-                .expect("asap retries forever");
+        let result = EngineConfig::new()
+            .faults(&mut FailFirst)
+            .try_run(&mut StaticSource::new(inst.clone()), &mut asap())
+            .expect("asap retries forever");
         result.schedule.assert_valid(&inst);
         assert_eq!(result.faults.failures, 2);
         // a fails at 0.5, reruns [0.5, 2.5]; b releases at 2.5, fails at
@@ -244,7 +256,7 @@ mod tests {
             .task("b", Time::from_int(2), 1)
             .task("c", Time::from_int(3), 1)
             .build(8);
-        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut asap());
+        let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut asap());
         for p in result.schedule.placements() {
             assert_eq!(p.start, Time::ZERO);
         }

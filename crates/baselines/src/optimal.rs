@@ -231,7 +231,7 @@ impl Optimal {
         let greedy = {
             let mut src = rigid_dag::StaticSource::new(instance.clone());
             let mut sched = crate::list_online::asap();
-            rigid_sim::engine::run(&mut src, &mut sched).makespan()
+            rigid_sim::engine::EngineConfig::new().run(&mut src, &mut sched).makespan()
         };
 
         let mut search = Search {
@@ -323,7 +323,7 @@ mod tests {
         assert_eq!(opt, Time::from_ratio(104, 100));
         let asap = {
             let mut src = rigid_dag::StaticSource::new(inst.clone());
-            rigid_sim::engine::run(&mut src, &mut crate::list_online::asap()).makespan()
+            rigid_sim::engine::EngineConfig::new().run(&mut src, &mut crate::list_online::asap()).makespan()
         };
         assert!(asap > Time::from_int(2));
     }
@@ -345,7 +345,7 @@ mod tests {
             let lb = rigid_dag::analysis::lower_bound(&inst);
             assert!(opt >= lb, "OPT {opt} below Lb {lb}");
             let mut src = rigid_dag::StaticSource::new(inst.clone());
-            let cb = rigid_sim::engine::run(&mut src, &mut catbatch::CatBatch::new());
+            let cb = rigid_sim::engine::EngineConfig::new().run(&mut src, &mut catbatch::CatBatch::new());
             assert!(cb.makespan() >= opt, "CatBatch beat OPT?");
         }
     }

@@ -16,7 +16,7 @@ fn fifo_ties_are_stable() {
         .task("second", Time::from_int(2), 2)
         .task("third", Time::from_int(2), 2)
         .build(2);
-    let r = engine::run(
+    let r = engine::EngineConfig::new().run(
         &mut StaticSource::new(inst.clone()),
         &mut ListScheduler::new(Priority::LongestFirst),
     );
@@ -93,7 +93,7 @@ fn offline_list_priorities_differ_but_all_valid() {
 #[test]
 fn asap_on_empty_instance() {
     let empty = Instance::new(TaskGraph::new(), 3);
-    let r = engine::run(&mut StaticSource::new(empty), &mut asap());
+    let r = engine::EngineConfig::new().run(&mut StaticSource::new(empty), &mut asap());
     assert!(r.schedule.is_empty());
 }
 
@@ -112,7 +112,7 @@ fn optimal_beats_or_matches_all_heuristics_exhaustively() {
         let inst = erdos_dag(seed, 6, 0.35, &TaskSampler::default_mix(), 3);
         let opt = Optimal::default().makespan(&inst);
         for priority in Priority::ALL {
-            let r = engine::run(
+            let r = engine::EngineConfig::new().run(
                 &mut StaticSource::new(inst.clone()),
                 &mut ListScheduler::new(priority),
             );

@@ -17,7 +17,7 @@ fn adversary(c: &mut Criterion) {
             b.iter(|| {
                 let mut adv = ZAdversary::new(*params);
                 let mut sched = asap();
-                engine::run(&mut adv, &mut sched).makespan()
+                engine::EngineConfig::new().run(&mut adv, &mut sched).makespan()
             })
         });
         group.bench_with_input(
@@ -27,14 +27,14 @@ fn adversary(c: &mut Criterion) {
                 b.iter(|| {
                     let mut adv = ZAdversary::new(*params);
                     let mut sched = catbatch::CatBatch::new();
-                    engine::run(&mut adv, &mut sched).makespan()
+                    engine::EngineConfig::new().run(&mut adv, &mut sched).makespan()
                 })
             },
         );
         group.bench_with_input(BenchmarkId::new("witness", p), &params, |b, params| {
             let mut adv = ZAdversary::new(*params);
             let mut sched = asap();
-            let _ = engine::run(&mut adv, &mut sched);
+            let _ = engine::EngineConfig::new().run(&mut adv, &mut sched);
             b.iter(|| adv.witness_schedule().makespan())
         });
     }

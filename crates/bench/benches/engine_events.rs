@@ -20,14 +20,14 @@ fn engine_events(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("independent", n), &flat, |b, inst| {
             b.iter(|| {
                 let mut src = StaticSource::new(inst.clone());
-                engine::run(&mut src, &mut asap()).makespan()
+                engine::EngineConfig::new().run(&mut src, &mut asap()).makespan()
             })
         });
         let deep = chains(3, 4, n / 4, &sampler, 32);
         group.bench_with_input(BenchmarkId::new("chains", n), &deep, |b, inst| {
             b.iter(|| {
                 let mut src = StaticSource::new(inst.clone());
-                engine::run(&mut src, &mut asap()).makespan()
+                engine::EngineConfig::new().run(&mut src, &mut asap()).makespan()
             })
         });
     }

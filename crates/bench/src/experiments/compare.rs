@@ -107,7 +107,7 @@ pub fn strip_packing() -> String {
     let sampler = TaskSampler::default_mix();
     for (name, inst) in family(777, 120, &sampler, 16) {
         let mut strip = rigid_strip::CatBatchStrip::new(inst.procs());
-        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut strip);
+        let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut strip);
         result.schedule.assert_valid(&inst);
         strip.packing().assert_valid();
         let cb = Sched::CatBatch.run(&inst).makespan();
@@ -153,7 +153,7 @@ pub fn strip_packing() -> String {
     // Geometric SVG of the paper example's contiguous packing.
     let fig3 = rigid_dag::paper::figure3();
     let mut strip3 = rigid_strip::CatBatchStrip::new(fig3.procs());
-    let _ = engine::run(&mut StaticSource::new(fig3.clone()), &mut strip3);
+    let _ = engine::EngineConfig::new().run(&mut StaticSource::new(fig3.clone()), &mut strip3);
     let svg = rigid_strip::svg::render_packing_svg(
         strip3.packing(),
         fig3.graph(),

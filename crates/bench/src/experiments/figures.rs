@@ -188,7 +188,7 @@ pub fn fig06_catbatch_run() -> String {
     let mut out = String::from("== E06 / Figure 6: CatBatch on the Figure 3 example, P = 4 ==\n");
     let inst = figure3();
     let mut cb = CatBatch::new();
-    let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cb);
+    let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cb);
     result.schedule.assert_valid(&inst);
 
     let mut table = Table::new(&["batch ζ", "tasks", "start", "finish", "span", "lemma6 bound"]);

@@ -102,7 +102,7 @@ pub fn fig10_zgraph() -> String {
         for sched in schedulers {
             let mut adv = ZAdversary::new(params);
             let mut s = sched.build(p);
-            let result = engine::run(&mut adv, s.as_mut());
+            let result = engine::EngineConfig::new().run(&mut adv, s.as_mut());
             let inst = adv.committed_instance();
             result.schedule.assert_valid(&inst);
             assert!(

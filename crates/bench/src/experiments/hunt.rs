@@ -60,7 +60,7 @@ impl Genome {
     /// The exact competitive ratio `T_CatBatch / T_opt`.
     fn ratio_exact(&self) -> Rational {
         let inst = self.instantiate();
-        let cb = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new())
+        let cb = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new())
             .makespan();
         let opt = Optimal {
             node_limit: 3_000_000,

@@ -155,7 +155,7 @@ pub fn thm3_lower_bound() -> String {
         for sched in [Sched::List(Priority::Fifo), Sched::CatBatch] {
             let mut adv = ZAdversary::new(params);
             let mut s = sched.build(p);
-            let result = engine::run(&mut adv, s.as_mut());
+            let result = engine::EngineConfig::new().run(&mut adv, s.as_mut());
             let witness = adv.witness_schedule();
             witness.assert_valid(&adv.committed_instance());
             let ratio = result.makespan().ratio(witness.makespan()).to_f64();
@@ -205,7 +205,7 @@ pub fn thm4_p_over_2() -> String {
         let params = theorem4_params(p, mu);
         let mut adv = ZAdversary::new(params);
         let mut s = Sched::List(Priority::Fifo).build(p);
-        let result = engine::run(&mut adv, s.as_mut());
+        let result = engine::EngineConfig::new().run(&mut adv, s.as_mut());
         let witness = adv.witness_schedule();
         witness.assert_valid(&adv.committed_instance());
         let ratio = result.makespan().ratio(witness.makespan()).to_f64();

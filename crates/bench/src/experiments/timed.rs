@@ -62,7 +62,7 @@ pub fn timed_releases() -> String {
             let jobs = arrivals(seed, 120, 16, burst);
             let lb = timed_lower_bound(&jobs, 16);
             let mut src = TimedSource::new(jobs, 16);
-            let result = engine::run(&mut src, &mut asap());
+            let result = engine::EngineConfig::new().run(&mut src, &mut asap());
             let ratio = result.makespan().ratio(lb).to_f64();
             // Naroska–Schwiegelshohn: greedy is 2-competitive vs OPT;
             // the measured ratio vs the *lower bound* stays under 2 on

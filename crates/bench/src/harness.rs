@@ -65,7 +65,7 @@ impl Sched {
     pub fn run(&self, instance: &Instance) -> RunResult {
         let mut source = StaticSource::new(instance.clone());
         let mut scheduler = self.build(instance.procs());
-        let result = engine::run(&mut source, scheduler.as_mut());
+        let result = engine::EngineConfig::new().run(&mut source, scheduler.as_mut());
         result.schedule.assert_valid(instance);
         result
     }

@@ -2,24 +2,34 @@
 //! `catbatch bench --json`.
 //!
 //! Runs a fixed, seeded matrix — the paper's figure instances plus large
-//! random DAGs at n ∈ {10³, 10⁴, 10⁵} — and reports per scenario the
-//! wall-clock time, engine event throughput, peak ready-set size and the
-//! makespan / lower-bound ratio. The full tier also times the 10⁵-task
-//! scenario on the frozen pre-refactor engine
-//! ([`rigid_sim::reference`]) so the event-driven speedup is recorded in
-//! every report.
+//! random DAGs at n ∈ {10³, 10⁴, 10⁵, 10⁶, 10⁷} — and reports per
+//! scenario the wall-clock time, engine event throughput, peak ready-set
+//! size and the makespan / lower-bound ratio. The quick tier (CI smoke)
+//! stops at n = 10⁶; the full tier adds the 10⁴-, 10⁵- and 10⁷-task
+//! DAGs. The full tier also times the 10⁵-task scenario on the frozen
+//! pre-refactor engine ([`rigid_sim::reference`]) so the event-driven
+//! speedup is recorded in every report (the reference engine is far too
+//! slow to compare at 10⁷).
 //!
-//! Timing discipline: every scenario gets one untimed warmup run, then
-//! `reps` timed repetitions whose **median** wall time is reported (the
-//! old schema reported the minimum; the median is stable under
-//! scheduling noise without being as optimistic). The repetition count
-//! is recorded per scenario so a report is self-describing.
+//! Timing discipline: every scenario first does one **full-recording**
+//! run, untimed — it validates the schedule against the instance and
+//! supplies the makespan / lower-bound fields, and doubles as cache
+//! warmup. The `reps` timed repetitions then run the engine in
+//! [`rigid_sim::EngineConfig::stats_only`] mode with a shared
+//! [`rigid_sim::EngineScratch`], so the measured number is the hot loop
+//! itself rather than result-map and graph construction; the timed
+//! runs' event counters are asserted identical to the validated run's.
+//! The **median** wall time is reported (the v1 schema reported the
+//! minimum; the median is stable under scheduling noise without being
+//! as optimistic), and the repetition count is recorded per scenario so
+//! a report is self-describing.
 //!
 //! The JSON shape (`BENCH_engine.json`, schema
-//! `catbatch-bench-engine/v1.1`) is documented in `docs/performance.md`;
+//! `catbatch-bench-engine/v1.2`) is documented in `docs/performance.md`;
 //! [`check_regression`] is the guard CI's `bench-smoke` job runs against
-//! the committed snapshot in `results/bench_baseline.json` (v1 baselines
-//! are still accepted — the field added in v1.1 is optional).
+//! the committed snapshot in `results/bench_baseline.json` (v1/v1.1
+//! baselines are still accepted — v1.1 added an optional field, v1.2
+//! changed what `wall_ms` times, not the document shape).
 
 use crate::harness::Sched;
 use rigid_baselines::Priority;
@@ -95,11 +105,16 @@ impl OnlineScheduler for PreRefactorFifo {
 /// Schema identifier written into every report. The `v1.1` minor bump
 /// added the optional per-scenario `repeats` field and switched
 /// `wall_ms` from best-of-reps to median-of-reps (after a warmup run);
-/// [`check_regression`] still accepts [`SCHEMA_V1`] baselines.
-pub const SCHEMA: &str = "catbatch-bench-engine/v1.1";
+/// `v1.2` switched the timed repetitions to the engine's stats-only
+/// recording mode (same document shape). [`check_regression`] still
+/// accepts [`SCHEMA_V1`] and [`SCHEMA_V1_1`] baselines.
+pub const SCHEMA: &str = "catbatch-bench-engine/v1.2";
 
-/// The previous report schema, accepted as a `--check` baseline.
+/// The original report schema, accepted as a `--check` baseline.
 pub const SCHEMA_V1: &str = "catbatch-bench-engine/v1";
+
+/// The v1.1 report schema, accepted as a `--check` baseline.
+pub const SCHEMA_V1_1: &str = "catbatch-bench-engine/v1.1";
 
 /// Schema identifier of the resumable scenario journal
 /// (`catbatch bench --journal`).
@@ -159,8 +174,30 @@ fn rand_n100000() -> Instance {
     gen::chains(113, 25_000, 4, &sampler, 1000)
 }
 
+fn rand_n1000000() -> Instance {
+    // The same width ≫ P regime as `rand_n100000`, ×10: 250 000 chains
+    // of 4 on P = 1000. Small enough to keep the quick tier (and the
+    // bench crate's own tests) fast, large enough that cache density in
+    // the engine's task-state columns dominates the wall time.
+    let sampler = TaskSampler {
+        length: LengthDist::Uniform { min: 0.5, max: 4.0 },
+        procs: ProcDist::Uniform { min: 1, max: 1 },
+    };
+    gen::chains(127, 250_000, 4, &sampler, 1000)
+}
+
+fn rand_n10000000() -> Instance {
+    // The headline 10⁷-task scenario: 2.5 million chains of 4 on
+    // P = 1000 (20 million engine events). Full tier only.
+    let sampler = TaskSampler {
+        length: LengthDist::Uniform { min: 0.5, max: 4.0 },
+        procs: ProcDist::Uniform { min: 1, max: 1 },
+    };
+    gen::chains(131, 2_500_000, 4, &sampler, 1000)
+}
+
 /// The fixed scenario matrix. The `quick` tier (CI smoke) stops at
-/// n = 10³; the full tier adds the 10⁴- and 10⁵-task DAGs.
+/// n = 10⁶; the full tier adds the 10⁴-, 10⁵- and 10⁷-task DAGs.
 pub fn scenarios(quick: bool) -> Vec<Scenario> {
     let mut m = vec![
         Scenario {
@@ -191,6 +228,13 @@ pub fn scenarios(quick: bool) -> Vec<Scenario> {
             reps: 5,
             build: rand_n1000,
         },
+        Scenario {
+            name: "rand-chains-n1000000",
+            family: "chains",
+            sched: Sched::List(Priority::Fifo),
+            reps: 2,
+            build: rand_n1000000,
+        },
     ];
     if !quick {
         m.push(Scenario {
@@ -206,6 +250,13 @@ pub fn scenarios(quick: bool) -> Vec<Scenario> {
             sched: Sched::List(Priority::Fifo),
             reps: 3,
             build: rand_n100000,
+        });
+        m.push(Scenario {
+            name: "rand-chains-n10000000",
+            family: "chains",
+            sched: Sched::List(Priority::Fifo),
+            reps: 2,
+            build: rand_n10000000,
         });
     }
     m
@@ -224,8 +275,10 @@ pub struct ScenarioResult {
     pub procs: u32,
     /// Scheduler name.
     pub scheduler: String,
-    /// Median wall-clock time over the timed repetitions, milliseconds
-    /// (minimum in v1 reports).
+    /// Median wall-clock time over the timed repetitions, milliseconds.
+    /// Since v1.2 the timed repetitions run the engine in stats-only
+    /// mode (hot loop only, no result artifacts); v1 reported the
+    /// minimum instead of the median.
     pub wall_ms: f64,
     /// Engine events (releases + completions + failures).
     pub events: u64,
@@ -258,7 +311,10 @@ pub struct ScenarioResult {
 pub struct RefComparison {
     /// Which scenario was compared.
     pub scenario: String,
-    /// Event-driven hot path wall time, milliseconds.
+    /// Event-driven hot path wall time, milliseconds. Timed in
+    /// full-recording mode (the reference engine has no stats-only
+    /// mode), so this is like-for-like with `reference_ms` — and larger
+    /// than the same scenario's stats-only `wall_ms`.
     pub event_driven_ms: f64,
     /// Pre-refactor hot path (stepping engine + rescanning ready list)
     /// wall time, milliseconds.
@@ -296,7 +352,7 @@ fn time_median(
     inst: &Instance,
     reps: u32,
     mut build_sched: impl FnMut() -> Box<dyn OnlineScheduler>,
-    engine_fn: impl Fn(&mut StaticSource, &mut dyn OnlineScheduler) -> RunResult,
+    mut engine_fn: impl FnMut(&mut StaticSource, &mut dyn OnlineScheduler) -> RunResult,
 ) -> (f64, RunResult) {
     {
         let mut source = StaticSource::new(inst.clone());
@@ -321,14 +377,32 @@ fn run_scenario(sc: &Scenario) -> ScenarioResult {
     let inst = sc.instance();
     let stats = analysis::stats(&inst);
     let lb = analysis::lower_bound(&inst);
-    let (wall_ms, result) = time_median(
+    // One scratch across every run: after the first, the hot loop
+    // allocates nothing, which is exactly how a repeated-simulation
+    // caller would drive the engine.
+    let mut scratch = rigid_sim::EngineScratch::new();
+    // One full-recording run, untimed. It validates the schedule and
+    // supplies the makespan fields; the timed repetitions below then
+    // run stats-only, so they measure the simulation itself rather than
+    // result-map and revealed-graph construction.
+    let full = {
+        let mut source = StaticSource::new(inst.clone());
+        let mut sched = sc.sched.build(inst.procs());
+        engine::EngineConfig::new().scratch(&mut scratch).run(&mut source, sched.as_mut())
+    };
+    full.schedule.assert_valid(&inst);
+    let (wall_ms, timed) = time_median(
         &inst,
         sc.reps,
         || sc.sched.build(inst.procs()),
-        |src, sched| engine::run(src, sched),
+        |src, sched| {
+            engine::EngineConfig::new().stats_only().scratch(&mut scratch).run(src, sched)
+        },
     );
-    // Validate once, outside the timed region.
-    result.schedule.assert_valid(&inst);
+    // The stats-only runs must be the same simulation as the validated
+    // full run — identical counters, decision for decision.
+    assert_eq!(timed.stats, full.stats, "{}: stats-only run diverged", sc.name);
+    assert_eq!(timed.decisions, full.decisions, "{}: stats-only run diverged", sc.name);
     ScenarioResult {
         name: sc.name.to_string(),
         family: sc.family.to_string(),
@@ -336,18 +410,18 @@ fn run_scenario(sc: &Scenario) -> ScenarioResult {
         procs: inst.procs(),
         scheduler: sc.sched.name(),
         wall_ms,
-        events: result.stats.events,
-        events_per_sec: result.stats.events as f64 / (wall_ms / 1e3),
-        peak_ready: result.stats.peak_ready,
-        makespan: result.makespan().to_f64(),
+        events: full.stats.events,
+        events_per_sec: full.stats.events as f64 / (wall_ms / 1e3),
+        peak_ready: full.stats.peak_ready,
+        makespan: full.makespan().to_f64(),
         lower_bound: lb.to_f64(),
-        makespan_ratio: result.makespan().ratio(lb).to_f64(),
+        makespan_ratio: full.makespan().ratio(lb).to_f64(),
         length_ratio: stats.length_ratio(),
         repeats: Some(sc.reps),
     }
 }
 
-fn run_reference_comparison(sc: &Scenario, event_driven_ms: f64) -> RefComparison {
+fn run_reference_comparison(sc: &Scenario) -> RefComparison {
     let inst = sc.instance();
     let (reference_ms, old_result) = time_median(
         &inst,
@@ -361,9 +435,16 @@ fn run_reference_comparison(sc: &Scenario, event_driven_ms: f64) -> RefCompariso
         || sc.sched.build(inst.procs()),
         |src, sched| reference::run(src, sched),
     );
+    // The event-driven side is timed in full-recording mode here — the
+    // reference engine has no stats-only mode, so the speedup compares
+    // like with like (both sides build their complete RunResult).
+    let (event_driven_ms, new) = time_median(
+        &inst,
+        sc.reps,
+        || sc.sched.build(inst.procs()),
+        |src, sched| engine::EngineConfig::new().run(src, sched),
+    );
     // Both hot paths must agree before a speedup is worth reporting.
-    let mut sched = sc.sched.build(inst.procs());
-    let new = engine::run(&mut StaticSource::new(inst.clone()), sched.as_mut());
     assert_eq!(
         new.schedule, old_result.schedule,
         "hot paths diverge on {}",
@@ -401,9 +482,8 @@ pub fn run(quick: bool, jobs: usize) -> BenchReport {
     } else {
         matrix
             .iter()
-            .zip(&results)
-            .find(|(sc, _)| sc.name == REFERENCE_SCENARIO)
-            .map(|(sc, r)| run_reference_comparison(sc, r.wall_ms))
+            .find(|sc| sc.name == REFERENCE_SCENARIO)
+            .map(run_reference_comparison)
     };
     BenchReport {
         schema: SCHEMA.to_string(),
@@ -579,9 +659,8 @@ pub fn run_journaled(
     } else {
         let rc = matrix
             .iter()
-            .zip(&results)
-            .find(|(sc, _)| sc.name == REFERENCE_SCENARIO)
-            .map(|(sc, r)| run_reference_comparison(sc, r.wall_ms));
+            .find(|sc| sc.name == REFERENCE_SCENARIO)
+            .map(run_reference_comparison);
         if let Some(rc) = &rc {
             record(&mut file, &BenchRecord::Reference { comparison: rc.clone() })?;
         }
@@ -644,9 +723,10 @@ pub fn check_regression(
     factor: f64,
 ) -> Result<(), String> {
     assert!(factor >= 1.0, "regression factor must be >= 1");
-    if baseline.schema != SCHEMA && baseline.schema != SCHEMA_V1 {
+    if baseline.schema != SCHEMA && baseline.schema != SCHEMA_V1_1 && baseline.schema != SCHEMA_V1
+    {
         return Err(format!(
-            "baseline schema {:?} does not match {SCHEMA:?} (or {SCHEMA_V1:?})",
+            "baseline schema {:?} does not match {SCHEMA:?} (or {SCHEMA_V1_1:?}, {SCHEMA_V1:?})",
             baseline.schema
         ));
     }
@@ -862,10 +942,17 @@ mod tests {
         assert!(names.contains(&"rand-layered-n1000"));
         assert!(names.contains(&"rand-chains-n10000"));
         assert!(names.contains(&REFERENCE_SCENARIO));
+        assert!(names.contains(&"rand-chains-n1000000"));
+        assert!(names.contains(&"rand-chains-n10000000"));
         let big = scenarios(false)
             .into_iter()
             .find(|s| s.name == REFERENCE_SCENARIO)
             .unwrap();
         assert_eq!(big.instance().len(), 100_000);
+        // The 10⁶ scenario rides in the quick (CI smoke) tier; the 10⁷
+        // headline stays full-tier only.
+        let quick_names: Vec<&str> = scenarios(true).iter().map(|s| s.name).collect();
+        assert!(quick_names.contains(&"rand-chains-n1000000"));
+        assert!(!quick_names.contains(&"rand-chains-n10000000"));
     }
 }

@@ -199,7 +199,8 @@ USAGE:
   catbatch bench [--json] [--quick] [--out PATH] [--check BASELINE]
                  [--journal PATH [--resume]] [--jobs N]
       run the fixed perf scenario matrix (paper figures + random DAGs
-      at n = 1e3/1e4/1e5) and print the throughput table; --json also
+      up to n = 1e7; the quick tier stops at 1e6) and print the
+      throughput table; --json also
       writes BENCH_engine.json (or PATH); --quick runs the small tier;
       --check fails on a >2x events/sec regression vs a baseline report;
       --journal/--resume checkpoint finished scenarios so a killed

@@ -149,7 +149,7 @@ fn schedule_cmd(
 ) -> Result<String, String> {
     let mut sched = build_scheduler(choice, inst.procs());
     let name = sched.name();
-    let result = engine::run(&mut StaticSource::new(inst.clone()), sched.as_mut());
+    let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), sched.as_mut());
     let violations = result.schedule.validate(inst);
     if !violations.is_empty() {
         return Err(format!("internal error: invalid schedule {violations:?}"));
@@ -599,7 +599,7 @@ mod tests {
         let cmd =
             parse_args(&["bench", "--quick", "--check", "sample.rigid"]).unwrap();
         let err = run_command(&cmd, &fs).unwrap_err();
-        assert!(err.contains("not a catbatch-bench-engine/v1.1 report"), "{err}");
+        assert!(err.contains("not a catbatch-bench-engine/v1.2 report"), "{err}");
         assert!(err.contains("catbatch bench --json --out"), "{err}");
     }
 

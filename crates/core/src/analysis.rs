@@ -161,7 +161,7 @@ mod tests {
         let bound = lemma7_bound(&inst);
         let mut src = StaticSource::new(inst.clone());
         let mut cb = CatBatch::new();
-        let result = rigid_sim::engine::run(&mut src, &mut cb);
+        let result = rigid_sim::engine::EngineConfig::new().run(&mut src, &mut cb);
         assert!(
             result.makespan() <= bound,
             "makespan {} exceeds Lemma 7 bound {bound}",

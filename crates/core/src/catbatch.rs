@@ -272,7 +272,7 @@ mod tests {
         let inst = figure3();
         let mut src = StaticSource::new(inst.clone());
         let mut cb = CatBatch::new();
-        let result = engine::run(&mut src, &mut cb);
+        let result = engine::EngineConfig::new().run(&mut src, &mut cb);
         result.schedule.assert_valid(&inst);
         assert_eq!(result.makespan(), Time::from_millis(15, 200));
 
@@ -340,7 +340,7 @@ mod tests {
         let inst = figure3();
         let mut src = StaticSource::new(inst);
         let mut cb = CatBatch::new();
-        let _ = engine::run(&mut src, &mut cb);
+        let _ = engine::EngineConfig::new().run(&mut src, &mut cb);
         let h = cb.batch_history();
         for w in h.windows(2) {
             assert!(w[0].finished_at <= w[1].started_at);
@@ -357,7 +357,7 @@ mod tests {
         let p = inst.procs();
         let mut src = StaticSource::new(inst);
         let mut cb = CatBatch::new();
-        let _ = engine::run(&mut src, &mut cb);
+        let _ = engine::EngineConfig::new().run(&mut src, &mut cb);
         for b in cb.batch_history() {
             let bound = b.area.mul_int(2).div_int(p as i64) + category_length(b.category, c);
             assert!(
@@ -377,7 +377,7 @@ mod tests {
             .build(4);
         let mut src = StaticSource::new(inst.clone());
         let mut cb = CatBatch::new();
-        let result = engine::run(&mut src, &mut cb);
+        let result = engine::EngineConfig::new().run(&mut src, &mut cb);
         result.schedule.assert_valid(&inst);
         assert_eq!(result.makespan(), Time::from_millis(2, 500));
         assert_eq!(cb.batch_history().len(), 1);
@@ -392,7 +392,7 @@ mod tests {
             .build(4);
         let mut src = StaticSource::new(inst.clone());
         let mut cb = CatBatch::new();
-        let result = engine::run(&mut src, &mut cb);
+        let result = engine::EngineConfig::new().run(&mut src, &mut cb);
         result.schedule.assert_valid(&inst);
         // Same category (both (0,1)); batch runs them one after another.
         assert_eq!(result.makespan(), Time::from_int(2));
@@ -404,7 +404,7 @@ mod tests {
     #[test]
     fn retry_keeps_batch_structure() {
         use rigid_sim::fault::{Attempt, FaultModel};
-        use rigid_sim::try_run_faulty;
+        use rigid_sim::EngineConfig;
 
         /// Fails the first attempt of every task at half its duration.
         struct FirstAttemptFails;
@@ -428,7 +428,9 @@ mod tests {
         let inst = figure3();
         let mut src = StaticSource::new(inst.clone());
         let mut cb = CatBatch::new().with_retry_budget(1);
-        let result = try_run_faulty(&mut src, &mut cb, &mut FirstAttemptFails)
+        let result = EngineConfig::new()
+            .faults(&mut FirstAttemptFails)
+            .try_run(&mut src, &mut cb)
             .expect("retries within budget must succeed");
 
         // Every task still ran with its spec (t, p) on the successful
@@ -468,7 +470,7 @@ mod tests {
     #[test]
     fn budget_exhaustion_abandons() {
         use rigid_sim::fault::{Attempt, FaultModel};
-        use rigid_sim::{try_run_faulty, RunError};
+        use rigid_sim::{EngineConfig, RunError};
 
         struct AlwaysFails;
         impl FaultModel for AlwaysFails {
@@ -489,7 +491,7 @@ mod tests {
             .build(2);
         let mut src = StaticSource::new(inst);
         let mut cb = CatBatch::new().with_retry_budget(2);
-        let err = try_run_faulty(&mut src, &mut cb, &mut AlwaysFails).unwrap_err();
+        let err = EngineConfig::new().faults(&mut AlwaysFails).try_run(&mut src, &mut cb).unwrap_err();
         match err {
             RunError::TaskAbandoned { attempts, .. } => assert_eq!(attempts, 3),
             other => panic!("expected TaskAbandoned, got {other:?}"),
@@ -501,7 +503,7 @@ mod tests {
     #[test]
     fn default_budget_abandons_immediately() {
         use rigid_sim::fault::{Attempt, FaultModel};
-        use rigid_sim::{try_run_faulty, RunError};
+        use rigid_sim::{EngineConfig, RunError};
 
         struct FailOnce;
         impl FaultModel for FailOnce {
@@ -526,7 +528,7 @@ mod tests {
             .build(1);
         let mut src = StaticSource::new(inst);
         let mut cb = CatBatch::new();
-        let err = try_run_faulty(&mut src, &mut cb, &mut FailOnce).unwrap_err();
+        let err = EngineConfig::new().faults(&mut FailOnce).try_run(&mut src, &mut cb).unwrap_err();
         assert!(matches!(err, RunError::TaskAbandoned { attempts: 1, .. }));
     }
 
@@ -537,7 +539,7 @@ mod tests {
         let g = inst.graph();
         let mut src = StaticSource::new(inst.clone());
         let mut cb = CatBatch::new();
-        let _ = engine::run(&mut src, &mut cb);
+        let _ = engine::EngineConfig::new().run(&mut src, &mut cb);
         let b = g.find_by_label("B").unwrap();
         assert_eq!(
             cb.category_of_task(b).unwrap().value(),

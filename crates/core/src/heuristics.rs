@@ -384,7 +384,7 @@ mod tests {
     fn catprio_feasible_and_competitive_on_random() {
         for seed in 0..8u64 {
             let inst = erdos_dag(seed, 30, 0.2, &TaskSampler::default_mix(), 8);
-            let r = engine::run(&mut StaticSource::new(inst.clone()), &mut CatPrio::new());
+            let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatPrio::new());
             r.schedule.assert_valid(&inst);
             assert!(r.makespan() >= analysis::lower_bound(&inst));
         }
@@ -397,7 +397,7 @@ mod tests {
         // worst-case guarantee.
         let p = 8u32;
         let inst = intro_example(p, Time::from_ratio(1, 100));
-        let r = engine::run(&mut StaticSource::new(inst.clone()), &mut CatPrio::new());
+        let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatPrio::new());
         assert!(r.makespan() >= Time::from_int(p as i64));
     }
 
@@ -408,9 +408,9 @@ mod tests {
         // CatBatch's corresponding batch.
         let inst = figure3();
         let mut plain = CatBatch::new();
-        let r_plain = engine::run(&mut StaticSource::new(inst.clone()), &mut plain);
+        let r_plain = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut plain);
         let mut bf = CatBatchBackfill::new();
-        let r_bf = engine::run(&mut StaticSource::new(inst.clone()), &mut bf);
+        let r_bf = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut bf);
         r_bf.schedule.assert_valid(&inst);
         // Batches present in both runs (a fully backfilled batch can
         // vanish from the backfill run) end no later under backfilling.
@@ -440,7 +440,7 @@ mod tests {
             let inst = erdos_dag(seed, 35, 0.15, &TaskSampler::default_mix(), 8);
             let bound = crate::analysis::lemma7_bound(&inst);
             let mut bf = CatBatchBackfill::new();
-            let r = engine::run(&mut StaticSource::new(inst.clone()), &mut bf);
+            let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut bf);
             r.schedule.assert_valid(&inst);
             assert!(r.makespan() <= bound, "seed {seed}");
         }
@@ -459,7 +459,7 @@ mod tests {
             .edge("a", "b")
             .build(4);
         let mut bf = CatBatchBackfill::new();
-        let r = engine::run(&mut StaticSource::new(inst.clone()), &mut bf);
+        let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut bf);
         r.schedule.assert_valid(&inst);
         assert_eq!(bf.backfill_count(), 1, "expected exactly one backfill");
         // b runs [4.5, 5] inside the batch instead of after 8.
@@ -472,7 +472,7 @@ mod tests {
 
         // Plain CatBatch waits: b runs after the barrier at 8.
         let r_plain =
-            engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
+            engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
         assert_eq!(r_plain.makespan(), Time::from_millis(8, 500));
     }
 
@@ -482,7 +482,7 @@ mod tests {
             for seed in 0..4u64 {
                 let inst = erdos_dag(seed, 25, 0.2, &TaskSampler::default_mix(), 8);
                 let mut est = EstimatedCatBatch::new(noise, 42);
-                let r = engine::run(&mut StaticSource::new(inst.clone()), &mut est);
+                let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut est);
                 r.schedule.assert_valid(&inst);
             }
         }
@@ -492,8 +492,8 @@ mod tests {
     fn estimated_with_zero_noise_matches_catbatch() {
         let inst = figure3();
         let mut est = EstimatedCatBatch::new(0, 7);
-        let r_est = engine::run(&mut StaticSource::new(inst.clone()), &mut est);
-        let r_cb = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
+        let r_est = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut est);
+        let r_cb = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
         assert_eq!(r_est.makespan(), r_cb.makespan());
     }
 

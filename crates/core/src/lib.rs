@@ -43,7 +43,7 @@
 //!     .edge("solve", "post")
 //!     .build(4);
 //!
-//! let result = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
+//! let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
 //! result.schedule.assert_valid(&inst);
 //!
 //! // Theorem 1: within (log2(3) + 3) of the lower bound.
@@ -126,7 +126,7 @@ mod prop_tests {
             let inst = erdos_dag(seed, n, 0.15, &TaskSampler::default_mix(), p);
             let mut src = StaticSource::new(inst.clone());
             let mut cb = CatBatch::new();
-            let result = engine::run(&mut src, &mut cb);
+            let result = engine::EngineConfig::new().run(&mut src, &mut cb);
             prop_assert!(result.schedule.validate(&inst).is_empty());
             let lb = dag_analysis::lower_bound(&inst);
             let ratio = result.makespan().ratio(lb).to_f64();
@@ -140,7 +140,7 @@ mod prop_tests {
             let inst = erdos_dag(seed, n, 0.2, &TaskSampler::default_mix(), 8);
             let bound = analysis::lemma7_bound(&inst);
             let mut src = StaticSource::new(inst.clone());
-            let result = engine::run(&mut src, &mut CatBatch::new());
+            let result = engine::EngineConfig::new().run(&mut src, &mut CatBatch::new());
             prop_assert!(result.makespan() <= bound);
         }
 
@@ -150,7 +150,7 @@ mod prop_tests {
         fn batch_barrier(seed in 0u64..2_000, n in 2usize..30) {
             let inst = erdos_dag(seed, n, 0.25, &TaskSampler::default_mix(), 4);
             let mut cb = CatBatch::new();
-            let _ = engine::run(&mut StaticSource::new(inst), &mut cb);
+            let _ = engine::EngineConfig::new().run(&mut StaticSource::new(inst), &mut cb);
             for w in cb.batch_history().windows(2) {
                 prop_assert!(w[0].finished_at <= w[1].started_at);
                 prop_assert!(w[0].category < w[1].category);

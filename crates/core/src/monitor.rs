@@ -280,7 +280,7 @@ mod tests {
             inner: CatBatch::new(),
             monitor: GuaranteeMonitor::new(inst.procs()),
         };
-        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut sched);
+        let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut sched);
         let bound = sched.monitor.conditional_makespan_bound().unwrap();
         assert!(result.makespan() <= bound);
         // After full revelation the monitor agrees with the offline view.
@@ -318,7 +318,7 @@ mod tests {
             inner: CatBatch::new(),
             monitor: GuaranteeMonitor::new(inst.procs()),
         };
-        let result = engine::run(&mut StaticSource::new(inst), &mut sched);
+        let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst), &mut sched);
         let report = sched.monitor.assumption_report(&result.faults);
         assert!(report.clean());
         assert!(!report.fixed_times_violated);
@@ -331,7 +331,7 @@ mod tests {
     #[test]
     fn faulty_run_report_names_violations_and_inflates_bound() {
         use rigid_sim::fault::{Attempt, FaultModel};
-        use rigid_sim::try_run_faulty;
+        use rigid_sim::EngineConfig;
 
         /// Fails the first attempt of every task halfway through.
         struct FirstAttemptFails;
@@ -357,12 +357,10 @@ mod tests {
             inner: CatBatch::new().with_retry_budget(1),
             monitor: GuaranteeMonitor::new(inst.procs()),
         };
-        let result = try_run_faulty(
-            &mut StaticSource::new(inst),
-            &mut sched,
-            &mut FirstAttemptFails,
-        )
-        .unwrap();
+        let result = EngineConfig::new()
+            .faults(&mut FirstAttemptFails)
+            .try_run(&mut StaticSource::new(inst), &mut sched)
+            .unwrap();
         let report = sched.monitor.assumption_report(&result.faults);
         assert!(!report.clean());
         assert!(report.fixed_times_violated);
@@ -423,7 +421,7 @@ mod tests {
                 inner: CatBatch::new(),
                 monitor: GuaranteeMonitor::new(8),
             };
-            let result = engine::run(&mut StaticSource::new(inst.clone()), &mut sched);
+            let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut sched);
             let bound = sched.monitor.conditional_makespan_bound().unwrap();
             assert!(result.makespan() <= bound, "seed {seed}");
             let ratio = result

@@ -94,7 +94,7 @@ fn catbatch_on_two_level_dyadic_ladder() {
     }
     let inst = b.build(2);
     let mut cb = CatBatch::new();
-    let r = engine::run(&mut StaticSource::new(inst.clone()), &mut cb);
+    let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cb);
     r.schedule.assert_valid(&inst);
     assert_eq!(cb.batch_history().len(), 10);
     let ratio = r

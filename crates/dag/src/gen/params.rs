@@ -1,8 +1,8 @@
 //! Random samplers for rigid task parameters `(t, p)`.
 //!
 //! Sampled lengths are snapped onto the dyadic `2^-20` grid (see
-//! [`Time::from_f64_snapped`]) so that all downstream arithmetic stays
-//! exact with small denominators.
+//! [`Time::try_from_f64_snapped`]) so that all downstream arithmetic stays
+//! exact with small denominators — and on `Time`'s dyadic fast path.
 
 use crate::task::TaskSpec;
 use rand::Rng;
@@ -61,13 +61,14 @@ impl LengthDist {
 
 /// Snaps to the dyadic grid, guarding against snapping all the way to zero.
 fn positive_snap(x: f64, floor_hint: f64) -> Time {
-    let t = Time::from_f64_snapped(x);
+    let t = Time::try_from_f64_snapped(x).expect("sampled length snaps onto the Time grid");
     if t.is_positive() {
         t
     } else {
         // The requested value was below grid resolution; use the smallest
         // representable positive grid step or the hint, whichever is larger.
-        Time::from_f64_snapped(floor_hint.max(1.0 / (1u64 << 20) as f64))
+        Time::try_from_f64_snapped(floor_hint.max(1.0 / (1u64 << 20) as f64))
+            .expect("floor hint snaps onto the Time grid")
             .max(Time::from_ratio(1, 1 << 20))
     }
 }

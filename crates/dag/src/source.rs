@@ -38,24 +38,34 @@ pub struct ReleasedTask {
 /// A source of online-revealed tasks, driven by the simulation engine.
 ///
 /// Contract: a task is released exactly once, and only when every one of
-/// its predecessors has been reported complete via [`on_complete`]
-/// (`initial` releases the predecessor-free roots). The engine enforces
-/// this contract with assertions.
+/// its predecessors has been reported complete via [`on_complete_into`]
+/// (`initial_into` releases the predecessor-free roots). The engine
+/// enforces this contract with assertions.
 ///
+/// The `*_into` methods are the required primitives: they **append** to a
+/// caller-owned buffer, so a hot simulation loop reuses one `Vec` across
+/// the whole run instead of allocating a fresh one per completion. The
+/// `Vec`-returning forms ([`initial`], [`on_complete`],
+/// [`timed_releases`]) are provided convenience wrappers over them.
+///
+/// [`on_complete_into`]: InstanceSource::on_complete_into
+/// [`initial`]: InstanceSource::initial
 /// [`on_complete`]: InstanceSource::on_complete
+/// [`timed_releases`]: InstanceSource::timed_releases
 pub trait InstanceSource {
     /// Platform size `P`.
     fn procs(&self) -> u32;
 
-    /// Tasks ready at time zero (the DAG roots). Called exactly once,
-    /// before any `on_complete`.
-    fn initial(&mut self) -> Vec<ReleasedTask>;
+    /// Appends the tasks ready at time zero (the DAG roots) to `out`.
+    /// Called exactly once, before any completion report.
+    fn initial_into(&mut self, out: &mut Vec<ReleasedTask>);
 
-    /// Reports that `task` has completed and returns the tasks that this
-    /// completion made ready. `completion_index` is the 0-based global rank
-    /// of this completion event (ties broken by the engine), which adaptive
-    /// adversaries use to identify the *last* task finishing in a layer.
-    fn on_complete(&mut self, task: TaskId, completion_index: u64) -> Vec<ReleasedTask>;
+    /// Reports that `task` has completed and appends the tasks that this
+    /// completion made ready to `out`. `completion_index` is the 0-based
+    /// global rank of this completion event (ties broken by the engine),
+    /// which adaptive adversaries use to identify the *last* task
+    /// finishing in a layer.
+    fn on_complete_into(&mut self, task: TaskId, completion_index: u64, out: &mut Vec<ReleasedTask>);
 
     /// Returns `true` if the source still holds tasks that have not been
     /// released. Used by the engine to detect a stalled run (a source bug
@@ -72,11 +82,34 @@ pub trait InstanceSource {
         None
     }
 
-    /// Tasks released by the clock at exactly `now` (see
-    /// [`next_timed_release`](Self::next_timed_release)).
+    /// Appends the tasks released by the clock at exactly `now` (see
+    /// [`next_timed_release`](Self::next_timed_release)) to `out`.
+    fn timed_releases_into(&mut self, now: Time, out: &mut Vec<ReleasedTask>) {
+        let _ = (now, out);
+    }
+
+    /// Tasks ready at time zero, as a fresh `Vec` (see
+    /// [`initial_into`](Self::initial_into)).
+    fn initial(&mut self) -> Vec<ReleasedTask> {
+        let mut out = Vec::new();
+        self.initial_into(&mut out);
+        out
+    }
+
+    /// Newly-ready tasks after a completion, as a fresh `Vec` (see
+    /// [`on_complete_into`](Self::on_complete_into)).
+    fn on_complete(&mut self, task: TaskId, completion_index: u64) -> Vec<ReleasedTask> {
+        let mut out = Vec::new();
+        self.on_complete_into(task, completion_index, &mut out);
+        out
+    }
+
+    /// Clock-driven releases at `now`, as a fresh `Vec` (see
+    /// [`timed_releases_into`](Self::timed_releases_into)).
     fn timed_releases(&mut self, now: Time) -> Vec<ReleasedTask> {
-        let _ = now;
-        Vec::new()
+        let mut out = Vec::new();
+        self.timed_releases_into(now, &mut out);
+        out
     }
 }
 
@@ -133,8 +166,7 @@ impl InstanceSource for TimedSource {
         self.procs
     }
 
-    fn initial(&mut self) -> Vec<ReleasedTask> {
-        let mut out = Vec::new();
+    fn initial_into(&mut self, out: &mut Vec<ReleasedTask>) {
         while self
             .pending
             .front()
@@ -143,11 +175,14 @@ impl InstanceSource for TimedSource {
         {
             out.push(self.release_front());
         }
-        out
     }
 
-    fn on_complete(&mut self, _task: TaskId, _completion_index: u64) -> Vec<ReleasedTask> {
-        Vec::new()
+    fn on_complete_into(
+        &mut self,
+        _task: TaskId,
+        _completion_index: u64,
+        _out: &mut Vec<ReleasedTask>,
+    ) {
     }
 
     fn expects_more(&self) -> bool {
@@ -161,8 +196,7 @@ impl InstanceSource for TimedSource {
             .find(|&t| t > now)
     }
 
-    fn timed_releases(&mut self, now: Time) -> Vec<ReleasedTask> {
-        let mut out = Vec::new();
+    fn timed_releases_into(&mut self, now: Time, out: &mut Vec<ReleasedTask>) {
         while self
             .pending
             .front()
@@ -171,32 +205,59 @@ impl InstanceSource for TimedSource {
         {
             out.push(self.release_front());
         }
-        out
     }
 }
 
 /// Replays a fixed [`Instance`] online: a task is released as soon as its
 /// last predecessor completes.
+///
+/// All per-task allocation happens up front: construction pre-builds one
+/// [`ReleasedTask`] per task (spec clone + predecessor list), and each
+/// release during the run just moves it out — the hot simulation loop
+/// allocates nothing inside this source.
 pub struct StaticSource {
     instance: Instance,
     missing_preds: Vec<u32>,
-    released: Vec<bool>,
+    /// `prebuilt[i]` is `Some` until task `i` is released.
+    prebuilt: Vec<Option<ReleasedTask>>,
+    /// Successor adjacency flattened into CSR form: the successors of
+    /// task `i` are `succ_targets[succ_offsets[i]..succ_offsets[i+1]]`.
+    /// The graph's own `Vec<Vec<_>>` lists cost a pointer chase per
+    /// completion; one contiguous pair of arrays is a single predictable
+    /// read on the hot path.
+    succ_offsets: Vec<u32>,
+    succ_targets: Vec<TaskId>,
     released_count: usize,
 }
 
 impl StaticSource {
     /// Wraps an instance for online revelation.
     pub fn new(instance: Instance) -> Self {
-        let n = instance.len();
-        let missing_preds = instance
-            .graph()
+        let g = instance.graph();
+        let missing_preds = g.task_ids().map(|id| g.preds(id).len() as u32).collect();
+        let prebuilt = g
             .task_ids()
-            .map(|id| instance.graph().preds(id).len() as u32)
+            .map(|id| {
+                Some(ReleasedTask {
+                    id,
+                    spec: g.spec(id).clone(),
+                    preds: g.preds(id).to_vec(),
+                })
+            })
             .collect();
+        let mut succ_offsets = Vec::with_capacity(g.len() + 1);
+        let mut succ_targets = Vec::with_capacity(g.edge_count());
+        succ_offsets.push(0);
+        for id in g.task_ids() {
+            succ_targets.extend_from_slice(g.succs(id));
+            succ_offsets.push(succ_targets.len() as u32);
+        }
         StaticSource {
             instance,
             missing_preds,
-            released: vec![false; n],
+            prebuilt,
+            succ_offsets,
+            succ_targets,
             released_count: 0,
         }
     }
@@ -207,14 +268,11 @@ impl StaticSource {
     }
 
     fn release(&mut self, id: TaskId) -> ReleasedTask {
-        debug_assert!(!self.released[id.index()], "double release of {id}");
-        self.released[id.index()] = true;
+        let rel = self.prebuilt[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("double release of {id}"));
         self.released_count += 1;
-        ReleasedTask {
-            id,
-            spec: self.instance.graph().spec(id).clone(),
-            preds: self.instance.graph().preds(id).to_vec(),
-        }
+        rel
     }
 }
 
@@ -223,23 +281,35 @@ impl InstanceSource for StaticSource {
         self.instance.procs()
     }
 
-    fn initial(&mut self) -> Vec<ReleasedTask> {
+    fn initial_into(&mut self, out: &mut Vec<ReleasedTask>) {
         let roots = self.instance.graph().sources();
-        roots.into_iter().map(|id| self.release(id)).collect()
+        out.extend(roots.into_iter().map(|id| self.release(id)));
     }
 
-    fn on_complete(&mut self, task: TaskId, _completion_index: u64) -> Vec<ReleasedTask> {
-        let succs: Vec<TaskId> = self.instance.graph().succs(task).to_vec();
-        let mut out = Vec::new();
-        for s in succs {
-            let m = &mut self.missing_preds[s.index()];
+    fn on_complete_into(
+        &mut self,
+        task: TaskId,
+        _completion_index: u64,
+        out: &mut Vec<ReleasedTask>,
+    ) {
+        // Disjoint field borrows: the successor list is read from the
+        // CSR arrays while releases move out of `prebuilt`.
+        let StaticSource {
+            missing_preds, prebuilt, succ_offsets, succ_targets, released_count, ..
+        } = self;
+        let (lo, hi) = (succ_offsets[task.index()], succ_offsets[task.index() + 1]);
+        for &s in &succ_targets[lo as usize..hi as usize] {
+            let m = &mut missing_preds[s.index()];
             assert!(*m > 0, "completion under-count for {s}");
             *m -= 1;
             if *m == 0 {
-                out.push(self.release(s));
+                let rel = prebuilt[s.index()]
+                    .take()
+                    .unwrap_or_else(|| panic!("double release of {s}"));
+                *released_count += 1;
+                out.push(rel);
             }
         }
-        out
     }
 
     fn expects_more(&self) -> bool {

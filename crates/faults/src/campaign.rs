@@ -4,9 +4,7 @@
 use crate::injector::{FaultConfig, FaultInjector};
 use rigid_dag::{Instance, StaticSource};
 use rigid_exec::{ordered_map, ScratchPool};
-use rigid_sim::{
-    try_run, try_run_budgeted_reusing, EngineScratch, OnlineScheduler, RunBudget, RunError,
-};
+use rigid_sim::{EngineConfig, EngineScratch, OnlineScheduler, RunBudget, RunError};
 use rigid_time::{Rational, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -167,7 +165,7 @@ pub fn run_trial(
 /// [`run_trial`] with caller-owned [`EngineScratch`] so campaign runners
 /// can keep the engine's allocations warm across trials. Identical
 /// results for any scratch history (see
-/// [`rigid_sim::try_run_budgeted_reusing`]).
+/// [`rigid_sim::EngineConfig::scratch`]).
 pub fn run_trial_reusing(
     instance: &Instance,
     config: &FaultConfig,
@@ -177,13 +175,11 @@ pub fn run_trial_reusing(
     scratch: &mut EngineScratch,
 ) -> TrialStats {
     let mut injector = FaultInjector::new(seed, config.clone());
-    let run = try_run_budgeted_reusing(
-        &mut StaticSource::new(instance.clone()),
-        scheduler,
-        &mut injector,
-        budget,
-        scratch,
-    );
+    let run = EngineConfig::new()
+        .faults(&mut injector)
+        .budget(budget)
+        .scratch(scratch)
+        .try_run(&mut StaticSource::new(instance.clone()), scheduler);
     match run {
         Ok(result) => TrialStats {
             seed,
@@ -250,7 +246,8 @@ where
     F: FnMut() -> S,
 {
     let mut baseline_sched = make_scheduler();
-    let baseline = try_run(&mut StaticSource::new(instance.clone()), &mut baseline_sched)
+    let baseline = EngineConfig::new()
+        .try_run(&mut StaticSource::new(instance.clone()), &mut baseline_sched)
         .expect("fault-free baseline run must succeed");
 
     let mut scratch = EngineScratch::new();
@@ -299,7 +296,8 @@ where
     F: Fn() -> S + Sync,
 {
     let mut baseline_sched = make_scheduler();
-    let baseline = try_run(&mut StaticSource::new(instance.clone()), &mut baseline_sched)
+    let baseline = EngineConfig::new()
+        .try_run(&mut StaticSource::new(instance.clone()), &mut baseline_sched)
         .expect("fault-free baseline run must succeed");
 
     let scratch: ScratchPool<EngineScratch> = ScratchPool::new();

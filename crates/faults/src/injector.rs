@@ -1,5 +1,4 @@
-//! The seeded fault injector: a deterministic
-//! [`FaultModel`](rigid_sim::FaultModel).
+//! The seeded fault injector: a deterministic [`FaultModel`].
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;

@@ -15,7 +15,7 @@ use proptest::prelude::*;
 use rigid_dag::gen::{erdos_dag, TaskSampler};
 use rigid_dag::StaticSource;
 use rigid_faults::{FaultConfig, FaultInjector};
-use rigid_sim::{try_run_faulty, RunError};
+use rigid_sim::{EngineConfig, RunError};
 use rigid_time::Time;
 
 proptest! {
@@ -48,11 +48,9 @@ proptest! {
         );
         let mut injector = FaultInjector::new(fault_seed, config);
         let mut sched = CatBatch::new().with_retry_budget(2);
-        let result = try_run_faulty(
-            &mut StaticSource::new(inst.clone()),
-            &mut sched,
-            &mut injector,
-        );
+        let result = EngineConfig::new()
+            .faults(&mut injector)
+            .try_run(&mut StaticSource::new(inst.clone()), &mut sched);
         match result {
             Ok(run) => {
                 let g = inst.graph();
@@ -124,11 +122,9 @@ proptest! {
         for _ in 0..2 {
             let mut injector = FaultInjector::new(fault_seed, config.clone());
             let mut sched = CatBatch::new().with_retry_budget(2);
-            let r = try_run_faulty(
-                &mut StaticSource::new(inst.clone()),
-                &mut sched,
-                &mut injector,
-            );
+            let r = EngineConfig::new()
+                .faults(&mut injector)
+                .try_run(&mut StaticSource::new(inst.clone()), &mut sched);
             results.push(r);
         }
         match (&results[0], &results[1]) {

@@ -25,7 +25,7 @@
 //!
 //! let params = GadgetParams::new(3, 2, Time::from_ratio(1, 48));
 //! let mut adversary = ZAdversary::new(params);
-//! let result = engine::run(&mut adversary, &mut asap());
+//! let result = engine::EngineConfig::new().run(&mut adversary, &mut asap());
 //!
 //! // Any online algorithm pays at least the Lemma 10 bound...
 //! assert!(result.makespan() >= lemma10_bound(&params));

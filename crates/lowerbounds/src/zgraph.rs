@@ -203,12 +203,18 @@ impl InstanceSource for ZAdversary {
         self.params.p
     }
 
-    fn initial(&mut self) -> Vec<ReleasedTask> {
+    fn initial_into(&mut self, out: &mut Vec<ReleasedTask>) {
         assert!(self.chains.is_empty(), "initial called twice");
-        self.materialize_layer(None)
+        let layer = self.materialize_layer(None);
+        out.extend(layer);
     }
 
-    fn on_complete(&mut self, task: TaskId, _completion_index: u64) -> Vec<ReleasedTask> {
+    fn on_complete_into(
+        &mut self,
+        task: TaskId,
+        _completion_index: u64,
+        out: &mut Vec<ReleasedTask>,
+    ) {
         let (layer, _) = *self
             .locus
             .get(&task)
@@ -217,9 +223,10 @@ impl InstanceSource for ZAdversary {
         assert!(*rem > 0, "layer {layer} over-completed");
         *rem -= 1;
 
-        let mut out = Vec::new();
+        let mut in_chain = false;
         if let Some(&next) = self.next_in_chain.get(&task) {
             self.released += 1;
+            in_chain = true;
             out.push(ReleasedTask {
                 id: next,
                 spec: self.graph.spec(next).clone(),
@@ -230,13 +237,13 @@ impl InstanceSource for ZAdversary {
             // `task` is the layer's last completion: the pivot. The
             // in-chain release above is empty here (a layer finishes with
             // a chain tail).
-            assert!(out.is_empty(), "pivot had an in-chain successor");
+            assert!(!in_chain, "pivot had an in-chain successor");
             self.pivots.push(task);
             if (self.chains.len() as u32) < self.layers {
-                out = self.materialize_layer(Some(task));
+                let layer = self.materialize_layer(Some(task));
+                out.extend(layer);
             }
         }
-        out
     }
 
     fn expects_more(&self) -> bool {
@@ -286,7 +293,7 @@ mod tests {
     fn adversary_drives_asap_run() {
         let mut adv = ZAdversary::new(params());
         let mut sched = asap();
-        let result = engine::run(&mut adv, &mut sched);
+        let result = engine::EngineConfig::new().run(&mut adv, &mut sched);
         assert_eq!(result.schedule.len(), 42);
         let inst = adv.committed_instance();
         result.schedule.assert_valid(&inst);
@@ -303,7 +310,7 @@ mod tests {
     fn adversary_drives_catbatch_run() {
         let mut adv = ZAdversary::new(params());
         let mut cb = CatBatch::new();
-        let result = engine::run(&mut adv, &mut cb);
+        let result = engine::EngineConfig::new().run(&mut adv, &mut cb);
         let inst = adv.committed_instance();
         result.schedule.assert_valid(&inst);
         assert!(result.makespan() >= lemma10_bound(&params()));
@@ -313,7 +320,7 @@ mod tests {
     fn witness_schedule_feasible_and_below_lemma11() {
         let mut adv = ZAdversary::new(params());
         let mut sched = asap();
-        let _ = engine::run(&mut adv, &mut sched);
+        let _ = engine::EngineConfig::new().run(&mut adv, &mut sched);
         let witness = adv.witness_schedule();
         let inst = adv.committed_instance();
         witness.assert_valid(&inst);
@@ -333,7 +340,7 @@ mod tests {
             let params = GadgetParams::new(p, 4, Time::from_ratio(1, (16 * p) as i64));
             let mut adv = ZAdversary::new(params);
             let mut sched = asap();
-            let result = engine::run(&mut adv, &mut sched);
+            let result = engine::EngineConfig::new().run(&mut adv, &mut sched);
             let witness = adv.witness_schedule();
             witness.assert_valid(&adv.committed_instance());
             let ratio = result.makespan().ratio(witness.makespan()).to_f64();
@@ -348,7 +355,7 @@ mod tests {
     fn pivots_are_chain_tails() {
         let mut adv = ZAdversary::new(params());
         let mut sched = asap();
-        let _ = engine::run(&mut adv, &mut sched);
+        let _ = engine::EngineConfig::new().run(&mut adv, &mut sched);
         assert_eq!(adv.pivots().len(), 3);
         for &piv in adv.pivots() {
             // A pivot is the final red task of some chain: no in-chain

@@ -33,7 +33,7 @@ fn one_layer_adversary_is_just_x() {
     let params = GadgetParams::new(3, 2, Time::from_ratio(1, 48));
     let mut adv = ZAdversary::with_layers(params, 1);
     assert_eq!(adv.task_count(), x_task_count(&params));
-    let result = engine::run(&mut adv, &mut asap());
+    let result = engine::EngineConfig::new().run(&mut adv, &mut asap());
     let inst = adv.committed_instance();
     result.schedule.assert_valid(&inst);
     assert_eq!(inst.len(), x_task_count(&params));
@@ -92,7 +92,7 @@ fn adversary_graph_grows_layer_by_layer() {
     let mut adv = ZAdversary::new(params);
     // Before running: nothing committed yet (initial not called).
     assert_eq!(adv.committed_instance().len(), 0);
-    let _ = engine::run(&mut adv, &mut asap());
+    let _ = engine::EngineConfig::new().run(&mut adv, &mut asap());
     assert_eq!(
         adv.committed_instance().len(),
         2 * x_task_count(&params)

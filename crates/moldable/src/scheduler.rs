@@ -102,15 +102,15 @@ pub fn schedule_online(
     let run = match inner {
         InnerSched::CatBatch => {
             let mut s = catbatch::CatBatch::new();
-            engine::run(&mut source, &mut s)
+            engine::EngineConfig::new().run(&mut source, &mut s)
         }
         InnerSched::Backfill => {
             let mut s = catbatch::CatBatchBackfill::new();
-            engine::run(&mut source, &mut s)
+            engine::EngineConfig::new().run(&mut source, &mut s)
         }
         InnerSched::Asap => {
             let mut s = rigid_baselines::asap();
-            engine::run(&mut source, &mut s)
+            engine::EngineConfig::new().run(&mut source, &mut s)
         }
     };
     run.schedule.assert_valid(&rigid);

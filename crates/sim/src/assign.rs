@@ -125,7 +125,7 @@ mod tests {
         for seed in 0..6u64 {
             let inst = erdos_dag(seed, 30, 0.2, &TaskSampler::default_mix(), 8);
             let mut src = StaticSource::new(inst.clone());
-            let r = crate::engine::run(&mut src, &mut test_greedy());
+            let r = crate::engine::EngineConfig::new().run(&mut src, &mut test_greedy());
             let a = assign(&r.schedule);
             assert!(a.validate(&r.schedule), "seed {seed}");
             assert_eq!(a.len(), inst.len());

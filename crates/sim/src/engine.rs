@@ -11,19 +11,23 @@
 //! completes exactly `t` after it started — unless an explicit
 //! [`FaultModel`] says otherwise (fail-stop, stragglers, capacity dips).
 //!
-//! # Event-driven hot path
+//! # Event-driven, cache-dense hot path
 //!
 //! The simulation loop is event-driven (see `docs/performance.md` for
 //! the full design):
 //!
-//! * a [`BinaryHeap`] min-queue of attempt completion/failure events,
-//!   keyed on the exact `rigid-time` instant with a `(start_seq, TaskId)`
-//!   tie-break — `start_seq` preserves the legacy processing order for
-//!   simultaneous events (start order), and the task id is the final
-//!   total-order fallback, so runs are bit-for-bit deterministic;
-//! * dense per-task state in a `Vec` indexed by the source's task ids
-//!   (the source contract allocates dense ids), replacing the hash maps
-//!   of the original stepping engine;
+//! * an index-based **4-ary min-heap** of attempt completion/failure
+//!   events backed by one flat `Vec` (no per-event allocation, shallower
+//!   sift paths than a binary heap), keyed on the exact `rigid-time`
+//!   instant with a `(start_seq, TaskId)` tie-break — `start_seq`
+//!   preserves the legacy processing order for simultaneous events
+//!   (start order), and since the `(at, seq)` key is unique, *any*
+//!   correct min-heap pops the same order: runs stay bit-for-bit
+//!   deterministic;
+//! * **struct-of-arrays** per-task state indexed by the source's task
+//!   ids (the source contract allocates dense ids) — each loop phase
+//!   touches only the columns it needs, instead of striding over a wide
+//!   per-task struct;
 //! * incremental free-capacity and ready-set accounting — `decide()` is
 //!   consulted only at release/completion/failure/capacity events, and
 //!   duplicate-start detection uses a per-round stamp instead of a
@@ -33,11 +37,22 @@
 //! [`crate::reference`]; differential tests assert both produce
 //! identical [`RunResult`]s.
 //!
-//! Entry points: [`try_run`] (fault-free, returns `Result`),
-//! [`try_run_faulty`] (with a fault model), [`try_run_budgeted`] (fault
-//! model plus a hard [`RunBudget`] on events and wall-clock time), and
-//! [`run`] — a thin wrapper that panics on any violation, for tests and
-//! callers that treat violations as bugs.
+//! # Entry point
+//!
+//! One builder, [`EngineConfig`], replaces the old `run` /
+//! `try_run` / `try_run_faulty` / `try_run_budgeted` zoo:
+//!
+//! ```ignore
+//! let result = EngineConfig::new()
+//!     .faults(&mut faults)       // optional FaultModel
+//!     .budget(RunBudget::max_events(1_000_000)) // optional RunBudget
+//!     .scratch(&mut scratch)     // optional reusable EngineScratch
+//!     .try_run(&mut source, &mut scheduler)?;
+//! ```
+//!
+//! [`EngineConfig::run`] is the panicking variant for tests and callers
+//! that treat violations as bugs. The old free functions remain as thin
+//! deprecated wrappers for the reference/differential harness.
 
 use crate::error::{BudgetKind, RunError, SchedulerViolation, SourceViolation};
 use crate::fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
@@ -46,8 +61,7 @@ use crate::scheduler::{FailureResponse, OnlineScheduler};
 use rigid_dag::{InstanceSource, TaskGraph, TaskId};
 use rigid_time::Time;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
 /// Counters the event-driven engine maintains while it runs, reported
@@ -69,8 +83,7 @@ pub struct EngineStats {
 /// An unbudgeted run of an adversarial instance (or a buggy scheduler
 /// whose retries never converge) can spin forever; a budget turns that
 /// into a typed [`RunError::BudgetExceeded`] instead. The default is
-/// unlimited, and [`try_run`]/[`try_run_faulty`] run unlimited — budgets
-/// are opt-in through [`try_run_budgeted`].
+/// unlimited — budgets are opt-in through [`EngineConfig::budget`].
 ///
 /// * `max_events` is **deterministic**: the same run under the same
 ///   ceiling always trips at the same point (events are releases plus
@@ -157,6 +170,11 @@ impl ArmedBudget {
 
 /// The outcome of a run: the schedule, reconstruction of everything the
 /// source revealed, per-task release instants, and the fault log.
+///
+/// Under [`EngineConfig::stats_only`] the artifact fields — `schedule`,
+/// `revealed`, `revealed_ids`, `release_times` — come back empty;
+/// `stats`, `decisions` and `faults` are produced exactly as in a full
+/// run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
     /// The recorded schedule (already capacity-checked by construction;
@@ -195,41 +213,6 @@ impl RunResult {
     }
 }
 
-/// Dense per-task engine state, indexed by the source's task id. The
-/// source contract allocates dense ids, so a `Vec` replaces the hash
-/// maps of the stepping engine on the hot path.
-#[derive(Clone)]
-struct TaskState {
-    released: bool,
-    started: bool,
-    completed: bool,
-    spec_procs: u32,
-    spec_time: Time,
-    attempts: u32,
-    /// Decide-round stamp for duplicate-start detection (0 = unseen;
-    /// rounds start at 1).
-    seen: u64,
-    /// This task's id in the rebuilt `revealed` graph.
-    graph_id: TaskId,
-    release_time: Time,
-}
-
-impl TaskState {
-    fn unreleased() -> Self {
-        TaskState {
-            released: false,
-            started: false,
-            completed: false,
-            spec_procs: 0,
-            spec_time: Time::ZERO,
-            attempts: 0,
-            seen: 0,
-            graph_id: TaskId(0),
-            release_time: Time::ZERO,
-        }
-    }
-}
-
 /// A queued attempt completion/failure. The derived order — `(at, seq,
 /// id, …)` — is the heap key: `seq` (start order) reproduces the legacy
 /// stepping engine's processing order for simultaneous events, and `id`
@@ -244,22 +227,124 @@ struct Event {
     fails: bool,
 }
 
-/// Reusable engine working memory: the dense per-task state vector and
-/// the completion-event heap.
+/// Index-based 4-ary min-heap of [`Event`]s in one flat `Vec`.
 ///
-/// Campaign runners execute thousands of engine runs back to back; with a
-/// fresh run both buffers are reallocated and regrown from zero every
-/// trial. Passing the same `EngineScratch` to
-/// [`try_run_budgeted_reusing`] keeps the allocations warm across trials
-/// (each run clears the *contents* on entry but keeps the capacity).
+/// Replaces `BinaryHeap<Reverse<Event>>` on the hot path: no `Reverse`
+/// wrapper, half the tree depth of a binary heap (fewer comparisons and
+/// cache misses per sift), and the child scan of a sift-down stays
+/// within a handful of adjacent `Event`s. Because the `(at, seq)` key
+/// is unique per event, every correct min-heap pops the same sequence —
+/// swapping the heap implementation cannot change engine output.
+#[derive(Default)]
+struct EventHeap {
+    data: Vec<Event>,
+}
+
+impl EventHeap {
+    /// Heap arity. 4 halves the depth of a binary heap while keeping
+    /// each sift-down's child scan over adjacent elements.
+    const D: usize = 4;
+
+    fn push(&mut self, e: Event) {
+        self.data.push(e);
+        let mut i = self.data.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / Self::D;
+            if self.data[i] < self.data[parent] {
+                self.data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<&Event> {
+        self.data.first()
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        let n = self.data.len();
+        if n == 0 {
+            return None;
+        }
+        self.data.swap(0, n - 1);
+        let top = self.data.pop();
+        let n = self.data.len();
+        let mut i = 0;
+        loop {
+            let first = i * Self::D + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            for c in (first + 1)..(first + Self::D).min(n) {
+                if self.data[c] < self.data[best] {
+                    best = c;
+                }
+            }
+            if self.data[best] < self.data[i] {
+                self.data.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+        top
+    }
+
+    fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+/// Flag bit in [`EngineScratch::flags`]: the task has been released.
+const RELEASED: u8 = 1;
+/// Flag bit: the task is (or was) running. Cleared again on failure.
+const STARTED: u8 = 1 << 1;
+/// Flag bit: the task completed.
+const COMPLETED: u8 = 1 << 2;
+
+/// Reusable engine working memory: the per-task state columns and the
+/// completion-event heap.
+///
+/// Per-task state is a structure-of-arrays indexed by the source's dense
+/// task ids, one column per field, each as narrow as its value demands.
+/// Narrow dedicated columns beat a packed per-task record here because
+/// the hot paths touch *different* fields: a completion reads only the
+/// one-byte `flags` entry, a decide reads `procs` — and at n = 10⁶ the
+/// whole flags column is 1 MB and the procs column 4 MB, so those
+/// accesses keep hitting cache long after a 24-byte-per-task record
+/// array would have blown it. (Measured on the 10⁶-task chain scenario:
+/// the packed-record layout is ~20% slower end to end.) The
+/// result-artifact columns (`graph_id`, `release_time`) are read only by
+/// the end-of-run map assembly and never written in stats-only mode.
+///
+/// Campaign runners execute thousands of engine runs back to back; with
+/// fresh buffers every trial reallocates and regrows from zero. Passing
+/// the same `EngineScratch` via [`EngineConfig::scratch`] keeps the
+/// allocations warm across trials (each run clears the *contents* on
+/// entry but keeps the capacity).
 ///
 /// The type is deliberately opaque — its fields are engine internals —
 /// and a scratch buffer carries **no state between runs**: a run that
 /// reuses scratch is bit-for-bit identical to one that does not.
 #[derive(Default)]
 pub struct EngineScratch {
-    states: Vec<TaskState>,
-    events: BinaryHeap<Reverse<Event>>,
+    /// `RELEASED | STARTED | COMPLETED` bits (0 = unreleased).
+    flags: Vec<u8>,
+    /// Per-task processor requirement `p`.
+    procs: Vec<u32>,
+    /// Per-task decide-round stamp for duplicate-start detection
+    /// (0 = unseen; rounds start at 1).
+    seen: Vec<u64>,
+    /// Per-task execution attempts started so far.
+    attempts: Vec<u32>,
+    spec_time: Vec<Time>,
+    /// Per-task ids in the rebuilt `revealed` graph.
+    graph_id: Vec<TaskId>,
+    release_time: Vec<Time>,
+    events: EventHeap,
 }
 
 impl EngineScratch {
@@ -271,73 +356,198 @@ impl EngineScratch {
 
     /// Reset contents (keeping capacity) so the next run starts clean.
     fn reset(&mut self) {
-        self.states.clear();
+        self.flags.clear();
+        self.procs.clear();
+        self.seen.clear();
+        self.attempts.clear();
+        self.spec_time.clear();
+        self.graph_id.clear();
+        self.release_time.clear();
         self.events.clear();
     }
 }
 
-/// Runs `scheduler` against `source` until every revealed task completes.
+/// Configuration builder for an engine run — the single entry point.
 ///
-/// Thin wrapper over [`try_run`] that treats every violation as a bug.
+/// Defaults are fault-free ([`NoFaults`]), unlimited ([`RunBudget::UNLIMITED`]),
+/// and self-allocating (a private [`EngineScratch`] per run). Each aspect
+/// is opted into independently:
 ///
-/// # Panics
-/// Panics if the scheduler deadlocks (tasks are ready but it never starts
-/// them while the machine is otherwise idle), starts an unknown or
-/// already-started task, or oversubscribes the processors, or if the
-/// source breaks the revelation contract.
-pub fn run(source: &mut dyn InstanceSource, scheduler: &mut dyn OnlineScheduler) -> RunResult {
-    match try_run(source, scheduler) {
-        Ok(result) => result,
-        Err(err) => panic!("{err}"),
+/// ```ignore
+/// let result = EngineConfig::new()
+///     .faults(&mut faults)
+///     .budget(RunBudget::max_events(1_000_000))
+///     .scratch(&mut scratch)
+///     .try_run(&mut source, &mut scheduler)?;
+/// ```
+#[derive(Default)]
+pub struct EngineConfig<'a> {
+    faults: Option<&'a mut dyn FaultModel>,
+    budget: RunBudget,
+    scratch: Option<&'a mut EngineScratch>,
+    stats_only: bool,
+}
+
+impl<'a> EngineConfig<'a> {
+    /// A fault-free, unbudgeted, self-allocating configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineConfig::default()
+    }
+
+    /// Runs under a [`FaultModel`]: task attempts may fail-stop
+    /// (requiring re-execution), run long (stragglers), and the platform
+    /// may refuse new starts during capacity dips. Everything the model
+    /// does is recorded in the returned [`FaultLog`] (`result.faults`).
+    #[must_use]
+    pub fn faults(mut self, faults: &'a mut dyn FaultModel) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enforces a hard [`RunBudget`]: the run additionally fails with
+    /// [`RunError::BudgetExceeded`] once it processes more than
+    /// `budget.max_events` events or outlives `budget.wall_deadline`.
+    /// [`RunBudget::UNLIMITED`] is equivalent to not setting a budget.
+    #[must_use]
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs on caller-owned [`EngineScratch`]: the engine's per-task
+    /// state columns and event heap come from (and return to) `scratch`,
+    /// so back-to-back runs stop paying per-run allocation and regrowth.
+    /// The result is bit-for-bit identical to a self-allocating run for
+    /// any scratch history.
+    #[must_use]
+    pub fn scratch(mut self, scratch: &'a mut EngineScratch) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+
+    /// Skips building the per-run result artifacts — the [`Schedule`],
+    /// the revealed [`TaskGraph`] and the id-keyed result maps come back
+    /// empty; [`EngineStats`], decision counts, the [`FaultLog`] and
+    /// every typed error are produced exactly as in a full run (the
+    /// simulation itself is identical — only the recording differs).
+    ///
+    /// Use this for throughput measurement and bulk campaigns that
+    /// consume only statistics: the hot loop then allocates nothing per
+    /// task, which at n = 10⁶⁺ is the difference between timing the
+    /// engine and timing result-map construction.
+    #[must_use]
+    pub fn stats_only(mut self) -> Self {
+        self.stats_only = true;
+        self
+    }
+
+    /// Runs `scheduler` against `source` until every revealed task
+    /// completes, returning contract violations as typed [`RunError`]s
+    /// instead of panicking.
+    ///
+    /// Under an active fault model, failed tasks are offered back to the
+    /// scheduler through [`OnlineScheduler::on_failure`]; a scheduler
+    /// that declines ([`FailureResponse::Abandon`], the default) aborts
+    /// the run with [`RunError::TaskAbandoned`].
+    /// The source and scheduler parameters are generic (`?Sized`, so
+    /// `&mut dyn` callers work unchanged): a concrete source type
+    /// monomorphizes the hot loop, letting its release callbacks inline
+    /// instead of going through a vtable on every event.
+    pub fn try_run<S, C>(self, source: &mut S, scheduler: &mut C) -> Result<RunResult, RunError>
+    where
+        S: InstanceSource + ?Sized,
+        C: OnlineScheduler + ?Sized,
+    {
+        let mut fresh;
+        let scratch = match self.scratch {
+            Some(scratch) => scratch,
+            None => {
+                fresh = EngineScratch::new();
+                &mut fresh
+            }
+        };
+        match self.faults {
+            Some(faults) => {
+                run_core(source, scheduler, faults, self.budget, scratch, self.stats_only)
+            }
+            // A concrete `NoFaults` here (not `&mut dyn`) folds the three
+            // per-event fault hooks away entirely in the fault-free path.
+            None => run_core(
+                source,
+                scheduler,
+                &mut NoFaults,
+                self.budget,
+                scratch,
+                self.stats_only,
+            ),
+        }
+    }
+
+    /// [`try_run`](Self::try_run), treating every violation as a bug.
+    ///
+    /// # Panics
+    /// Panics if the scheduler deadlocks (tasks are ready but it never
+    /// starts them while the machine is otherwise idle), starts an
+    /// unknown or already-started task, or oversubscribes the
+    /// processors, or if the source breaks the revelation contract.
+    pub fn run<S, C>(self, source: &mut S, scheduler: &mut C) -> RunResult
+    where
+        S: InstanceSource + ?Sized,
+        C: OnlineScheduler + ?Sized,
+    {
+        match self.try_run(source, scheduler) {
+            Ok(result) => result,
+            Err(err) => panic!("{err}"),
+        }
     }
 }
 
+/// Runs `scheduler` against `source` until every revealed task completes,
+/// panicking on any violation.
+#[deprecated(note = "use `EngineConfig::new().run(source, scheduler)`")]
+pub fn run(source: &mut dyn InstanceSource, scheduler: &mut dyn OnlineScheduler) -> RunResult {
+    EngineConfig::new().run(source, scheduler)
+}
+
 /// Runs `scheduler` against `source` until every revealed task
-/// completes, returning contract violations as typed [`RunError`]s
-/// instead of panicking.
+/// completes, returning contract violations as typed [`RunError`]s.
+#[deprecated(note = "use `EngineConfig::new().try_run(source, scheduler)`")]
 pub fn try_run(
     source: &mut dyn InstanceSource,
     scheduler: &mut dyn OnlineScheduler,
 ) -> Result<RunResult, RunError> {
-    try_run_faulty(source, scheduler, &mut NoFaults)
+    EngineConfig::new().try_run(source, scheduler)
 }
 
-/// Runs `scheduler` against `source` under a [`FaultModel`]: task
-/// attempts may fail-stop (requiring re-execution), run long
-/// (stragglers), and the platform may refuse new starts during capacity
-/// dips. Everything the model does is recorded in the returned
-/// [`FaultLog`] (`result.faults`).
-///
-/// Failed tasks are offered back to the scheduler through
-/// [`OnlineScheduler::on_failure`]; a scheduler that declines
-/// ([`FailureResponse::Abandon`], the default) aborts the run with
-/// [`RunError::TaskAbandoned`].
+/// Runs `scheduler` against `source` under a [`FaultModel`].
+#[deprecated(note = "use `EngineConfig::new().faults(faults).try_run(source, scheduler)`")]
 pub fn try_run_faulty(
     source: &mut dyn InstanceSource,
     scheduler: &mut dyn OnlineScheduler,
     faults: &mut dyn FaultModel,
 ) -> Result<RunResult, RunError> {
-    try_run_budgeted(source, scheduler, faults, RunBudget::UNLIMITED)
+    EngineConfig::new().faults(faults).try_run(source, scheduler)
 }
 
-/// [`try_run_faulty`] under a hard [`RunBudget`]: the run additionally
-/// fails with [`RunError::BudgetExceeded`] once it processes more than
-/// `budget.max_events` events or outlives `budget.wall_deadline`.
-/// `RunBudget::UNLIMITED` makes this identical to [`try_run_faulty`].
+/// Runs `scheduler` against `source` under a [`FaultModel`] and a hard
+/// [`RunBudget`].
+#[deprecated(
+    note = "use `EngineConfig::new().faults(faults).budget(budget).try_run(source, scheduler)`"
+)]
 pub fn try_run_budgeted(
     source: &mut dyn InstanceSource,
     scheduler: &mut dyn OnlineScheduler,
     faults: &mut dyn FaultModel,
     budget: RunBudget,
 ) -> Result<RunResult, RunError> {
-    try_run_budgeted_reusing(source, scheduler, faults, budget, &mut EngineScratch::new())
+    EngineConfig::new().faults(faults).budget(budget).try_run(source, scheduler)
 }
 
-/// [`try_run_budgeted`] with caller-owned [`EngineScratch`]: the engine's
-/// per-task state vector and event heap come from (and return to)
-/// `scratch`, so back-to-back runs stop paying per-run allocation and
-/// regrowth. The result is bit-for-bit identical to the non-reusing entry
-/// points for any scratch history.
+/// Runs with a fault model, a budget, and caller-owned [`EngineScratch`].
+#[deprecated(
+    note = "use `EngineConfig::new().faults(faults).budget(budget).scratch(scratch).try_run(source, scheduler)`"
+)]
 pub fn try_run_budgeted_reusing(
     source: &mut dyn InstanceSource,
     scheduler: &mut dyn OnlineScheduler,
@@ -345,6 +555,27 @@ pub fn try_run_budgeted_reusing(
     budget: RunBudget,
     scratch: &mut EngineScratch,
 ) -> Result<RunResult, RunError> {
+    EngineConfig::new()
+        .faults(faults)
+        .budget(budget)
+        .scratch(scratch)
+        .try_run(source, scheduler)
+}
+
+/// The engine loop proper. All entry points funnel here.
+fn run_core<S, C, F>(
+    source: &mut S,
+    scheduler: &mut C,
+    faults: &mut F,
+    budget: RunBudget,
+    scratch: &mut EngineScratch,
+    stats_only: bool,
+) -> Result<RunResult, RunError>
+where
+    S: InstanceSource + ?Sized,
+    C: OnlineScheduler + ?Sized,
+    F: FaultModel + ?Sized,
+{
     let budget = ArmedBudget::arm(budget);
     let procs = source.procs();
     assert!(procs >= 1);
@@ -353,7 +584,16 @@ pub fn try_run_budgeted_reusing(
     let mut revealed = TaskGraph::new();
 
     scratch.reset();
-    let EngineScratch { states, events } = scratch;
+    let EngineScratch {
+        flags,
+        procs: procs_of,
+        seen,
+        attempts,
+        spec_time: time_of,
+        graph_id: graph_of,
+        release_time: released_at,
+        events,
+    } = scratch;
     let mut start_seq: u64 = 0;
     let mut completion_index: u64 = 0;
     let mut used: u32 = 0;
@@ -365,13 +605,18 @@ pub fn try_run_budgeted_reusing(
 
     let mut now = Time::ZERO;
 
-    let mut pending_releases = source.initial();
+    // One release buffer and one decision buffer for the whole run:
+    // sources and schedulers append into them (`*_into`), the loop
+    // drains them, capacity is never given up.
+    let mut pending_releases: Vec<rigid_dag::ReleasedTask> = Vec::new();
+    let mut to_start: Vec<TaskId> = Vec::new();
+    source.initial_into(&mut pending_releases);
 
     loop {
         // Ingest releases, validating the source contract first.
         for rel in pending_releases.drain(..) {
             let idx = rel.id.index();
-            if states.get(idx).is_some_and(|s| s.released) {
+            if flags.get(idx).is_some_and(|&f| f & RELEASED != 0) {
                 return Err(SourceViolation::DuplicateRelease { task: rel.id }.into());
             }
             if rel.spec.procs > procs {
@@ -383,9 +628,9 @@ pub fn try_run_budgeted_reusing(
                 .into());
             }
             for &p in &rel.preds {
-                match states.get(p.index()) {
-                    Some(s) if s.released => {
-                        if !s.completed {
+                match flags.get(p.index()) {
+                    Some(&f) if f & RELEASED != 0 => {
+                        if f & COMPLETED == 0 {
                             return Err(SourceViolation::PrematureRelease {
                                 task: rel.id,
                                 pred: p,
@@ -406,24 +651,37 @@ pub fn try_run_budgeted_reusing(
             scheduler.on_release(&rel, now);
             let rigid_dag::ReleasedTask { id: _, spec, preds } = rel;
             let (spec_procs, spec_time) = (spec.procs, spec.time);
-            let new_id = revealed.add_task(spec);
-            for &p in &preds {
-                revealed.add_edge(states[p.index()].graph_id, new_id);
-            }
-            if idx >= states.len() {
-                states.resize(idx + 1, TaskState::unreleased());
-            }
-            states[idx] = TaskState {
-                released: true,
-                started: false,
-                completed: false,
-                spec_procs,
-                spec_time,
-                attempts: 0,
-                seen: 0,
-                graph_id: new_id,
-                release_time: now,
+            let new_id = if stats_only {
+                TaskId(0)
+            } else {
+                let new_id = revealed.add_task(spec);
+                for &p in &preds {
+                    revealed.add_edge(graph_of[p.index()], new_id);
+                }
+                new_id
             };
+            if idx >= flags.len() {
+                let n = idx + 1;
+                flags.resize(n, 0);
+                procs_of.resize(n, 0);
+                seen.resize(n, 0);
+                attempts.resize(n, 0);
+                time_of.resize(n, Time::ZERO);
+                graph_of.resize(n, TaskId(0));
+                released_at.resize(n, Time::ZERO);
+            }
+            flags[idx] = RELEASED;
+            procs_of[idx] = spec_procs;
+            seen[idx] = 0;
+            attempts[idx] = 0;
+            time_of[idx] = spec_time;
+            if !stats_only {
+                // These two columns exist only to back the result maps;
+                // a stats-only run never reads them, and skipping the
+                // writes saves two random-index cache misses per release.
+                graph_of[idx] = new_id;
+                released_at[idx] = now;
+            }
             ready += 1;
             stats.events += 1;
         }
@@ -439,38 +697,40 @@ pub fn try_run_budgeted_reusing(
         let mut avail = capacity.saturating_sub(used);
         loop {
             decisions += 1;
-            let to_start = scheduler.decide(now, avail);
+            to_start.clear();
+            scheduler.decide_into(now, avail, &mut to_start);
             if to_start.is_empty() {
                 break;
             }
             round += 1;
-            for id in to_start {
-                let s = match states.get_mut(id.index()) {
-                    Some(s) if s.released => s,
-                    // The legacy engine rejects an unknown id before its
-                    // duplicate check can ever re-encounter it, so
-                    // UnknownTask takes precedence here too.
-                    _ => return Err(SchedulerViolation::UnknownTask { task: id }.into()),
-                };
-                if s.seen == round {
+            for &id in &to_start {
+                let idx = id.index();
+                // The legacy engine rejects an unknown id before its
+                // duplicate check can ever re-encounter it, so
+                // UnknownTask takes precedence here too.
+                if flags.get(idx).is_none_or(|&f| f & RELEASED == 0) {
+                    return Err(SchedulerViolation::UnknownTask { task: id }.into());
+                }
+                if seen[idx] == round {
                     return Err(SchedulerViolation::DuplicateDecision { task: id }.into());
                 }
-                s.seen = round;
-                if s.started || s.completed {
+                seen[idx] = round;
+                if flags[idx] & (STARTED | COMPLETED) != 0 {
                     return Err(SchedulerViolation::DoubleStart { task: id }.into());
                 }
-                if s.spec_procs > avail {
+                let spec_procs = procs_of[idx];
+                if spec_procs > avail {
                     return Err(SchedulerViolation::Oversubscribed {
                         task: id,
-                        needed: s.spec_procs,
+                        needed: spec_procs,
                         free: avail,
                     }
                     .into());
                 }
-                s.started = true;
-                let attempt = s.attempts;
-                s.attempts += 1;
-                let (spec_time, spec_procs) = (s.spec_time, s.spec_procs);
+                flags[idx] |= STARTED;
+                let attempt = attempts[idx];
+                attempts[idx] += 1;
+                let spec_time = time_of[idx];
                 avail -= spec_procs;
                 used += spec_procs;
                 ready -= 1;
@@ -479,7 +739,9 @@ pub fn try_run_budgeted_reusing(
                 let (leaves_at, fails) = match fate {
                     Attempt::Complete => {
                         let finish = now + spec_time;
-                        schedule.place(id, now, finish, spec_procs);
+                        if !stats_only {
+                            schedule.place(id, now, finish, spec_procs);
+                        }
                         if attempt > 0 {
                             log.attempts.push(AttemptRecord {
                                 task: id,
@@ -498,7 +760,9 @@ pub fn try_run_budgeted_reusing(
                             "fault model shrank task {id}: {actual} < nominal {spec_time}"
                         );
                         let finish = now + actual;
-                        schedule.place(id, now, finish, spec_procs);
+                        if !stats_only {
+                            schedule.place(id, now, finish, spec_procs);
+                        }
                         log.inflated_area += (actual - spec_time).mul_int(spec_procs as i64);
                         log.attempts.push(AttemptRecord {
                             task: id,
@@ -535,18 +799,18 @@ pub fn try_run_budgeted_reusing(
                         (dies_at, true)
                     }
                 };
-                events.push(Reverse(Event {
+                events.push(Event {
                     at: leaves_at,
                     seq: start_seq,
                     id,
                     procs: spec_procs,
                     fails,
-                }));
+                });
                 start_seq += 1;
             }
         }
 
-        let next_event = events.peek().map(|&Reverse(e)| e.at);
+        let next_event = events.peek().map(|e| e.at);
         let next_arrival = source.next_timed_release(now);
         let next_capacity = faults.next_capacity_event(now);
 
@@ -561,10 +825,10 @@ pub fn try_run_budgeted_reusing(
             // again. If tasks remain unstarted the scheduler is stuck; if
             // the source still holds completion-driven tasks it will
             // never release them.
-            let unstarted: Vec<TaskId> = states
+            let unstarted: Vec<TaskId> = flags
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| s.released && !s.started)
+                .filter(|(_, &f)| f & (RELEASED | STARTED) == RELEASED)
                 .map(|(i, _)| TaskId(i as u32))
                 .collect();
             if !unstarted.is_empty() {
@@ -580,16 +844,16 @@ pub fn try_run_budgeted_reusing(
         if next_event == Some(tick) {
             // Drain every completion/failure at this instant before
             // deciding again, in (instant, start_seq) order.
-            while events.peek().is_some_and(|&Reverse(e)| e.at == now) {
-                let Reverse(e) = events.pop().expect("peeked event");
+            while events.peek().is_some_and(|e| e.at == now) {
+                let e = events.pop().expect("peeked event");
                 used -= e.procs;
                 stats.events += 1;
                 if e.fails {
-                    let s = &mut states[e.id.index()];
-                    s.started = false;
+                    let idx = e.id.index();
+                    flags[idx] &= !STARTED;
                     ready += 1;
                     stats.peak_ready = stats.peak_ready.max(ready);
-                    let attempts = s.attempts;
+                    let attempts = attempts[idx];
                     match scheduler.on_failure(e.id, now) {
                         FailureResponse::Retry => {}
                         FailureResponse::Abandon => {
@@ -601,34 +865,40 @@ pub fn try_run_budgeted_reusing(
                         }
                     }
                 } else {
-                    states[e.id.index()].completed = true;
+                    flags[e.id.index()] |= COMPLETED;
                     scheduler.on_complete(e.id, now);
-                    let newly = source.on_complete(e.id, completion_index);
+                    source.on_complete_into(e.id, completion_index, &mut pending_releases);
                     completion_index += 1;
-                    pending_releases.extend(newly);
                 }
             }
             budget.check(stats.events, now)?;
             // Clock arrivals landing exactly at this instant join the
             // same decision round.
-            pending_releases.extend(source.timed_releases(now));
+            source.timed_releases_into(now, &mut pending_releases);
         } else if next_arrival == Some(tick) {
-            pending_releases.extend(source.timed_releases(now));
+            source.timed_releases_into(now, &mut pending_releases);
         }
         // A pure capacity event needs no bookkeeping: the next loop
         // iteration re-reads the capacity and re-consults the scheduler.
     }
 
-    // Bulk-build the id-keyed result maps from the dense state (ids
-    // ascend, so both maps are built in key order).
-    let mut id_map: HashMap<TaskId, TaskId> = HashMap::with_capacity(revealed.len());
+    // Bulk-build the id-keyed result maps from the dense state. Run ids
+    // ascend, so the iterator feeds the BTreeMap in key order and it is
+    // constructed bottom-up in one pass instead of via per-key inserts.
+    let mut id_map: HashMap<TaskId, TaskId> = HashMap::new();
     let mut release_times: BTreeMap<TaskId, Time> = BTreeMap::new();
-    for (i, s) in states.iter().enumerate() {
-        if s.released {
-            let id = TaskId(i as u32);
-            id_map.insert(id, s.graph_id);
-            release_times.insert(id, s.release_time);
-        }
+    if !stats_only {
+        id_map.reserve(revealed.len());
+        release_times = flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f & RELEASED != 0)
+            .map(|(i, _)| {
+                let id = TaskId(i as u32);
+                id_map.insert(id, graph_of[i]);
+                (id, released_at[i])
+            })
+            .collect();
     }
 
     Ok(RunResult {
@@ -696,7 +966,7 @@ mod tests {
         let inst = chain();
         let mut src = StaticSource::new(inst.clone());
         let mut sched = Greedy::new();
-        let result = run(&mut src, &mut sched);
+        let result = EngineConfig::new().run(&mut src, &mut sched);
         result.schedule.assert_valid(&inst);
         // a:[0,2] c:[0,3] b:[2? no — b needs 4 procs, c holds 1 until 3] ⇒
         // b:[3,4]. Makespan 4.
@@ -711,7 +981,7 @@ mod tests {
         let inst = chain();
         let mut src = StaticSource::new(inst.clone());
         let mut sched = Greedy::new();
-        let result = run(&mut src, &mut sched);
+        let result = EngineConfig::new().run(&mut src, &mut sched);
         assert_eq!(result.revealed.len(), inst.graph().len());
         assert_eq!(result.revealed.edge_count(), inst.graph().edge_count());
     }
@@ -719,11 +989,51 @@ mod tests {
     #[test]
     fn stats_count_events_and_peak_ready() {
         let inst = chain();
-        let result = run(&mut StaticSource::new(inst), &mut Greedy::new());
+        let result = EngineConfig::new().run(&mut StaticSource::new(inst), &mut Greedy::new());
         // 3 releases + 3 completions.
         assert_eq!(result.stats.events, 6);
         // a and c are ready together at t=0 before either starts.
         assert_eq!(result.stats.peak_ready, 2);
+    }
+
+    #[test]
+    fn stats_only_matches_full_run_counters() {
+        let inst = chain();
+        let full = EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut Greedy::new());
+        let lean = EngineConfig::new()
+            .stats_only()
+            .run(&mut StaticSource::new(inst), &mut Greedy::new());
+        // The simulation is identical; only the recording differs.
+        assert_eq!(lean.stats, full.stats);
+        assert_eq!(lean.decisions, full.decisions);
+        assert_eq!(lean.faults, full.faults);
+        assert_eq!(lean.procs, full.procs);
+        // Artifacts are skipped entirely.
+        assert_eq!(lean.revealed.len(), 0);
+        assert!(lean.revealed_ids.is_empty());
+        assert!(lean.release_times.is_empty());
+        assert_eq!(lean.makespan(), Time::ZERO);
+    }
+
+    #[test]
+    fn stats_only_matches_full_run_under_faults() {
+        let inst = chain();
+        let mut f1 = FailPlan { fail: vec![(TaskId(0), 0), (TaskId(2), 0)] };
+        let mut f2 = FailPlan { fail: vec![(TaskId(0), 0), (TaskId(2), 0)] };
+        let full = EngineConfig::new()
+            .faults(&mut f1)
+            .try_run(&mut StaticSource::new(inst.clone()), &mut RetryGreedy::new())
+            .unwrap();
+        let lean = EngineConfig::new()
+            .faults(&mut f2)
+            .stats_only()
+            .try_run(&mut StaticSource::new(inst), &mut RetryGreedy::new())
+            .unwrap();
+        assert_eq!(lean.stats, full.stats);
+        assert_eq!(lean.decisions, full.decisions);
+        // The fault log — attempt records included — is byte-identical.
+        assert_eq!(lean.faults, full.faults);
+        assert!(lean.release_times.is_empty());
     }
 
     /// A scheduler that refuses to schedule anything: must be detected as
@@ -746,14 +1056,14 @@ mod tests {
         let inst = chain();
         let mut src = StaticSource::new(inst);
         let mut sched = Lazy;
-        let _ = run(&mut src, &mut sched);
+        let _ = EngineConfig::new().run(&mut src, &mut sched);
     }
 
     #[test]
     fn lazy_scheduler_is_typed_deadlock() {
         let inst = chain();
         let mut src = StaticSource::new(inst);
-        let err = try_run(&mut src, &mut Lazy).unwrap_err();
+        let err = EngineConfig::new().try_run(&mut src, &mut Lazy).unwrap_err();
         match err {
             RunError::SchedulerViolation(SchedulerViolation::Deadlock {
                 unstarted,
@@ -795,7 +1105,7 @@ mod tests {
         let mut sched = Hog {
             pending: Vec::new(),
         };
-        let _ = run(&mut src, &mut sched);
+        let _ = EngineConfig::new().run(&mut src, &mut sched);
     }
 
     #[test]
@@ -806,7 +1116,7 @@ mod tests {
             .build(4);
         let mut src = StaticSource::new(inst);
         let mut sched = Hog { pending: Vec::new() };
-        let err = try_run(&mut src, &mut sched).unwrap_err();
+        let err = EngineConfig::new().try_run(&mut src, &mut sched).unwrap_err();
         assert!(matches!(
             err,
             RunError::SchedulerViolation(SchedulerViolation::Oversubscribed {
@@ -839,7 +1149,7 @@ mod tests {
             }
         }
         let inst = DagBuilder::new().task("a", Time::ONE, 1).build(2);
-        let err = try_run(&mut StaticSource::new(inst), &mut Dup { ids: vec![] }).unwrap_err();
+        let err = EngineConfig::new().try_run(&mut StaticSource::new(inst), &mut Dup { ids: vec![] }).unwrap_err();
         assert_eq!(
             err,
             RunError::SchedulerViolation(SchedulerViolation::DuplicateDecision {
@@ -872,11 +1182,9 @@ mod tests {
             }
         }
         let inst = DagBuilder::new().task("a", Time::from_int(5), 1).build(2);
-        let err = try_run(
-            &mut StaticSource::new(inst),
-            &mut Again { id: None, rounds: 0 },
-        )
-        .unwrap_err();
+        let err = EngineConfig::new()
+            .try_run(&mut StaticSource::new(inst), &mut Again { id: None, rounds: 0 })
+            .unwrap_err();
         assert_eq!(
             err,
             RunError::SchedulerViolation(SchedulerViolation::DoubleStart { task: TaskId(0) })
@@ -896,7 +1204,7 @@ mod tests {
             ],
             1,
         );
-        let result = run(&mut src, &mut Greedy::new());
+        let result = EngineConfig::new().run(&mut src, &mut Greedy::new());
         assert_eq!(result.makespan(), Time::from_int(6));
         assert_eq!(result.release_times[&TaskId(1)], Time::from_int(5));
         assert_eq!(
@@ -917,7 +1225,7 @@ mod tests {
             ],
             2,
         );
-        let result = run(&mut src, &mut Greedy::new());
+        let result = EngineConfig::new().run(&mut src, &mut Greedy::new());
         assert_eq!(
             result.schedule.placement(TaskId(1)).unwrap().start,
             Time::ONE
@@ -930,7 +1238,7 @@ mod tests {
         let inst = Instance::new(rigid_dag::TaskGraph::new(), 2);
         let mut src = StaticSource::new(inst);
         let mut sched = Greedy::new();
-        let result = run(&mut src, &mut sched);
+        let result = EngineConfig::new().run(&mut src, &mut sched);
         assert_eq!(result.makespan(), Time::ZERO);
         assert!(result.schedule.is_empty());
         assert_eq!(result.stats, EngineStats::default());
@@ -949,7 +1257,7 @@ mod tests {
             .build(2);
         let mut src = StaticSource::new(inst.clone());
         let mut sched = Greedy::new();
-        let result = run(&mut src, &mut sched);
+        let result = EngineConfig::new().run(&mut src, &mut sched);
         result.schedule.assert_valid(&inst);
         assert_eq!(result.makespan(), Time::from_int(3));
     }
@@ -969,11 +1277,11 @@ mod tests {
         fn procs(&self) -> u32 {
             self.procs
         }
-        fn initial(&mut self) -> Vec<ReleasedTask> {
-            std::mem::take(&mut self.initial)
+        fn initial_into(&mut self, out: &mut Vec<ReleasedTask>) {
+            out.append(&mut self.initial);
         }
-        fn on_complete(&mut self, _task: TaskId, _ci: u64) -> Vec<ReleasedTask> {
-            std::mem::take(&mut self.after_first)
+        fn on_complete_into(&mut self, _task: TaskId, _ci: u64, out: &mut Vec<ReleasedTask>) {
+            out.append(&mut self.after_first);
         }
         fn expects_more(&self) -> bool {
             false
@@ -995,7 +1303,7 @@ mod tests {
             initial: vec![rel(0, 1, 1, vec![]), rel(0, 1, 1, vec![])],
             after_first: vec![],
         };
-        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        let err = EngineConfig::new().try_run(&mut src, &mut Greedy::new()).unwrap_err();
         assert_eq!(
             err,
             RunError::SourceViolation(SourceViolation::DuplicateRelease { task: TaskId(0) })
@@ -1013,7 +1321,7 @@ mod tests {
             ],
             after_first: vec![],
         };
-        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        let err = EngineConfig::new().try_run(&mut src, &mut Greedy::new()).unwrap_err();
         assert_eq!(
             err,
             RunError::SourceViolation(SourceViolation::PrematureRelease {
@@ -1030,7 +1338,7 @@ mod tests {
             initial: vec![rel(0, 1, 1, vec![TaskId(7)])],
             after_first: vec![],
         };
-        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        let err = EngineConfig::new().try_run(&mut src, &mut Greedy::new()).unwrap_err();
         assert_eq!(
             err,
             RunError::SourceViolation(SourceViolation::UnknownPredecessor {
@@ -1047,7 +1355,7 @@ mod tests {
             initial: vec![rel(0, 1, 3, vec![])],
             after_first: vec![],
         };
-        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        let err = EngineConfig::new().try_run(&mut src, &mut Greedy::new()).unwrap_err();
         assert_eq!(
             err,
             RunError::SourceViolation(SourceViolation::Oversubscription {
@@ -1068,19 +1376,17 @@ mod tests {
             fn procs(&self) -> u32 {
                 1
             }
-            fn initial(&mut self) -> Vec<ReleasedTask> {
+            fn initial_into(&mut self, out: &mut Vec<ReleasedTask>) {
                 self.released = true;
-                vec![rel(0, 1, 1, vec![])]
+                out.push(rel(0, 1, 1, vec![]));
             }
-            fn on_complete(&mut self, _task: TaskId, _ci: u64) -> Vec<ReleasedTask> {
-                Vec::new()
-            }
+            fn on_complete_into(&mut self, _task: TaskId, _ci: u64, _out: &mut Vec<ReleasedTask>) {}
             fn expects_more(&self) -> bool {
                 true
             }
         }
         let mut src = Withholder { released: false };
-        let err = try_run(&mut src, &mut Greedy::new()).unwrap_err();
+        let err = EngineConfig::new().try_run(&mut src, &mut Greedy::new()).unwrap_err();
         assert_eq!(
             err,
             RunError::SourceViolation(SourceViolation::WithheldTasks)
@@ -1096,7 +1402,7 @@ mod tests {
             initial: vec![rel(0, 2, 1, vec![])],
             after_first: vec![rel(1, 1, 1, vec![TaskId(0)])],
         };
-        let result = try_run(&mut src, &mut Greedy::new()).unwrap();
+        let result = EngineConfig::new().try_run(&mut src, &mut Greedy::new()).unwrap();
         assert_eq!(result.makespan(), Time::from_int(3));
     }
 
@@ -1164,7 +1470,7 @@ mod tests {
         let mut src = StaticSource::new(inst);
         let mut faults = FailPlan { fail: vec![(TaskId(0), 0)] };
         let result =
-            try_run_faulty(&mut src, &mut RetryGreedy::new(), &mut faults).unwrap();
+            EngineConfig::new().faults(&mut faults).try_run(&mut src, &mut RetryGreedy::new()).unwrap();
         assert_eq!(result.makespan(), Time::from_int(3));
         let p = result.schedule.placement(TaskId(0)).unwrap();
         assert_eq!(p.start, Time::ONE);
@@ -1180,7 +1486,7 @@ mod tests {
         let mut src = StaticSource::new(inst);
         let mut faults = FailPlan { fail: vec![(TaskId(0), 0)] };
         let err =
-            try_run_faulty(&mut src, &mut Greedy::new(), &mut faults).unwrap_err();
+            EngineConfig::new().faults(&mut faults).try_run(&mut src, &mut Greedy::new()).unwrap_err();
         assert_eq!(
             err,
             RunError::TaskAbandoned { task: TaskId(0), attempts: 1, at: Time::ONE }
@@ -1205,7 +1511,7 @@ mod tests {
         let inst = DagBuilder::new().task("a", Time::from_int(2), 2).build(2);
         let mut src = StaticSource::new(inst);
         let result =
-            try_run_faulty(&mut src, &mut Greedy::new(), &mut Straggle).unwrap();
+            EngineConfig::new().faults(&mut Straggle).try_run(&mut src, &mut Greedy::new()).unwrap();
         assert_eq!(result.makespan(), Time::from_int(4));
         assert_eq!(result.faults.inflated_area, Time::from_int(4)); // 2 extra × 2 procs
         assert!(!result.faults.is_clean(2));
@@ -1250,7 +1556,7 @@ mod tests {
             .build(2);
         let mut src = StaticSource::new(inst);
         let mut dip = Dip { from: Time::ZERO, until: Time::from_int(3), cap: 0 };
-        let result = try_run_faulty(&mut src, &mut Greedy::new(), &mut dip).unwrap();
+        let result = EngineConfig::new().faults(&mut dip).try_run(&mut src, &mut Greedy::new()).unwrap();
         assert_eq!(result.makespan(), Time::from_int(5));
         assert_eq!(result.faults.min_capacity, 0);
     }
@@ -1277,7 +1583,7 @@ mod tests {
         }
         let inst = DagBuilder::new().task("a", Time::ONE, 1).build(1);
         let mut src = StaticSource::new(inst);
-        let err = try_run_faulty(&mut src, &mut Greedy::new(), &mut Dead).unwrap_err();
+        let err = EngineConfig::new().faults(&mut Dead).try_run(&mut src, &mut Greedy::new()).unwrap_err();
         assert!(matches!(
             err,
             RunError::SchedulerViolation(SchedulerViolation::Deadlock { capacity: 0, .. })
@@ -1289,14 +1595,11 @@ mod tests {
     #[test]
     fn ample_budget_matches_unbudgeted_run() {
         let inst = chain();
-        let budgeted = try_run_budgeted(
-            &mut StaticSource::new(inst.clone()),
-            &mut Greedy::new(),
-            &mut NoFaults,
-            RunBudget::max_events(1_000).with_wall_deadline(Duration::from_secs(3600)),
-        )
-        .unwrap();
-        let plain = try_run(&mut StaticSource::new(inst), &mut Greedy::new()).unwrap();
+        let budgeted = EngineConfig::new()
+            .budget(RunBudget::max_events(1_000).with_wall_deadline(Duration::from_secs(3600)))
+            .try_run(&mut StaticSource::new(inst.clone()), &mut Greedy::new())
+            .unwrap();
+        let plain = EngineConfig::new().try_run(&mut StaticSource::new(inst), &mut Greedy::new()).unwrap();
         assert_eq!(budgeted.schedule, plain.schedule);
         assert_eq!(budgeted.stats, plain.stats);
     }
@@ -1305,13 +1608,10 @@ mod tests {
     fn exact_event_budget_still_completes() {
         // The chain processes exactly 6 events; a ceiling of 6 is enough.
         let inst = chain();
-        let result = try_run_budgeted(
-            &mut StaticSource::new(inst),
-            &mut Greedy::new(),
-            &mut NoFaults,
-            RunBudget::max_events(6),
-        )
-        .unwrap();
+        let result = EngineConfig::new()
+            .budget(RunBudget::max_events(6))
+            .try_run(&mut StaticSource::new(inst), &mut Greedy::new())
+            .unwrap();
         assert_eq!(result.stats.events, 6);
     }
 
@@ -1319,12 +1619,9 @@ mod tests {
     fn event_budget_trips_deterministically() {
         let inst = chain();
         let run = |limit: u64| {
-            try_run_budgeted(
-                &mut StaticSource::new(inst.clone()),
-                &mut Greedy::new(),
-                &mut NoFaults,
-                RunBudget::max_events(limit),
-            )
+            EngineConfig::new()
+                .budget(RunBudget::max_events(limit))
+                .try_run(&mut StaticSource::new(inst.clone()), &mut Greedy::new())
         };
         for limit in 0..6 {
             let err = run(limit).unwrap_err();
@@ -1343,13 +1640,10 @@ mod tests {
     #[test]
     fn zero_wall_deadline_trips_immediately() {
         let inst = chain();
-        let err = try_run_budgeted(
-            &mut StaticSource::new(inst),
-            &mut Greedy::new(),
-            &mut NoFaults,
-            RunBudget::wall_deadline(Duration::ZERO),
-        )
-        .unwrap_err();
+        let err = EngineConfig::new()
+            .budget(RunBudget::wall_deadline(Duration::ZERO))
+            .try_run(&mut StaticSource::new(inst), &mut Greedy::new())
+            .unwrap_err();
         assert!(matches!(
             err,
             RunError::BudgetExceeded { exceeded: BudgetKind::WallClock { limit_ms: 0 }, .. }
@@ -1360,13 +1654,10 @@ mod tests {
     fn empty_instance_survives_zero_event_budget() {
         // No events are processed, so `events > 0` never holds.
         let inst = Instance::new(rigid_dag::TaskGraph::new(), 2);
-        let result = try_run_budgeted(
-            &mut StaticSource::new(inst),
-            &mut Greedy::new(),
-            &mut NoFaults,
-            RunBudget::max_events(0),
-        )
-        .unwrap();
+        let result = EngineConfig::new()
+            .budget(RunBudget::max_events(0))
+            .try_run(&mut StaticSource::new(inst), &mut Greedy::new())
+            .unwrap();
         assert_eq!(result.stats.events, 0);
     }
 
@@ -1390,35 +1681,26 @@ mod tests {
         // state.
         let mut scratch = EngineScratch::new();
         for _ in 0..3 {
-            let fresh = try_run(&mut StaticSource::new(chain()), &mut Greedy::new()).unwrap();
-            let reused = try_run_budgeted_reusing(
-                &mut StaticSource::new(chain()),
-                &mut Greedy::new(),
-                &mut NoFaults,
-                RunBudget::UNLIMITED,
-                &mut scratch,
-            )
-            .unwrap();
+            let fresh = EngineConfig::new().try_run(&mut StaticSource::new(chain()), &mut Greedy::new()).unwrap();
+            let reused = EngineConfig::new()
+                .scratch(&mut scratch)
+                .try_run(&mut StaticSource::new(chain()), &mut Greedy::new())
+                .unwrap();
             assert_eq!(fresh.schedule, reused.schedule);
             assert_eq!(fresh.stats, reused.stats);
             assert_eq!(fresh.release_times, reused.release_times);
             assert_eq!(fresh.decisions, reused.decisions);
 
             let inst = DagBuilder::new().task("a", Time::from_int(2), 1).build(1);
-            let fresh = try_run_faulty(
-                &mut StaticSource::new(inst.clone()),
-                &mut RetryGreedy::new(),
-                &mut FailPlan { fail: vec![(TaskId(0), 0)] },
-            )
-            .unwrap();
-            let reused = try_run_budgeted_reusing(
-                &mut StaticSource::new(inst),
-                &mut RetryGreedy::new(),
-                &mut FailPlan { fail: vec![(TaskId(0), 0)] },
-                RunBudget::UNLIMITED,
-                &mut scratch,
-            )
-            .unwrap();
+            let fresh = EngineConfig::new()
+                .faults(&mut FailPlan { fail: vec![(TaskId(0), 0)] })
+                .try_run(&mut StaticSource::new(inst.clone()), &mut RetryGreedy::new())
+                .unwrap();
+            let reused = EngineConfig::new()
+                .faults(&mut FailPlan { fail: vec![(TaskId(0), 0)] })
+                .scratch(&mut scratch)
+                .try_run(&mut StaticSource::new(inst), &mut RetryGreedy::new())
+                .unwrap();
             assert_eq!(fresh.schedule, reused.schedule);
             assert_eq!(fresh.faults.failures, reused.faults.failures);
             assert_eq!(fresh.faults.wasted_area, reused.faults.wasted_area);
@@ -1433,7 +1715,7 @@ mod tests {
         let mut src = StaticSource::new(inst.clone());
         let mut faults = FailPlan { fail: vec![(TaskId(0), 0)] };
         let result =
-            try_run_faulty(&mut src, &mut RetryGreedy::new(), &mut faults).unwrap();
+            EngineConfig::new().faults(&mut faults).try_run(&mut src, &mut RetryGreedy::new()).unwrap();
         let p = result.schedule.placement(TaskId(0)).unwrap();
         assert_eq!(p.finish - p.start, Time::from_int(3));
         assert_eq!(p.procs, 2);

@@ -68,8 +68,8 @@ pub trait FaultModel {
         platform
     }
 
-    /// The next instant strictly after `now` at which [`capacity`]
-    /// (Self::capacity) changes, if any. The engine wakes up there even
+    /// The next instant strictly after `now` at which
+    /// [`capacity`](Self::capacity) changes, if any. The engine wakes up there even
     /// if nothing completes, so schedulers see recoveries. Must return
     /// `None` eventually (finitely many events).
     fn next_capacity_event(&self, now: Time) -> Option<Time> {

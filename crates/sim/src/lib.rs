@@ -38,10 +38,14 @@
 //!     .task("b", Time::from_int(1), 2)
 //!     .edge("a", "b")
 //!     .build(2);
-//! let result = engine::run(&mut StaticSource::new(inst.clone()), &mut Asap(vec![]));
+//! let result = engine::EngineConfig::new()
+//!     .run(&mut StaticSource::new(inst.clone()), &mut Asap(vec![]));
 //! result.schedule.assert_valid(&inst);
 //! assert_eq!(result.makespan(), Time::from_int(3));
 //! ```
+//!
+//! Fault models, run budgets, and reusable scratch buffers are opted
+//! into through the same [`engine::EngineConfig`] builder.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,10 +63,9 @@ pub mod svg;
 pub mod trace;
 pub mod scheduler;
 
-pub use engine::{
-    run, try_run, try_run_budgeted, try_run_budgeted_reusing, try_run_faulty, EngineScratch,
-    EngineStats, RunBudget, RunResult,
-};
+#[allow(deprecated)]
+pub use engine::{run, try_run, try_run_budgeted, try_run_budgeted_reusing, try_run_faulty};
+pub use engine::{EngineConfig, EngineScratch, EngineStats, RunBudget, RunResult};
 pub use error::{BudgetKind, RunError, SchedulerViolation, SourceViolation};
 pub use fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
 pub use offline::OfflineScheduler;

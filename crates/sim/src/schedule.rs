@@ -7,7 +7,7 @@
 
 use rigid_dag::{Instance, TaskId};
 use rigid_time::Time;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// One scheduled task: its start/finish instants and processor demand.
@@ -32,10 +32,64 @@ impl Placement {
 }
 
 /// A complete schedule on `P` processors.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Placements are stored densely, indexed by task id (the engine's
+/// source contract allocates dense ids), so the engine's `place` on the
+/// hot path is an O(1) vector write instead of a B-tree insert.
+/// Equality and the serialized wire format (`placements` as an
+/// id-keyed object in ascending id order) are value-based and identical
+/// to the previous `BTreeMap` representation.
+#[derive(Clone, Debug, Default)]
 pub struct Schedule {
     procs: u32,
-    placements: BTreeMap<TaskId, Placement>,
+    /// Slot `i` holds the placement of `TaskId(i)`, if placed.
+    slots: Vec<Option<Placement>>,
+    /// Number of occupied slots.
+    placed: usize,
+}
+
+impl PartialEq for Schedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.procs == other.procs
+            && self.placed == other.placed
+            && self.placements().eq(other.placements())
+    }
+}
+
+impl Eq for Schedule {}
+
+impl Serialize for Schedule {
+    fn serialize(&self) -> Value {
+        // Mirror the legacy derived format exactly: `placements` is an
+        // id-keyed object in ascending task-id order.
+        let map: BTreeMap<TaskId, &Placement> = self.placements().map(|p| (p.task, p)).collect();
+        Value::Object(vec![
+            ("procs".to_string(), self.procs.serialize()),
+            ("placements".to_string(), map.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Schedule {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let Value::Object(fields) = value else {
+            return Err(Error::new(format!("expected object, found {}", value.kind())));
+        };
+        let field = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("Schedule is missing field {name:?}")))
+        };
+        let procs = u32::deserialize(field("procs")?)?;
+        let map = BTreeMap::<TaskId, Placement>::deserialize(field("placements")?)?;
+        let mut schedule = Schedule { procs, slots: Vec::new(), placed: 0 };
+        for (id, p) in map {
+            schedule.place(id, p.start, p.finish, p.procs);
+        }
+        Ok(schedule)
+    }
 }
 
 /// A violation found by [`Schedule::validate`].
@@ -68,10 +122,7 @@ impl Schedule {
     /// Creates an empty schedule for a platform of `procs` processors.
     pub fn new(procs: u32) -> Self {
         assert!(procs >= 1);
-        Schedule {
-            procs,
-            placements: BTreeMap::new(),
-        }
+        Schedule { procs, slots: Vec::new(), placed: 0 }
     }
 
     /// Platform size `P`.
@@ -85,45 +136,39 @@ impl Schedule {
     /// Panics if the task was already placed or the interval is empty.
     pub fn place(&mut self, task: TaskId, start: Time, finish: Time, procs: u32) {
         assert!(finish > start, "empty placement interval for {task}");
-        let prev = self.placements.insert(
-            task,
-            Placement {
-                task,
-                start,
-                finish,
-                procs,
-            },
-        );
-        assert!(prev.is_none(), "task {task} placed twice");
+        let idx = task.index();
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        let slot = &mut self.slots[idx];
+        assert!(slot.is_none(), "task {task} placed twice");
+        *slot = Some(Placement { task, start, finish, procs });
+        self.placed += 1;
     }
 
     /// The placement of a task, if scheduled.
     pub fn placement(&self, task: TaskId) -> Option<&Placement> {
-        self.placements.get(&task)
+        self.slots.get(task.index()).and_then(|s| s.as_ref())
     }
 
     /// Iterates over all placements in task-id order.
     pub fn placements(&self) -> impl Iterator<Item = &Placement> + '_ {
-        self.placements.values()
+        self.slots.iter().filter_map(|s| s.as_ref())
     }
 
     /// Number of placed tasks.
     pub fn len(&self) -> usize {
-        self.placements.len()
+        self.placed
     }
 
     /// Returns `true` if nothing is placed.
     pub fn is_empty(&self) -> bool {
-        self.placements.is_empty()
+        self.placed == 0
     }
 
     /// The makespan `max (s_i + t_i)` (zero for an empty schedule).
     pub fn makespan(&self) -> Time {
-        self.placements
-            .values()
-            .map(|p| p.finish)
-            .max()
-            .unwrap_or(Time::ZERO)
+        self.placements().map(|p| p.finish).max().unwrap_or(Time::ZERO)
     }
 
     /// The processor-usage step function: instants where usage changes and
@@ -131,7 +176,7 @@ impl Schedule {
     /// sorted by time. The final pair has usage 0.
     pub fn usage_profile(&self) -> Vec<(Time, u64)> {
         let mut deltas: BTreeMap<Time, i64> = BTreeMap::new();
-        for p in self.placements.values() {
+        for p in self.placements() {
             *deltas.entry(p.start).or_insert(0) += p.procs as i64;
             *deltas.entry(p.finish).or_insert(0) -= p.procs as i64;
         }
@@ -152,7 +197,7 @@ impl Schedule {
         let g = instance.graph();
 
         for id in g.task_ids() {
-            match self.placements.get(&id) {
+            match self.placement(id) {
                 None => violations.push(Violation::MissingTask(id)),
                 Some(p) => {
                     let spec = g.spec(id);
@@ -163,7 +208,7 @@ impl Schedule {
                         violations.push(Violation::NegativeStart(id));
                     }
                     for &pred in g.preds(id) {
-                        if let Some(pp) = self.placements.get(&pred) {
+                        if let Some(pp) = self.placement(pred) {
                             if pp.finish > p.start {
                                 violations.push(Violation::PrecedenceViolated { task: id, pred });
                             }
@@ -296,5 +341,40 @@ mod tests {
         let mut s = Schedule::new(2);
         s.place(TaskId(0), Time::ZERO, Time::ONE, 1);
         s.place(TaskId(0), Time::ONE, Time::from_int(2), 1);
+    }
+
+    #[test]
+    fn equality_ignores_slot_capacity() {
+        // Schedules with the same placements are equal even when their
+        // dense slot vectors grew differently (e.g. out-of-order ids
+        // left different trailing holes).
+        let mut a = Schedule::new(4);
+        a.place(TaskId(5), Time::ZERO, Time::ONE, 1);
+        a.place(TaskId(1), Time::ZERO, Time::ONE, 1);
+        let mut b = Schedule::new(4);
+        b.place(TaskId(1), Time::ZERO, Time::ONE, 1);
+        b.place(TaskId(5), Time::ZERO, Time::ONE, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        // Placement order out of the iterator is ascending id.
+        let ids: Vec<TaskId> = a.placements().map(|p| p.task).collect();
+        assert_eq!(ids, vec![TaskId(1), TaskId(5)]);
+    }
+
+    #[test]
+    fn serde_wire_format_is_id_keyed_object() {
+        let mut s = Schedule::new(3);
+        s.place(TaskId(2), Time::ZERO, Time::from_int(2), 1);
+        s.place(TaskId(0), Time::ONE, Time::from_int(3), 2);
+        let json = serde_json::to_string(&s).unwrap();
+        // The wire format is the legacy BTreeMap shape: an object keyed
+        // by task id, ascending, under "placements".
+        assert!(json.contains("\"procs\":3"), "{json}");
+        let p0 = json.find("\"0\"").expect("id key 0");
+        let p2 = json.find("\"2\"").expect("id key 2");
+        assert!(p0 < p2, "keys must ascend: {json}");
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.makespan(), s.makespan());
     }
 }

@@ -39,6 +39,17 @@ pub trait OnlineScheduler {
     /// `free_procs`.
     fn decide(&mut self, now: Time, free_procs: u32) -> Vec<TaskId>;
 
+    /// Buffer-reusing form of [`decide`](Self::decide): **appends** the
+    /// chosen tasks to `out` instead of returning a fresh `Vec`. The
+    /// engine calls this form with one buffer reused across the whole
+    /// run, so a scheduler that overrides it allocates nothing per
+    /// decision point. The default delegates to `decide`; overriders
+    /// must preserve its contract exactly (the engine treats appending
+    /// nothing as the deliberate-idling move).
+    fn decide_into(&mut self, now: Time, free_procs: u32, out: &mut Vec<TaskId>) {
+        out.extend(self.decide(now, free_procs));
+    }
+
     /// A running attempt of `task` just failed (fail-stop under an active
     /// fault model); all its work is lost and it must be re-executed in
     /// full. Return [`FailureResponse::Retry`] to take the task back as
@@ -75,6 +86,9 @@ impl<T: OnlineScheduler + ?Sized> OnlineScheduler for Box<T> {
     }
     fn decide(&mut self, now: Time, free_procs: u32) -> Vec<TaskId> {
         (**self).decide(now, free_procs)
+    }
+    fn decide_into(&mut self, now: Time, free_procs: u32, out: &mut Vec<TaskId>) {
+        (**self).decide_into(now, free_procs, out)
     }
     fn on_failure(&mut self, task: TaskId, now: Time) -> FailureResponse {
         (**self).on_failure(task, now)

@@ -232,7 +232,7 @@ mod tests {
                 out
             }
         }
-        let r = crate::engine::run(&mut src, &mut G(Vec::new()));
+        let r = crate::engine::EngineConfig::new().run(&mut src, &mut G(Vec::new()));
         let svg = render_svg(&r.schedule, inst.graph(), &SvgOptions::default());
         assert!(svg.matches("<rect").count() > 20);
     }

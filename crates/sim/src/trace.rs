@@ -176,7 +176,7 @@ mod tests {
             .task("b", Time::from_int(2), 1)
             .edge("a", "b")
             .build(2);
-        crate::engine::run(&mut StaticSource::new(inst), &mut greedy())
+        crate::engine::EngineConfig::new().run(&mut StaticSource::new(inst), &mut greedy())
     }
 
     #[test]
@@ -201,7 +201,7 @@ mod tests {
     fn traces_of_random_runs_are_causal() {
         for seed in 0..5u64 {
             let inst = erdos_dag(seed, 25, 0.2, &TaskSampler::default_mix(), 4);
-            let r = crate::engine::run(&mut StaticSource::new(inst), &mut greedy());
+            let r = crate::engine::EngineConfig::new().run(&mut StaticSource::new(inst), &mut greedy());
             assert!(Trace::from_run(&r).is_causal(), "seed {seed}");
         }
     }

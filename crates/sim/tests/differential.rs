@@ -10,6 +10,11 @@
 //! sensitive to event *ordering*, not just event *sets*, because a
 //! permuted completion order would reorder releases and flip its picks.
 
+// The deprecated free-function entry points are kept precisely for this
+// harness: they pin the legacy call signatures against the reference
+// engine while the rest of the workspace moves to `EngineConfig`.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use rigid_dag::gen::{self, LengthDist, ProcDist, TaskSampler};
 use rigid_dag::{Instance, ReleasedTask, StaticSource, TaskId};
@@ -225,15 +230,29 @@ fn check_instance(inst: &Instance, fault_seed: u64, fail_mod: u64, inflate_mod: 
 }
 
 fn sampler(kind: u8) -> TaskSampler {
-    match kind % 3 {
+    match kind % 4 {
         0 => TaskSampler::default_mix(),
         1 => TaskSampler {
             length: LengthDist::Uniform { min: 0.5, max: 4.0 },
             procs: ProcDist::PowersOfTwo,
         },
-        _ => TaskSampler {
+        2 => TaskSampler {
             length: LengthDist::LogUniform { min: 0.1, max: 10.0 },
             procs: ProcDist::FractionCap { q: 0.5 },
+        },
+        // Mixed representations: the snapped distributions above only
+        // ever produce dyadic times, so this branch deliberately mixes
+        // non-dyadic rationals (1/3, 5/7) with on-grid values to drive
+        // the engines through `Time`'s rational fallback and the
+        // dyadic/rational comparison boundary.
+        _ => TaskSampler {
+            length: LengthDist::Choice(vec![
+                Time::from_ratio(1, 3),
+                Time::from_ratio(5, 7),
+                Time::from_ratio(3, 4),
+                Time::from_int(2),
+            ]),
+            procs: ProcDist::PowersOfTwo,
         },
     }
 }

@@ -44,7 +44,7 @@ fn single_processor_serializes_everything() {
         .task("b", Time::from_int(2), 1)
         .task("c", Time::from_int(3), 1)
         .build(1);
-    let r = engine::run(&mut StaticSource::new(inst.clone()), &mut Greedy::new());
+    let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut Greedy::new());
     r.schedule.assert_valid(&inst);
     assert_eq!(r.makespan(), Time::from_int(6));
     // Usage never exceeds 1 and never has overlap.
@@ -67,7 +67,7 @@ fn many_tasks_completing_at_one_instant() {
         }
     }
     let inst = rigid_dag::Instance::new(g, 16);
-    let r = engine::run(&mut StaticSource::new(inst.clone()), &mut Greedy::new());
+    let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut Greedy::new());
     r.schedule.assert_valid(&inst);
     assert_eq!(r.makespan(), Time::from_int(3));
     assert_eq!(r.release_times[&tail], Time::from_int(2));
@@ -80,7 +80,7 @@ fn timed_arrivals_interleave_with_completions() {
         .map(|k| (Time::from_int(k), TaskSpec::new(Time::ONE, 1)))
         .collect();
     let mut src = TimedSource::new(jobs, 1);
-    let r = engine::run(&mut src, &mut Greedy::new());
+    let r = engine::EngineConfig::new().run(&mut src, &mut Greedy::new());
     assert_eq!(r.makespan(), Time::from_int(4));
     for k in 0..4u32 {
         assert_eq!(
@@ -99,7 +99,7 @@ fn timed_arrival_exactly_at_completion() {
         (Time::from_int(2), TaskSpec::new(Time::ONE, 1)),
     ];
     let mut src = TimedSource::new(jobs, 1);
-    let r = engine::run(&mut src, &mut Greedy::new());
+    let r = engine::EngineConfig::new().run(&mut src, &mut Greedy::new());
     assert_eq!(
         r.schedule.placement(TaskId(1)).unwrap().start,
         Time::from_int(2)
@@ -116,7 +116,7 @@ fn gantt_assign_trace_agree() {
         &rigid_dag::gen::TaskSampler::default_mix(),
         6,
     );
-    let r = engine::run(&mut StaticSource::new(inst.clone()), &mut Greedy::new());
+    let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut Greedy::new());
     // Gantt renders one row per processor plus the axis.
     let gantt = render(&r.schedule, inst.graph(), &GanttOptions::default());
     assert_eq!(gantt.lines().count(), 7);
@@ -162,7 +162,7 @@ fn idle_intervals_of_deliberate_wait() {
         .task("x", Time::from_int(1), 1)
         .task("y", Time::from_int(1), 1)
         .build(4);
-    let r = engine::run(
+    let r = engine::EngineConfig::new().run(
         &mut StaticSource::new(inst.clone()),
         &mut OneAtATime {
             queue: Vec::new(),
@@ -178,7 +178,7 @@ fn idle_intervals_of_deliberate_wait() {
 #[test]
 fn decisions_counter_reflects_consultations() {
     let inst = DagBuilder::new().task("a", Time::ONE, 1).build(1);
-    let r = engine::run(&mut StaticSource::new(inst), &mut Greedy::new());
+    let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst), &mut Greedy::new());
     // At least: initial decide (start) + post-start empty decide.
     assert!(r.decisions >= 2);
 }

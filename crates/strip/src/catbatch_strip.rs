@@ -159,7 +159,7 @@ mod tests {
     fn figure3_strip_run_is_contiguous_and_feasible() {
         let inst = figure3();
         let mut cbs = CatBatchStrip::new(inst.procs());
-        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+        let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
         result.schedule.assert_valid(&inst);
         cbs.packing().assert_valid();
         assert_eq!(cbs.packing().len(), inst.len());
@@ -174,7 +174,7 @@ mod tests {
         let inst = figure3();
         let bound = catbatch::analysis::lemma7_bound(&inst);
         let mut cbs = CatBatchStrip::new(inst.procs());
-        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+        let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
         assert!(result.makespan() <= bound);
     }
 
@@ -183,7 +183,7 @@ mod tests {
         for seed in 0..10u64 {
             let inst = erdos_dag(seed, 25, 0.15, &TaskSampler::default_mix(), 8);
             let mut cbs = CatBatchStrip::new(8);
-            let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+            let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
             result.schedule.assert_valid(&inst);
             cbs.packing().assert_valid();
             // Theorem 1 ratio bound holds for the strip variant too.
@@ -201,7 +201,7 @@ mod tests {
             .task("w", Time::from_int(2), 4)
             .build(4);
         let mut cbs = CatBatchStrip::new(4);
-        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+        let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
         assert_eq!(result.makespan(), Time::from_int(2));
         let r = &cbs.packing().rects()[0];
         assert_eq!((r.x, r.width), (0, 4));

@@ -22,7 +22,7 @@
 //!
 //! let inst = paper::figure3();
 //! let mut strip = CatBatchStrip::new(inst.procs());
-//! let result = engine::run(&mut StaticSource::new(inst.clone()), &mut strip);
+//! let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut strip);
 //! result.schedule.assert_valid(&inst);
 //! strip.packing().assert_valid(); // geometrically contiguous, no overlap
 //! ```

@@ -164,7 +164,7 @@ mod tests {
         use rigid_dag::{paper, StaticSource};
         let inst = paper::figure3();
         let mut cbs = crate::CatBatchStrip::new(inst.procs());
-        let _ = rigid_sim::engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+        let _ = rigid_sim::engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
         let svg = render_packing_svg(
             cbs.packing(),
             inst.graph(),

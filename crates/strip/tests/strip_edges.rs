@@ -99,7 +99,7 @@ fn strip_scheduler_deep_chain() {
         .edge("b", "c")
         .build(4);
     let mut cbs = CatBatchStrip::new(4);
-    let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+    let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
     result.schedule.assert_valid(&inst);
     cbs.packing().assert_valid();
     assert_eq!(result.makespan(), Time::from_int(4));
@@ -119,7 +119,7 @@ fn multi_shelf_batch_serializes_shelves() {
         .task("w3", Time::from_int(2), 3)
         .build(4);
     let mut cbs = CatBatchStrip::new(4);
-    let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+    let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
     result.schedule.assert_valid(&inst);
     assert_eq!(result.makespan(), Time::from_int(6));
 }

@@ -9,7 +9,7 @@ use crate::supervisor::{run_supervised, SharedQuarantine, Supervisor, Supervisor
 use rigid_dag::{instance_fingerprint, Instance, StableHasher, StaticSource};
 use rigid_exec::{ReorderBuffer, ReorderWait, ScratchPool};
 use rigid_faults::{run_trial, run_trial_reusing, CampaignStats, FaultConfig, TrialError, TrialStats};
-use rigid_sim::{try_run, EngineScratch, OnlineScheduler, RunBudget, RunError};
+use rigid_sim::{EngineConfig, EngineScratch, OnlineScheduler, RunBudget, RunError};
 use rigid_time::Time;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -291,7 +291,7 @@ where
         None => {
             let run = catch_unwind(AssertUnwindSafe(|| {
                 let mut sched = make_scheduler();
-                try_run(&mut StaticSource::new(instance.clone()), &mut sched)
+                EngineConfig::new().try_run(&mut StaticSource::new(instance.clone()), &mut sched)
             }))
             .map_err(|p| CampaignError::BaselinePanicked {
                 message: rigid_faults::panic_message(p),

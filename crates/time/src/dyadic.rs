@@ -1,0 +1,374 @@
+//! Fixed-point dyadic numbers `mantissa · 2^exp`: the fast path for
+//! [`Time`](crate::Time) arithmetic.
+//!
+//! The paper's category machinery (Definition 2) lives entirely on dyadic
+//! grid points `λ·2^χ`, and every workload generator snaps lengths onto the
+//! `2^-20` grid — so in practice almost every instant the engine touches is
+//! dyadic. A dyadic add is one shift and one integer add; the equivalent
+//! reduced-rational add costs a gcd. [`Dyadic`] packages that fast case with
+//! hard representability bounds so that every `Dyadic` converts *exactly*
+//! to a [`Rational`] (and back), letting `Time` fall back to exact rational
+//! arithmetic the moment a value leaves the representable dyadic range.
+//!
+//! # Canonical form
+//!
+//! Every `Dyadic` is normalized: the mantissa is odd, or the value is zero
+//! with `mantissa == 0 && exp == 0`. Canonical form makes derived
+//! `Eq`/`Hash` agree with numeric equality and keeps the mantissa maximally
+//! small, which maximizes headroom before overflow.
+//!
+//! # Representable range
+//!
+//! A canonical `Dyadic` requires `exp >= -126` and, for positive
+//! exponents, `bitlen(|mantissa|) + exp <= 127`. Both bounds exist so the
+//! exact [`Rational`] image (`mantissa << exp` over `1`, or `mantissa` over
+//! `1 << -exp`) always fits in `i128` without reduction.
+
+use crate::rational::Rational;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The most negative representable exponent: `2^-126` is the finest grid,
+/// chosen so the rational image's denominator `1 << 126` fits in `i128`.
+pub const MIN_EXPONENT: i32 = -126;
+
+/// A fixed-point dyadic number `mantissa · 2^exp` in canonical form
+/// (odd mantissa, or the canonical zero).
+///
+/// Construct via [`Dyadic::try_new`] (which canonicalizes and range-checks)
+/// or convert from a [`Rational`] with [`Dyadic::try_from_rational`]. All
+/// arithmetic is checked: `None` means the exact result leaves the
+/// representable dyadic range and the caller must fall back to rationals.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dyadic {
+    mantissa: i64,
+    exp: i32,
+}
+
+impl Dyadic {
+    /// The canonical zero.
+    pub const ZERO: Dyadic = Dyadic {
+        mantissa: 0,
+        exp: 0,
+    };
+    /// The value one.
+    pub const ONE: Dyadic = Dyadic {
+        mantissa: 1,
+        exp: 0,
+    };
+
+    /// Canonicalizes `m · 2^e` with an `i128` mantissa, returning `None`
+    /// when the odd-mantissa form does not fit the representable range.
+    const fn from_parts_i128(m: i128, e: i32) -> Option<Dyadic> {
+        if m == 0 {
+            return Some(Dyadic::ZERO);
+        }
+        let tz = m.trailing_zeros() as i32;
+        // Odd part always fits after the shift check below; `>> tz` on
+        // i128::MIN (tz = 127) yields -1, so no wraparound case exists.
+        let m = m >> tz;
+        let e = match e.checked_add(tz) {
+            Some(e) => e,
+            None => return Some(Dyadic::ZERO), // unreachable: |tz| <= 127
+        };
+        if m > i64::MAX as i128 || m < i64::MIN as i128 {
+            return None;
+        }
+        if e < MIN_EXPONENT {
+            return None;
+        }
+        if e > 0 {
+            // bitlen(|m|) + e <= 127 keeps `m << e` inside i128.
+            let bitlen = 128 - m.unsigned_abs().leading_zeros() as i32;
+            if bitlen + e > 127 {
+                return None;
+            }
+        }
+        Some(Dyadic {
+            mantissa: m as i64,
+            exp: e,
+        })
+    }
+
+    /// Creates the canonical dyadic equal to `mantissa · 2^exp`, or `None`
+    /// when the value leaves the representable range (see module docs).
+    pub const fn try_new(mantissa: i64, exp: i32) -> Option<Dyadic> {
+        Self::from_parts_i128(mantissa as i128, exp)
+    }
+
+    /// Exact conversion from a reduced rational: `Some` iff the
+    /// denominator is a power of two within the representable range.
+    pub const fn try_from_rational(r: Rational) -> Option<Dyadic> {
+        let den = r.denom();
+        // den > 0 always; a power of two has exactly one set bit.
+        if den.count_ones() != 1 {
+            return None;
+        }
+        Self::from_parts_i128(r.numer(), -(den.trailing_zeros() as i32))
+    }
+
+    /// The odd (or zero) mantissa.
+    #[must_use]
+    pub const fn mantissa(&self) -> i64 {
+        self.mantissa
+    }
+
+    /// The exponent of the canonical form.
+    #[must_use]
+    pub const fn exponent(&self) -> i32 {
+        self.exp
+    }
+
+    /// Returns `true` if this value is zero.
+    #[must_use]
+    pub const fn is_zero(&self) -> bool {
+        self.mantissa == 0
+    }
+
+    /// Returns `true` if this value is strictly positive.
+    #[must_use]
+    pub const fn is_positive(&self) -> bool {
+        self.mantissa > 0
+    }
+
+    /// Returns `true` if this value is strictly negative.
+    #[must_use]
+    pub const fn is_negative(&self) -> bool {
+        self.mantissa < 0
+    }
+
+    /// Exact conversion to the reduced [`Rational`] image. Never loses
+    /// precision: the representability bounds guarantee the numerator and
+    /// denominator fit `i128`.
+    #[must_use]
+    pub const fn to_rational(&self) -> Rational {
+        if self.exp >= 0 {
+            Rational::from_reduced_parts((self.mantissa as i128) << self.exp, 1)
+        } else {
+            Rational::from_reduced_parts(self.mantissa as i128, 1i128 << -self.exp)
+        }
+    }
+
+    /// Exact negation. Never overflows: a canonical mantissa is odd or
+    /// zero, so it is never `i64::MIN`.
+    #[must_use]
+    pub const fn neg(self) -> Dyadic {
+        Dyadic {
+            mantissa: -self.mantissa,
+            exp: self.exp,
+        }
+    }
+
+    /// Checked addition: `None` when the exact sum leaves the
+    /// representable range (fall back to rational arithmetic).
+    pub const fn checked_add(self, rhs: Dyadic) -> Option<Dyadic> {
+        if self.mantissa == 0 {
+            return Some(rhs);
+        }
+        if rhs.mantissa == 0 {
+            return Some(self);
+        }
+        let (hi, lo) = if self.exp >= rhs.exp {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let d = (hi.exp - lo.exp) as u32;
+        if d > 63 {
+            // The sum is odd (lo's mantissa is odd) with magnitude at
+            // least 2^64 - 2^63 > i64::MAX: provably unrepresentable.
+            return None;
+        }
+        // |hi.mantissa| < 2^63 shifted by <= 63 stays below 2^126; the
+        // i128 sum cannot overflow.
+        let sum = ((hi.mantissa as i128) << d) + lo.mantissa as i128;
+        Self::from_parts_i128(sum, lo.exp)
+    }
+
+    /// Checked subtraction: `self + (-rhs)`.
+    pub const fn checked_sub(self, rhs: Dyadic) -> Option<Dyadic> {
+        self.checked_add(rhs.neg())
+    }
+
+    /// Checked multiplication by a plain integer.
+    pub const fn checked_mul_int(self, k: i64) -> Option<Dyadic> {
+        // i64 × i64 always fits i128.
+        Self::from_parts_i128(self.mantissa as i128 * k as i128, self.exp)
+    }
+
+    /// Checked division by `2^shift` (`shift >= 0`): an exponent
+    /// adjustment, `None` when it would pass `MIN_EXPONENT`.
+    pub const fn checked_div_pow2(self, shift: u32) -> Option<Dyadic> {
+        if self.mantissa == 0 {
+            return Some(Dyadic::ZERO);
+        }
+        let e = self.exp - shift as i32;
+        if e < MIN_EXPONENT {
+            return None;
+        }
+        Some(Dyadic {
+            mantissa: self.mantissa,
+            exp: e,
+        })
+    }
+
+    /// The magnitude exponent: the unique `k` with
+    /// `2^(k-1) <= |value| < 2^k` (meaningless for zero).
+    const fn magnitude(&self) -> i32 {
+        let bitlen = 64 - self.mantissa.unsigned_abs().leading_zeros() as i32;
+        bitlen + self.exp
+    }
+}
+
+impl PartialOrd for Dyadic {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dyadic {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Signs decide first, without any arithmetic.
+        let (ls, rs) = (self.mantissa.signum(), other.mantissa.signum());
+        if ls != rs {
+            return ls.cmp(&rs);
+        }
+        if ls == 0 {
+            return Ordering::Equal;
+        }
+        // Same sign: compare magnitude exponents, flipped for negatives.
+        let (lm, rm) = (self.magnitude(), other.magnitude());
+        if lm != rm {
+            return if ls > 0 { lm.cmp(&rm) } else { rm.cmp(&lm) };
+        }
+        // Equal magnitudes force |exp difference| <= 63 (bit lengths are
+        // in 1..=64), so aligning in i128 cannot overflow.
+        let d = self.exp - other.exp;
+        let (lhs, rhs) = if d >= 0 {
+            ((self.mantissa as i128) << d, other.mantissa as i128)
+        } else {
+            (self.mantissa as i128, (other.mantissa as i128) << -d)
+        };
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}*2^{}", self.mantissa, self.exp)
+    }
+}
+
+impl fmt::Display for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_rational())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(m: i64, e: i32) -> Dyadic {
+        Dyadic::try_new(m, e).expect("in range")
+    }
+
+    #[test]
+    fn canonicalization() {
+        assert_eq!(d(6, -1), d(3, 0));
+        assert_eq!(d(8, 0), d(1, 3));
+        assert_eq!(d(0, 17).mantissa(), 0);
+        assert_eq!(d(0, 17).exponent(), 0);
+        assert_eq!(d(-6, -1), d(-3, 0));
+        assert_eq!(d(i64::MIN, 0), d(-1, 63));
+    }
+
+    #[test]
+    fn range_bounds() {
+        assert!(Dyadic::try_new(1, -126).is_some());
+        assert!(Dyadic::try_new(1, -127).is_none());
+        assert!(Dyadic::try_new(1, 126).is_some());
+        assert!(Dyadic::try_new(1, 127).is_none());
+        assert!(Dyadic::try_new(3, 125).is_some()); // bitlen 2 + 125 = 127
+        assert!(Dyadic::try_new(3, 126).is_none());
+        assert!(Dyadic::try_new(i64::MAX, 65).is_none()); // bitlen 63 + 65 > 127
+        assert!(Dyadic::try_new(i64::MAX, 64).is_some()); // bitlen 63 + 64 = 127
+    }
+
+    #[test]
+    fn rational_roundtrip() {
+        for (m, e) in [(3, -5), (-7, 2), (1, -126), (1, 126), (0, 0), (5, 60)] {
+            let v = d(m, e);
+            assert_eq!(Dyadic::try_from_rational(v.to_rational()), Some(v));
+        }
+        assert!(Dyadic::try_from_rational(Rational::new(1, 3)).is_none());
+        assert_eq!(
+            Dyadic::try_from_rational(Rational::new(6, 4)),
+            Some(d(3, -1))
+        );
+    }
+
+    #[test]
+    fn addition() {
+        assert_eq!(d(1, -1).checked_add(d(1, -1)), Some(Dyadic::ONE));
+        assert_eq!(d(3, 0).checked_add(d(1, -2)), Some(d(13, -2)));
+        assert_eq!(d(5, 0).checked_add(d(-5, 0)), Some(Dyadic::ZERO));
+        // Exponent gap > 63: provably unrepresentable.
+        assert_eq!(d(1, 70).checked_add(d(1, 0)), None);
+        // Gap exactly 63 fits when the signs oppose: 2^63 - 1 = i64::MAX.
+        assert_eq!(d(1, 63).checked_add(d(-1, 0)), Some(d(i64::MAX, 0)));
+        // Same-sign at gap 63 overflows the mantissa.
+        assert_eq!(d(1, 63).checked_add(d(1, 0)), None);
+        // Mantissa overflow within a small gap.
+        assert_eq!(d(i64::MAX, 0).checked_add(d(i64::MAX - 1, 0)), None);
+        // Cancellation re-canonicalizes.
+        assert_eq!(d(5, 0).checked_add(d(-1, 0)), Some(d(1, 2)));
+    }
+
+    #[test]
+    fn subtraction_and_negation() {
+        assert_eq!(d(7, 0).checked_sub(d(3, 0)), Some(d(1, 2)));
+        assert_eq!(d(3, 0).neg(), d(-3, 0));
+        assert_eq!(Dyadic::ZERO.neg(), Dyadic::ZERO);
+        assert_eq!(d(-1, 63).neg(), d(1, 63));
+    }
+
+    #[test]
+    fn mul_int_and_div_pow2() {
+        assert_eq!(d(3, -2).checked_mul_int(4), Some(d(3, 0)));
+        assert_eq!(d(3, -2).checked_mul_int(0), Some(Dyadic::ZERO));
+        assert_eq!(d(1, 126).checked_mul_int(2), None);
+        assert_eq!(d(3, 0).checked_div_pow2(2), Some(d(3, -2)));
+        assert_eq!(d(1, -126).checked_div_pow2(1), None);
+        assert_eq!(Dyadic::ZERO.checked_div_pow2(200), Some(Dyadic::ZERO));
+    }
+
+    #[test]
+    fn ordering_matches_rational() {
+        let samples = [
+            d(0, 0),
+            d(1, -126),
+            d(-1, -126),
+            d(1, 126),
+            d(-1, 126),
+            d(3, -2),
+            d(5, -3),
+            d(-3, -2),
+            d(i64::MAX, 10),
+            d(i64::MAX, 9),
+            d(1, 63),
+            d(-1, 63),
+            d(7, 0),
+            d(13, -2),
+        ];
+        for a in samples {
+            for b in samples {
+                assert_eq!(
+                    a.cmp(&b),
+                    a.to_rational().cmp(&b.to_rational()),
+                    "cmp({a:?}, {b:?})"
+                );
+            }
+        }
+    }
+}

@@ -13,8 +13,13 @@
 //! provides:
 //!
 //! * [`Rational`] — reduced `i128` rationals with checked arithmetic;
-//! * [`Time`] — the workspace-wide instant/duration scalar;
+//! * [`Dyadic`] — fixed-point `mantissa·2^exp` values, the fast path;
+//! * [`Time`] — the workspace-wide instant/duration scalar (dyadic while
+//!   values stay on the grid, exact rational otherwise);
 //! * [`Pow2`] — exact `2^χ` values and dyadic grid searches.
+//!
+//! See `docs/time.md` in the repository root for the representation and
+//! fallback rules.
 //!
 //! ## Example
 //!
@@ -36,15 +41,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dyadic;
 mod parse;
 mod pow2;
 mod rational;
 mod time;
 
+pub use dyadic::{Dyadic, MIN_EXPONENT};
 pub use parse::ParseTimeError;
 pub use pow2::Pow2;
 pub use rational::{OverflowError, Rational};
-pub use time::Time;
+pub use time::{SnapError, Time};
 
 #[cfg(test)]
 mod prop_tests {
@@ -123,6 +130,79 @@ mod prop_tests {
             let lam = p.next_multiple_after(t);
             prop_assert!(p.grid_point(lam as i64) > t);
             prop_assert!(p.grid_point((lam - 1) as i64) <= t);
+        }
+
+        #[test]
+        fn dyadic_rational_roundtrip(m in -1_000_000i64..1_000_000, e in -60i32..40) {
+            // Every in-range dyadic converts to a rational and back losslessly.
+            let d = Dyadic::try_new(m, e).expect("well inside the range");
+            let r = d.to_rational();
+            prop_assert_eq!(Dyadic::try_from_rational(r), Some(d));
+            // And the Time wrapper stores it in the dyadic variant.
+            let t = Time::from_rational(r);
+            prop_assert_eq!(t.dyadic(), Some(d));
+            prop_assert_eq!(t.rational(), r);
+        }
+
+        #[test]
+        fn dyadic_arithmetic_matches_rational(
+            (m1, e1) in (-1_000_000i64..1_000_000, -40i32..40),
+            (m2, e2) in (-1_000_000i64..1_000_000, -40i32..40),
+            k in -1_000i64..1_000,
+        ) {
+            let a = Dyadic::try_new(m1, e1).unwrap();
+            let b = Dyadic::try_new(m2, e2).unwrap();
+            let (ra, rb) = (a.to_rational(), b.to_rational());
+            if let Some(s) = a.checked_add(b) {
+                prop_assert_eq!(s.to_rational(), ra + rb);
+            }
+            if let Some(s) = a.checked_sub(b) {
+                prop_assert_eq!(s.to_rational(), ra - rb);
+            }
+            if let Some(p) = a.checked_mul_int(k) {
+                prop_assert_eq!(p.to_rational(), ra.checked_mul_int(k as i128).unwrap());
+            }
+            prop_assert_eq!(a.cmp(&b), ra.cmp(&rb));
+        }
+
+        #[test]
+        fn overflow_fallback_identical_to_pure_rational(
+            m in 1i64..1_000_000, n in 1i64..1_000_000,
+        ) {
+            // Both operands are dyadic, but the exponent gap (> 63) makes
+            // the sum's mantissa overflow i64: the dyadic add declines and
+            // the rational fallback must produce the identical value.
+            let big = Time::from_dyadic(m, 80);
+            let small = Time::from_dyadic(n, -20);
+            prop_assert!(big.dyadic().is_some() && small.dyadic().is_some());
+            prop_assert!(big.dyadic().unwrap().checked_add(small.dyadic().unwrap()).is_none());
+            let fast = big + small;
+            let slow = Time::from_rational(
+                big.rational().checked_add(&small.rational()).unwrap()
+            );
+            prop_assert_eq!(fast, slow);
+            prop_assert_eq!(fast.rational(), slow.rational());
+        }
+
+        #[test]
+        fn mixed_variant_arithmetic_commutes(
+            (dn, dd) in (-10_000i64..10_000, 0u32..20),
+            (rn, rd) in (-10_000i64..10_000, 1i64..1_000),
+        ) {
+            // One operand on the dyadic grid, one generic rational: results
+            // are identical in either order and in either variant pairing.
+            let dy = Time::from_ratio(dn, 1i64 << dd);
+            let ra = Time::from_ratio(rn, rd);
+            prop_assert_eq!(dy + ra, ra + dy);
+            prop_assert_eq!(dy - ra, -(ra - dy));
+            prop_assert_eq!(
+                (dy + ra).rational(),
+                dy.rational().checked_add(&ra.rational()).unwrap()
+            );
+            // Re-entering the grid restores the dyadic variant.
+            let back = (dy + ra) - ra;
+            prop_assert_eq!(back, dy);
+            prop_assert_eq!(back.dyadic().is_some(), dy.dyadic().is_some());
         }
 
         #[test]

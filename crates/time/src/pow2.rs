@@ -76,6 +76,31 @@ impl Pow2 {
 
     /// Largest integer `k` with `k·2^χ ≤ t` — i.e. `floor(t / 2^χ)`.
     pub fn floor_div(&self, t: Time) -> i128 {
+        // Dyadic fast path: for `t = m·2^e`, `t / 2^χ = m·2^(e−χ)`, so
+        // the floor is a pure shift of the mantissa — no gcd, no i128
+        // division. A right shift of a negative mantissa rounds toward
+        // −∞, which is exactly `floor`.
+        if let Some(d) = t.dyadic() {
+            let m = d.mantissa() as i128;
+            if m == 0 {
+                return 0;
+            }
+            let shift = i64::from(d.exponent()) - i64::from(self.exponent);
+            if shift < 0 {
+                let s = -shift;
+                return if s >= 127 {
+                    if m >= 0 { 0 } else { -1 }
+                } else {
+                    m >> s
+                };
+            }
+            let bitlen = i64::from(128 - m.unsigned_abs().leading_zeros());
+            if bitlen + shift <= 127 {
+                return m << shift;
+            }
+            // The exact quotient overflows i128; fall through so the
+            // rational path reports it the way it always has.
+        }
         let q = t
             .rational()
             .checked_div(&self.value())
@@ -95,6 +120,21 @@ impl Pow2 {
     /// Panics if `t ≤ 0`.
     pub fn largest_below(t: Time) -> Pow2 {
         assert!(t.is_positive(), "largest_below requires t > 0, got {t}");
+        // Dyadic fast path: `t = m·2^e` with `m` odd ≥ 1 and
+        // `b = bitlen(m)` gives `2^(b−1+e) ≤ t < 2^(b+e)`. The lower
+        // bound is *equality* exactly when `m = 1` (then `t` sits on the
+        // grid point and, per Definition 2's strict inequality, the
+        // answer steps down to `e − 1`); for odd `m ≥ 3` it is strict.
+        if let Some(d) = t.dyadic() {
+            let chi = if d.mantissa() == 1 {
+                d.exponent() - 1
+            } else {
+                // b ≤ 64 and b + e ≤ 127 (Dyadic's range), so χ ≤ 126.
+                (64 - d.mantissa().leading_zeros() as i32) - 1 + d.exponent()
+            };
+            assert!(chi >= -MAX_ABS_EXPONENT, "largest_below underflow for t = {t}");
+            return Pow2::new(chi);
+        }
         // Start from an exponent guaranteed to be >= the answer, then walk
         // down. The f64 log2 gives a starting guess; exact comparisons make
         // the final decision, so float error only costs a couple of probes.
@@ -200,5 +240,78 @@ mod tests {
     fn double_halve() {
         assert_eq!(Pow2::new(3).double().exponent(), 4);
         assert_eq!(Pow2::new(3).halve().exponent(), 2);
+    }
+
+    #[test]
+    fn largest_below_at_extreme_exponents() {
+        // Exact grid points at the edges of the dyadic range: the answer
+        // must step strictly below (Definition 2 strict inequality).
+        assert_eq!(Pow2::largest_below(Time::from_dyadic(1, 126)).exponent(), 125);
+        assert_eq!(Pow2::largest_below(Time::from_dyadic(1, -125)).exponent(), -126);
+        // Odd mantissas near the edges bracket from inside the octave.
+        assert_eq!(Pow2::largest_below(Time::from_dyadic(3, 124)).exponent(), 125);
+        assert_eq!(Pow2::largest_below(Time::from_dyadic(3, -126)).exponent(), -125);
+        assert_eq!(
+            Pow2::largest_below(Time::from_dyadic(i64::MAX, -126)).exponent(),
+            -64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn largest_below_underflows_past_min_exponent() {
+        // 2^-126 is on the grid, but the strictly-smaller power 2^-127
+        // is outside the representable range.
+        let _ = Pow2::largest_below(Time::from_dyadic(1, -126));
+    }
+
+    #[test]
+    fn floor_div_at_extreme_exponents() {
+        // Same-scale extremes divide to exactly 1.
+        assert_eq!(Pow2::new(126).floor_div(Time::from_dyadic(1, 126)), 1);
+        assert_eq!(Pow2::new(-126).floor_div(Time::from_dyadic(1, -126)), 1);
+        // A tiny positive value under a huge divisor floors to 0; the
+        // same magnitude negated floors to −1 (floor, not truncation).
+        assert_eq!(Pow2::new(126).floor_div(Time::from_dyadic(1, -126)), 0);
+        assert_eq!(Pow2::new(126).floor_div(Time::from_dyadic(-1, -126)), -1);
+        // A huge value over a small divisor that still fits i128.
+        assert_eq!(Pow2::new(0).floor_div(Time::from_dyadic(1, 126)), 1i128 << 126);
+        assert_eq!(Pow2::new(126).floor_div(Time::ZERO), 0);
+    }
+
+    #[test]
+    fn floor_div_grid_point_boundaries_are_strict() {
+        // Exactly on a grid point: floor_div is exact and the next
+        // multiple is strictly after (λ, not λ itself).
+        let p = Pow2::new(-2);
+        let on_grid = Time::from_ratio(3, 4); // 3·2^-2
+        assert_eq!(p.floor_div(on_grid), 3);
+        assert_eq!(p.next_multiple_after(on_grid), 4);
+        // Just inside the cell, the floor stays at 3.
+        assert_eq!(p.floor_div(Time::from_ratio(3_000_001, 4_000_000)), 3);
+        // Non-dyadic values agree with the rational slow path.
+        let third = Time::from_ratio(1, 3);
+        assert_eq!(p.floor_div(third), 1); // (1/3)/(1/4) = 4/3
+        assert_eq!(p.next_multiple_after(third), 2);
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree_on_mixed_values() {
+        // Cross-check the dyadic shift path against exact rational
+        // division over a grid of (value, exponent) pairs.
+        for chi in [-7i32, -3, -1, 0, 1, 3, 7] {
+            let p = Pow2::new(chi);
+            for num in [-17i64, -5, -1, 1, 3, 8, 21, 64] {
+                for den in [1i64, 2, 4, 16, 3, 5] {
+                    let t = Time::from_ratio(num, den);
+                    let exact = t
+                        .rational()
+                        .checked_div(&p.value())
+                        .expect("in range")
+                        .floor();
+                    assert_eq!(p.floor_div(t), exact, "χ={chi}, t={num}/{den}");
+                }
+            }
+        }
     }
 }

@@ -124,6 +124,14 @@ impl Rational {
         Ok(Rational { num, den })
     }
 
+    /// Crate-internal const constructor from parts that are *already*
+    /// reduced and sign-normalized (`den > 0`, `gcd(num, den) = 1`). Used
+    /// by the dyadic fast path, whose canonical form guarantees both.
+    pub(crate) const fn from_reduced_parts(num: i128, den: i128) -> Self {
+        debug_assert!(den > 0);
+        Rational { num, den }
+    }
+
     /// Creates a rational from an integer.
     pub const fn from_int(n: i64) -> Self {
         Rational {

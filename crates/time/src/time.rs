@@ -1,42 +1,119 @@
 //! The [`Time`] type: an exact, totally ordered instant/duration scalar.
 //!
-//! `Time` wraps a [`Rational`] and is used for every temporal quantity in
-//! the workspace: task execution times, schedule start/finish instants,
-//! criticalities, category boundaries, areas and makespans. Keeping a
-//! dedicated newtype (rather than using `Rational` directly) documents
-//! intent at API boundaries and leaves room for unit checking.
+//! `Time` is used for every temporal quantity in the workspace: task
+//! execution times, schedule start/finish instants, criticalities, category
+//! boundaries, areas and makespans. Internally it is a sealed two-variant
+//! value — a fixed-point [`Dyadic`] while the value stays on the dyadic
+//! grid (the overwhelmingly common case: the paper's category machinery and
+//! all generated workloads live on `λ·2^χ` points) and an exact reduced
+//! [`Rational`] otherwise. The representation is invisible to callers:
+//! construction goes through the canonicalizing constructors below, and
+//! comparison, hashing, display and serialization are value-based and
+//! byte-identical to the old rational-only representation.
+//!
+//! # Canonical-representation invariant
+//!
+//! Every value that *can* be represented as a [`Dyadic`] *is* stored as
+//! the dyadic variant. Arithmetic that falls back to rationals re-enters
+//! through [`Time::from_rational`], which re-canonicalizes — so equal
+//! values always share a variant and derived `PartialEq`/`Eq`/`Hash` on
+//! the internal enum are value-correct.
 
+use crate::dyadic::Dyadic;
 use crate::rational::Rational;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// An exact instant or duration.
 ///
-/// `Time` is a thin wrapper over [`Rational`]; arithmetic is exact and
-/// checked. Negative values are representable (differences of instants)
-/// but task lengths and schedule instants are validated non-negative at
-/// their construction sites.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-pub struct Time(Rational);
+/// Arithmetic is exact and checked: the dyadic fast path handles grid
+/// values in a couple of integer ops and falls back to reduced-rational
+/// arithmetic on overflow or non-dyadic input. Negative values are
+/// representable (differences of instants) but task lengths and schedule
+/// instants are validated non-negative at their construction sites.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Time {
+    repr: Repr,
+}
+
+/// The sealed internal representation (see the module docs for the
+/// canonical-representation invariant that makes derived equality sound).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Repr {
+    Dyadic(Dyadic),
+    Rational(Rational),
+}
+
+/// Why an `f64` could not be snapped onto the `Time` grid.
+/// Returned by [`Time::try_from_f64_snapped`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SnapError {
+    /// The input was NaN or infinite.
+    NonFinite,
+    /// The snapped magnitude overflows the `2^-20` grid's `i64` mantissa.
+    OutOfRange,
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::NonFinite => write!(f, "cannot snap a non-finite f64 to Time"),
+            SnapError::OutOfRange => write!(f, "f64 value overflows the Time grid"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
 
 impl Time {
     /// Zero time.
-    pub const ZERO: Time = Time(Rational::ZERO);
+    pub const ZERO: Time = Time {
+        repr: Repr::Dyadic(Dyadic::ZERO),
+    };
     /// One unit of time.
-    pub const ONE: Time = Time(Rational::ONE);
+    pub const ONE: Time = Time {
+        repr: Repr::Dyadic(Dyadic::ONE),
+    };
 
-    /// Creates a `Time` from a rational value.
+    /// Creates a `Time` from a rational value, canonicalizing into the
+    /// dyadic representation whenever the value lies on the dyadic grid.
     pub const fn from_rational(r: Rational) -> Self {
-        Time(r)
+        match Dyadic::try_from_rational(r) {
+            Some(d) => Time {
+                repr: Repr::Dyadic(d),
+            },
+            None => Time {
+                repr: Repr::Rational(r),
+            },
+        }
     }
 
     /// Creates a `Time` from an integer number of units.
     pub const fn from_int(n: i64) -> Self {
-        Time(Rational::from_int(n))
+        match Dyadic::try_new(n, 0) {
+            Some(d) => Time {
+                repr: Repr::Dyadic(d),
+            },
+            // Unreachable: every i64 is a dyadic with exponent >= 0.
+            None => Time::ZERO,
+        }
+    }
+
+    /// Creates a `Time` equal to `mantissa · 2^exp` — the native form of
+    /// the paper's category boundaries `λ·2^χ` (Definition 2).
+    ///
+    /// # Panics
+    /// Panics if the canonical form leaves the representable dyadic range
+    /// (`exp < -126`, or the odd mantissa with a positive exponent exceeds
+    /// 127 bits).
+    pub fn from_dyadic(mantissa: i64, exp: i32) -> Self {
+        let d = Dyadic::try_new(mantissa, exp)
+            .unwrap_or_else(|| panic!("Time::from_dyadic({mantissa}, {exp}) out of range"));
+        Time {
+            repr: Repr::Dyadic(d),
+        }
     }
 
     /// Creates a `Time` equal to `num/den`.
@@ -44,7 +121,7 @@ impl Time {
     /// # Panics
     /// Panics if `den == 0`.
     pub fn from_ratio(num: i64, den: i64) -> Self {
-        Time(Rational::new(num as i128, den as i128))
+        Time::from_rational(Rational::new(num as i128, den as i128))
     }
 
     /// Creates a `Time` from a decimal written as `int_part.frac` with the
@@ -57,7 +134,7 @@ impl Time {
             "thousandths must be in [0, 1000)"
         );
         let sign = if int_part < 0 { -1 } else { 1 };
-        Time(Rational::new(
+        Time::from_rational(Rational::new(
             int_part as i128 * 1000 + sign as i128 * thousandths as i128,
             1000,
         ))
@@ -67,60 +144,106 @@ impl Time {
     ///
     /// Only used by random workload generators, which sample `f64` and then
     /// commit to the exact snapped value; scheduling itself never touches
-    /// floats.
-    ///
-    /// # Panics
-    /// Panics if `x` is not finite or overflows the grid.
-    pub fn from_f64_snapped(x: f64) -> Self {
-        assert!(x.is_finite(), "cannot snap a non-finite f64 to Time");
+    /// floats. Returns a typed [`SnapError`] for NaN/infinite input or
+    /// grid overflow.
+    pub fn try_from_f64_snapped(x: f64) -> Result<Self, SnapError> {
+        if !x.is_finite() {
+            return Err(SnapError::NonFinite);
+        }
         const GRID: f64 = (1u64 << 20) as f64;
         let scaled = (x * GRID).round();
-        assert!(
-            scaled.abs() < i64::MAX as f64,
-            "f64 value {x} overflows the Time grid"
-        );
-        Time(Rational::new(scaled as i128, 1i128 << 20))
+        if scaled.abs() >= i64::MAX as f64 {
+            return Err(SnapError::OutOfRange);
+        }
+        Ok(Time::from_dyadic(scaled as i64, -20))
     }
 
-    /// The underlying rational value.
+    /// The value as an exact rational (converting from the dyadic fast
+    /// path representation when needed; the conversion is always exact).
+    #[must_use]
     pub const fn rational(&self) -> Rational {
-        self.0
+        match self.repr {
+            Repr::Dyadic(d) => d.to_rational(),
+            Repr::Rational(r) => r,
+        }
+    }
+
+    /// The value as a dyadic, when it lies on the representable dyadic
+    /// grid (by the canonical-representation invariant this is exactly
+    /// when the fast-path variant is active).
+    #[must_use]
+    pub const fn dyadic(&self) -> Option<Dyadic> {
+        match self.repr {
+            Repr::Dyadic(d) => Some(d),
+            Repr::Rational(_) => None,
+        }
     }
 
     /// Approximate `f64` value (reporting only).
+    #[must_use]
     pub fn to_f64(&self) -> f64 {
-        self.0.to_f64()
+        self.rational().to_f64()
     }
 
     /// Returns `true` if this time is zero.
+    #[must_use]
     pub const fn is_zero(&self) -> bool {
-        self.0.is_zero()
+        match self.repr {
+            Repr::Dyadic(d) => d.is_zero(),
+            Repr::Rational(r) => r.is_zero(),
+        }
     }
 
     /// Returns `true` if this time is strictly positive.
+    #[must_use]
     pub const fn is_positive(&self) -> bool {
-        self.0.is_positive()
+        match self.repr {
+            Repr::Dyadic(d) => d.is_positive(),
+            Repr::Rational(r) => r.is_positive(),
+        }
     }
 
     /// Returns `true` if this time is strictly negative.
+    #[must_use]
     pub const fn is_negative(&self) -> bool {
-        self.0.is_negative()
+        match self.repr {
+            Repr::Dyadic(d) => d.is_negative(),
+            Repr::Rational(r) => r.is_negative(),
+        }
     }
 
     /// Minimum of two times.
+    #[must_use]
     pub fn min(self, other: Time) -> Time {
-        Time(self.0.min(other.0))
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Maximum of two times.
+    #[must_use]
     pub fn max(self, other: Time) -> Time {
-        Time(self.0.max(other.0))
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Multiplies by an integer (e.g. processor count when computing areas).
+    #[must_use]
     pub fn mul_int(self, k: i64) -> Time {
-        Time(
-            self.0
+        if let Repr::Dyadic(d) = self.repr {
+            if let Some(p) = d.checked_mul_int(k) {
+                return Time {
+                    repr: Repr::Dyadic(p),
+                };
+            }
+        }
+        Time::from_rational(
+            self.rational()
                 .checked_mul_int(k as i128)
                 .expect("Time integer-multiplication overflow"),
         )
@@ -130,9 +253,19 @@ impl Time {
     ///
     /// # Panics
     /// Panics if `k == 0`.
+    #[must_use]
     pub fn div_int(self, k: i64) -> Time {
-        Time(
-            self.0
+        if k > 0 && (k as u64).is_power_of_two() {
+            if let Repr::Dyadic(d) = self.repr {
+                if let Some(q) = d.checked_div_pow2(k.trailing_zeros()) {
+                    return Time {
+                        repr: Repr::Dyadic(q),
+                    };
+                }
+            }
+        }
+        Time::from_rational(
+            self.rational()
                 .checked_div(&Rational::from_int(k))
                 .expect("Time integer-division overflow or division by zero"),
         )
@@ -141,14 +274,30 @@ impl Time {
     /// Checked addition with a typed error: `Err` when the exact sum's
     /// reduced form exceeds `i128` (see [`crate::OverflowError`]).
     pub fn try_add(self, rhs: Time) -> Result<Time, crate::OverflowError> {
-        self.0.try_add(&rhs.0).map(Time)
+        if let (Repr::Dyadic(a), Repr::Dyadic(b)) = (self.repr, rhs.repr) {
+            if let Some(s) = a.checked_add(b) {
+                return Ok(Time {
+                    repr: Repr::Dyadic(s),
+                });
+            }
+        }
+        self.rational()
+            .try_add(&rhs.rational())
+            .map(Time::from_rational)
     }
 
     /// Checked integer multiplication with a typed error.
     pub fn try_mul_int(self, k: i64) -> Result<Time, crate::OverflowError> {
-        self.0
+        if let Repr::Dyadic(d) = self.repr {
+            if let Some(p) = d.checked_mul_int(k) {
+                return Ok(Time {
+                    repr: Repr::Dyadic(p),
+                });
+            }
+        }
+        self.rational()
             .checked_mul_int(k as i128)
-            .map(Time)
+            .map(Time::from_rational)
             .ok_or(crate::OverflowError { op: "mul_int" })
     }
 
@@ -156,50 +305,112 @@ impl Time {
     ///
     /// # Panics
     /// Panics if `other` is zero.
+    #[must_use]
     pub fn ratio(self, other: Time) -> Rational {
-        self.0
-            .checked_div(&other.0)
+        self.rational()
+            .checked_div(&other.rational())
             .expect("Time ratio overflow or division by zero")
+    }
+}
+
+impl Default for Time {
+    fn default() -> Self {
+        Time::ZERO
+    }
+}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (&self.repr, &other.repr) {
+            (Repr::Dyadic(a), Repr::Dyadic(b)) => a.cmp(b),
+            // Mixed pairs convert the dyadic side exactly; values in
+            // different variants are never equal (canonical invariant)
+            // but the ordering still has to be decided exactly.
+            _ => self.rational().cmp(&other.rational()),
+        }
+    }
+}
+
+impl Serialize for Time {
+    fn serialize(&self) -> Value {
+        // Wire format is the rational `{num, den}` object regardless of
+        // the active variant, so journals/baselines stay byte-identical.
+        self.rational().serialize()
+    }
+}
+
+impl Deserialize for Time {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        Rational::deserialize(value).map(Time::from_rational)
     }
 }
 
 impl Add for Time {
     type Output = Time;
     fn add(self, rhs: Time) -> Time {
-        Time(self.0 + rhs.0)
+        if let (Repr::Dyadic(a), Repr::Dyadic(b)) = (self.repr, rhs.repr) {
+            if let Some(s) = a.checked_add(b) {
+                return Time {
+                    repr: Repr::Dyadic(s),
+                };
+            }
+        }
+        Time::from_rational(self.rational() + rhs.rational())
     }
 }
 
 impl Sub for Time {
     type Output = Time;
     fn sub(self, rhs: Time) -> Time {
-        Time(self.0 - rhs.0)
+        if let (Repr::Dyadic(a), Repr::Dyadic(b)) = (self.repr, rhs.repr) {
+            if let Some(s) = a.checked_sub(b) {
+                return Time {
+                    repr: Repr::Dyadic(s),
+                };
+            }
+        }
+        Time::from_rational(self.rational() - rhs.rational())
     }
 }
 
 impl Neg for Time {
     type Output = Time;
     fn neg(self) -> Time {
-        Time(-self.0)
+        match self.repr {
+            Repr::Dyadic(d) => Time {
+                repr: Repr::Dyadic(d.neg()),
+            },
+            // Negation preserves (non-)dyadic-representability, so the
+            // rational variant stays rational.
+            Repr::Rational(r) => Time {
+                repr: Repr::Rational(-r),
+            },
+        }
     }
 }
 
 impl AddAssign for Time {
     fn add_assign(&mut self, rhs: Time) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
 impl SubAssign for Time {
     fn sub_assign(&mut self, rhs: Time) {
-        self.0 -= rhs.0;
+        *self = *self - rhs;
     }
 }
 
 impl Mul<Rational> for Time {
     type Output = Time;
     fn mul(self, rhs: Rational) -> Time {
-        Time(self.0 * rhs)
+        Time::from_rational(self.rational() * rhs)
     }
 }
 
@@ -224,23 +435,25 @@ impl From<i64> for Time {
 
 impl From<Rational> for Time {
     fn from(r: Rational) -> Self {
-        Time(r)
+        Time::from_rational(r)
     }
 }
 
 impl fmt::Debug for Time {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?}", self.0)
+        write!(f, "{:?}", self.rational())
     }
 }
 
 impl fmt::Display for Time {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Prefer an exact decimal rendering when the denominator divides a
-        // power of ten, else fall back to the fraction.
-        let den = self.0.denom();
+        // power of ten, else fall back to the fraction. Rendering is done
+        // on the rational image so both variants print identically.
+        let r = self.rational();
+        let den = r.denom();
         if den == 1 {
-            return write!(f, "{}", self.0.numer());
+            return write!(f, "{}", r.numer());
         }
         let (mut d, mut twos, mut fives) = (den, 0u32, 0u32);
         while d % 2 == 0 {
@@ -256,7 +469,7 @@ impl fmt::Display for Time {
             // value = num/den with den | 10^digits: scale the numerator to
             // an integer count of 10^-digits units (exact in i128).
             let pow10 = 10i128.pow(digits);
-            let scaled = self.0.numer().checked_mul(pow10 / den);
+            let scaled = r.numer().checked_mul(pow10 / den);
             if let Some(scaled) = scaled {
                 let sign = if scaled < 0 { "-" } else { "" };
                 let mag = scaled.unsigned_abs();
@@ -271,7 +484,7 @@ impl fmt::Display for Time {
                 };
             }
         }
-        write!(f, "{}", self.0)
+        write!(f, "{r}")
     }
 }
 
@@ -288,6 +501,46 @@ mod tests {
     }
 
     #[test]
+    fn canonical_variant_invariant() {
+        // Dyadic-representable values land in the dyadic variant no
+        // matter which constructor produced them.
+        assert!(Time::from_ratio(1, 2).dyadic().is_some());
+        assert!(Time::from_rational(Rational::new(3, 8)).dyadic().is_some());
+        assert!(Time::from_millis(1, 500).dyadic().is_some());
+        assert!(Time::from_int(7).dyadic().is_some());
+        // Non-dyadic values stay rational.
+        assert!(Time::from_ratio(1, 3).dyadic().is_none());
+        assert!(Time::from_millis(6, 800).dyadic().is_none());
+        // Equality and hashing agree across construction routes.
+        assert_eq!(Time::from_dyadic(3, -1), Time::from_ratio(3, 2));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |t: Time| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(
+            hash(Time::from_dyadic(3, -1)),
+            hash(Time::from_ratio(3, 2))
+        );
+    }
+
+    #[test]
+    fn from_dyadic_canonicalizes() {
+        assert_eq!(Time::from_dyadic(6, -1), Time::from_int(3));
+        assert_eq!(Time::from_dyadic(0, 40), Time::ZERO);
+        let d = Time::from_dyadic(5, -3).dyadic().unwrap();
+        assert_eq!((d.mantissa(), d.exponent()), (5, -3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_dyadic_rejects_out_of_range() {
+        let _ = Time::from_dyadic(1, -127);
+    }
+
+    #[test]
     fn arithmetic() {
         let a = Time::from_millis(2, 800);
         let b = Time::from_int(2);
@@ -298,6 +551,36 @@ mod tests {
     }
 
     #[test]
+    fn mixed_representation_arithmetic() {
+        let dy = Time::from_ratio(1, 4); // dyadic
+        let ra = Time::from_ratio(1, 3); // rational
+        assert_eq!(dy + ra, Time::from_ratio(7, 12));
+        assert_eq!(ra + dy, Time::from_ratio(7, 12));
+        // A rational-variant computation that lands back on the grid
+        // re-canonicalizes into the dyadic variant.
+        let back = (dy + ra) - ra;
+        assert_eq!(back, dy);
+        assert!(back.dyadic().is_some());
+    }
+
+    #[test]
+    fn div_int_pow2_fast_path_matches_rational() {
+        for k in [1i64, 2, 4, 8, 1024] {
+            let t = Time::from_ratio(13, 4);
+            assert_eq!(
+                t.div_int(k),
+                Time::from_rational(
+                    t.rational().checked_div(&Rational::from_int(k)).unwrap()
+                ),
+                "k={k}"
+            );
+        }
+        // Non-power-of-two and negative divisors use the rational path.
+        assert_eq!(Time::from_int(9).div_int(3), Time::from_int(3));
+        assert_eq!(Time::from_int(4).div_int(-2), Time::from_int(-2));
+    }
+
+    #[test]
     fn ratio_is_exact() {
         let r = Time::from_millis(6, 800).ratio(Time::from_int(2));
         assert_eq!(r, Rational::new(17, 5));
@@ -305,10 +588,28 @@ mod tests {
 
     #[test]
     fn f64_snapping_roundtrip_on_grid() {
-        let t = Time::from_f64_snapped(0.5);
+        let t = Time::try_from_f64_snapped(0.5).unwrap();
         assert_eq!(t, Time::from_ratio(1, 2));
-        let u = Time::from_f64_snapped(3.25);
+        let u = Time::try_from_f64_snapped(3.25).unwrap();
         assert_eq!(u, Time::from_ratio(13, 4));
+    }
+
+    #[test]
+    fn f64_snapping_reports_typed_errors() {
+        assert_eq!(
+            Time::try_from_f64_snapped(f64::NAN),
+            Err(SnapError::NonFinite)
+        );
+        assert_eq!(
+            Time::try_from_f64_snapped(f64::INFINITY),
+            Err(SnapError::NonFinite)
+        );
+        assert_eq!(
+            Time::try_from_f64_snapped(1e30),
+            Err(SnapError::OutOfRange)
+        );
+        let msg = Time::try_from_f64_snapped(f64::NAN).unwrap_err().to_string();
+        assert!(msg.contains("non-finite"), "{msg}");
     }
 
     #[test]
@@ -328,10 +629,28 @@ mod tests {
     }
 
     #[test]
+    fn serialization_is_rational_shaped_for_both_variants() {
+        let dy = Time::from_ratio(3, 4);
+        let ra = Time::from_ratio(1, 3);
+        assert!(dy.dyadic().is_some());
+        assert!(ra.dyadic().is_none());
+        assert_eq!(dy.serialize(), dy.rational().serialize());
+        assert_eq!(ra.serialize(), ra.rational().serialize());
+        for t in [dy, ra, Time::ZERO, Time::from_int(-7)] {
+            let back = Time::deserialize(&t.serialize()).unwrap();
+            assert_eq!(back, t);
+            assert_eq!(back.dyadic().is_some(), t.dyadic().is_some());
+        }
+    }
+
+    #[test]
     fn ordering() {
         assert!(Time::from_millis(6, 800) > Time::from_int(6));
         assert!(Time::ZERO < Time::ONE);
         assert!(-Time::ONE < Time::ZERO);
+        // Mixed-variant comparisons are exact.
+        assert!(Time::from_ratio(1, 3) < Time::from_ratio(1, 2));
+        assert!(Time::from_ratio(2, 3) > Time::from_ratio(1, 2));
     }
 
     #[test]

@@ -29,8 +29,8 @@ fn main() {
     let instance = intro_example(p, eps);
     let lb = analysis::lower_bound(&instance);
 
-    let asap_run = engine::run(&mut StaticSource::new(instance.clone()), &mut asap());
-    let cb_run = engine::run(&mut StaticSource::new(instance.clone()), &mut CatBatch::new());
+    let asap_run = engine::EngineConfig::new().run(&mut StaticSource::new(instance.clone()), &mut asap());
+    let cb_run = engine::EngineConfig::new().run(&mut StaticSource::new(instance.clone()), &mut CatBatch::new());
     asap_run.schedule.assert_valid(&instance);
     cb_run.schedule.assert_valid(&instance);
 
@@ -57,7 +57,7 @@ fn main() {
         ("catbatch", Box::new(CatBatch::new())),
     ] {
         let mut adversary = ZAdversary::new(params);
-        let result = engine::run(&mut adversary, sched.as_mut());
+        let result = engine::EngineConfig::new().run(&mut adversary, sched.as_mut());
         let committed = adversary.committed_instance();
         result.schedule.assert_valid(&committed);
         let witness = adversary.witness_schedule();

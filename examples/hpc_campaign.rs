@@ -21,7 +21,7 @@ const PROCS: u32 = 64;
 
 fn run(instance: &Instance, scheduler: &mut dyn OnlineScheduler) -> (String, f64, f64) {
     let name = scheduler.name().to_string();
-    let result = engine::run(&mut StaticSource::new(instance.clone()), scheduler);
+    let result = engine::EngineConfig::new().run(&mut StaticSource::new(instance.clone()), scheduler);
     result.schedule.assert_valid(instance);
     let m = metrics::metrics(&result.schedule, instance);
     (name, m.ratio_to_lb.to_f64(), m.avg_utilization)

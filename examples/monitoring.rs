@@ -54,7 +54,7 @@ fn main() {
         monitor: GuaranteeMonitor::new(instance.procs()),
         snapshots: Vec::new(),
     };
-    let result = engine::run(&mut StaticSource::new(instance.clone()), &mut sched);
+    let result = engine::EngineConfig::new().run(&mut StaticSource::new(instance.clone()), &mut sched);
     result.schedule.assert_valid(&instance);
 
     println!("Certified bound as the instance reveals itself:");

@@ -15,7 +15,7 @@ fn main() {
     // The paper's Figure 3 example on P = 4 processors.
     let instance = paper::figure3();
     let mut strip = CatBatchStrip::new(instance.procs());
-    let result = engine::run(&mut StaticSource::new(instance.clone()), &mut strip);
+    let result = engine::EngineConfig::new().run(&mut StaticSource::new(instance.clone()), &mut strip);
 
     // Both views must be feasible: the schedule (capacity + precedence)
     // and the packing (geometric non-overlap + contiguity).

@@ -23,7 +23,7 @@ fn lemma10_for_every_scheduler() {
     let params = GadgetParams::new(4, 2, Time::from_ratio(1, 64));
     for mut sched in all_schedulers() {
         let mut adv = ZAdversary::new(params);
-        let result = engine::run(&mut adv, sched.as_mut());
+        let result = engine::EngineConfig::new().run(&mut adv, sched.as_mut());
         let inst = adv.committed_instance();
         result.schedule.assert_valid(&inst);
         assert!(
@@ -43,7 +43,7 @@ fn witness_below_lemma11_for_every_scheduler() {
     let params = GadgetParams::new(3, 3, Time::from_ratio(1, 48));
     for mut sched in all_schedulers() {
         let mut adv = ZAdversary::new(params);
-        let _ = engine::run(&mut adv, sched.as_mut());
+        let _ = engine::EngineConfig::new().run(&mut adv, sched.as_mut());
         let witness = adv.witness_schedule();
         witness.assert_valid(&adv.committed_instance());
         assert!(
@@ -62,7 +62,7 @@ fn theorem_parameter_recipes() {
     let params3 = theorem3_params(4);
     let mut adv = ZAdversary::new(params3);
     let mut asap = rigid_baselines::asap();
-    let result = engine::run(&mut adv, &mut asap);
+    let result = engine::EngineConfig::new().run(&mut adv, &mut asap);
     let witness = adv.witness_schedule();
     let ratio = result.makespan().ratio(witness.makespan()).to_f64();
     let floor = lemma10_bound(&params3)
@@ -74,7 +74,7 @@ fn theorem_parameter_recipes() {
     let params4 = theorem4_params(3, 0.5);
     let mut adv = ZAdversary::new(params4);
     let mut asap = rigid_baselines::asap();
-    let result = engine::run(&mut adv, &mut asap);
+    let result = engine::EngineConfig::new().run(&mut adv, &mut asap);
     let witness = adv.witness_schedule();
     witness.assert_valid(&adv.committed_instance());
     let ratio = result.makespan().ratio(witness.makespan()).to_f64();
@@ -88,7 +88,7 @@ fn reduced_layer_adversary() {
     let params = GadgetParams::new(4, 2, Time::from_ratio(1, 64));
     let mut adv = ZAdversary::with_layers(params, 2);
     let mut cb = CatBatch::new();
-    let result = engine::run(&mut adv, &mut cb);
+    let result = engine::EngineConfig::new().run(&mut adv, &mut cb);
     let inst = adv.committed_instance();
     result.schedule.assert_valid(&inst);
     assert_eq!(adv.pivots().len(), 2);
@@ -110,7 +110,7 @@ fn adversary_deterministic_per_scheduler() {
     let run = || {
         let mut adv = ZAdversary::new(params);
         let mut cb = CatBatch::new();
-        let result = engine::run(&mut adv, &mut cb);
+        let result = engine::EngineConfig::new().run(&mut adv, &mut cb);
         (result.makespan(), adv.pivots().to_vec())
     };
     let (m1, p1) = run();

@@ -25,7 +25,7 @@ proptest! {
     ) {
         let inst = erdos_dag(seed, n, 0.2, &sampler(), p);
         let mut cb = CatBatch::new();
-        let _ = engine::run(&mut StaticSource::new(inst.clone()), &mut cb);
+        let _ = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cb);
         let offline = decompose(&inst);
         prop_assert_eq!(offline.batch_count(), cb.batch_history().len());
         for (offline_entry, online) in offline.categories.iter().zip(cb.batch_history()) {
@@ -59,7 +59,7 @@ proptest! {
     #[test]
     fn release_times_match_model(seed in 0u64..10_000, n in 1usize..30) {
         let inst = erdos_dag(seed, n, 0.25, &sampler(), 8);
-        let r = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
+        let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
         for id in inst.graph().task_ids() {
             let expected = inst
                 .graph()
@@ -77,8 +77,8 @@ proptest! {
     #[test]
     fn engine_is_deterministic(seed in 0u64..10_000, n in 1usize..30) {
         let inst = erdos_dag(seed, n, 0.2, &sampler(), 4);
-        let r1 = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
-        let r2 = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
+        let r1 = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
+        let r2 = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
         for id in inst.graph().task_ids() {
             prop_assert_eq!(
                 r1.schedule.placement(id).unwrap().start,
@@ -92,7 +92,7 @@ proptest! {
     #[test]
     fn theorem1_integration(seed in 0u64..10_000, n in 1usize..60, p in 1u32..17) {
         let inst = erdos_dag(seed, n, 0.15, &sampler(), p);
-        let r = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
+        let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
         r.schedule.assert_valid(&inst);
         let ratio = r.makespan().ratio(analysis::lower_bound(&inst)).to_f64();
         prop_assert!(ratio <= (n as f64).log2() + 3.0 + 1e-9);

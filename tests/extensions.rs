@@ -24,7 +24,7 @@ fn adversary_binds_extensions() {
     ];
     for mut sched in schedulers {
         let mut adv = ZAdversary::new(params);
-        let result = engine::run(&mut adv, sched.as_mut());
+        let result = engine::EngineConfig::new().run(&mut adv, sched.as_mut());
         let inst = adv.committed_instance();
         result.schedule.assert_valid(&inst);
         assert!(
@@ -42,7 +42,7 @@ fn backfill_guarantee_against_adversary() {
     let params = GadgetParams::new(4, 2, Time::from_ratio(1, 64));
     let mut adv = ZAdversary::new(params);
     let mut bf = CatBatchBackfill::new();
-    let result = engine::run(&mut adv, &mut bf);
+    let result = engine::EngineConfig::new().run(&mut adv, &mut bf);
     let inst = adv.committed_instance();
     result.schedule.assert_valid(&inst);
     let ratio = result
@@ -66,7 +66,7 @@ fn wavefronts_end_to_end() {
             Box::new(CatBatch::new()) as Box<dyn OnlineScheduler>,
             Box::new(CatBatchBackfill::new()),
         ] {
-            let r = engine::run(&mut StaticSource::new(inst.clone()), sched.as_mut());
+            let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), sched.as_mut());
             r.schedule.assert_valid(&inst);
             let ratio = r.makespan().ratio(analysis::lower_bound(&inst)).to_f64();
             assert!(ratio <= bound + 1e-9);
@@ -84,8 +84,8 @@ fn format_roundtrip_preserves_scheduling() {
     let inst = rigid_dag::paper::figure3();
     let text = format::write(&inst);
     let parsed = format::parse(&text).expect("roundtrip parse");
-    let r1 = engine::run(&mut StaticSource::new(inst), &mut CatBatch::new());
-    let r2 = engine::run(&mut StaticSource::new(parsed), &mut CatBatch::new());
+    let r1 = engine::EngineConfig::new().run(&mut StaticSource::new(inst), &mut CatBatch::new());
+    let r2 = engine::EngineConfig::new().run(&mut StaticSource::new(parsed), &mut CatBatch::new());
     assert_eq!(r1.makespan(), r2.makespan());
     assert_eq!(r1.makespan(), Time::from_millis(15, 200));
 }
@@ -99,8 +99,8 @@ fn generated_instances_roundtrip() {
         let text = format::write(&inst);
         let parsed = format::parse(&text).expect("parse generated");
         assert_eq!(parsed.len(), inst.len());
-        let r1 = engine::run(&mut StaticSource::new(inst), &mut CatBatch::new());
-        let r2 = engine::run(&mut StaticSource::new(parsed), &mut CatBatch::new());
+        let r1 = engine::EngineConfig::new().run(&mut StaticSource::new(inst), &mut CatBatch::new());
+        let r2 = engine::EngineConfig::new().run(&mut StaticSource::new(parsed), &mut CatBatch::new());
         assert_eq!(r1.makespan(), r2.makespan(), "seed {seed}");
     }
 }
@@ -116,7 +116,7 @@ fn traces_and_assignments_for_all_schedulers() {
         Box::new(CatBatchStrip::new(8)),
     ];
     for mut sched in schedulers {
-        let r = engine::run(&mut StaticSource::new(inst.clone()), sched.as_mut());
+        let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), sched.as_mut());
         let trace = rigid_sim::trace::Trace::from_run(&r);
         assert!(trace.is_causal(), "{}", sched.name());
         assert_eq!(trace.len(), inst.len() * 3);
@@ -136,8 +136,8 @@ fn backfill_mostly_wins_and_always_keeps_guarantee() {
     let mut total = 0usize;
     for seed in 0..10u64 {
         for (name, inst) in rigid_dag::gen::family(seed, 60, &sampler, 8) {
-            let plain = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
-            let bf = engine::run(
+            let plain = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
+            let bf = engine::EngineConfig::new().run(
                 &mut StaticSource::new(inst.clone()),
                 &mut CatBatchBackfill::new(),
             );
@@ -166,7 +166,7 @@ fn asset_figure3_file_roundtrip() {
     let inst = format::parse(&text).expect("asset parses");
     assert_eq!(inst.len(), 11);
     assert_eq!(inst.procs(), 4);
-    let r = engine::run(&mut StaticSource::new(inst), &mut CatBatch::new());
+    let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst), &mut CatBatch::new());
     assert_eq!(r.makespan(), Time::from_millis(15, 200));
 }
 
@@ -177,7 +177,7 @@ fn asset_figure3_file_roundtrip() {
 fn stress_fifty_thousand_tasks() {
     let inst = rigid_dag::gen::layered(1, 500, 100, &TaskSampler::default_mix(), 128);
     assert!(inst.len() > 20_000);
-    let r = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
+    let r = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new());
     r.schedule.assert_valid(&inst);
     let ratio = r
         .makespan()

@@ -14,7 +14,7 @@ use rigid_time::Time;
 fn figure6_makespan_and_batches() {
     let inst = figure3();
     let mut cb = CatBatch::new();
-    let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cb);
+    let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cb);
     result.schedule.assert_valid(&inst);
     assert_eq!(result.makespan(), Time::from_millis(15, 200));
     assert_eq!(cb.batch_history().len(), 6);
@@ -28,7 +28,7 @@ fn figure6_makespan_and_batches() {
 fn figure3_strip_variant() {
     let inst = figure3();
     let mut cbs = CatBatchStrip::new(inst.procs());
-    let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+    let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
     result.schedule.assert_valid(&inst);
     cbs.packing().assert_valid();
     assert_eq!(cbs.packing().len(), 11);
@@ -50,7 +50,7 @@ fn figure3_attributes_match_online_batches() {
     }
 
     let mut cb = CatBatch::new();
-    let _ = engine::run(&mut StaticSource::new(inst.clone()), &mut cb);
+    let _ = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cb);
     // Every task's offline category equals the category of the online
     // batch that executed it.
     for a in &attrs {
@@ -69,9 +69,9 @@ fn figure1_scaling() {
     let eps = Time::from_ratio(1, 200);
     for p in [2u32, 4, 8, 16] {
         let inst = intro_example(p, eps);
-        let asap_span = engine::run(&mut StaticSource::new(inst.clone()), &mut asap()).makespan();
+        let asap_span = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut asap()).makespan();
         let cb_span =
-            engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new()).makespan();
+            engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new()).makespan();
         let opt_like = Time::ONE + eps.mul_int(2 * p as i64);
         assert!(asap_span >= Time::from_int(p as i64), "P={p}");
         assert!(
@@ -89,7 +89,7 @@ fn figure1_exact_optimum_p2() {
     let inst = intro_example(2, eps);
     let opt = Optimal::default().makespan(&inst);
     assert_eq!(opt, Time::ONE + eps.mul_int(4));
-    let cb = engine::run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new()).makespan();
+    let cb = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut CatBatch::new()).makespan();
     let bound = (inst.len() as f64).log2() + 3.0;
     assert!(cb.ratio(opt).to_f64() <= bound);
 }

@@ -14,7 +14,7 @@ fn packing_matches_schedule() {
     for seed in 0..4u64 {
         for (name, inst) in family(seed, 40, &sampler, 8) {
             let mut cbs = CatBatchStrip::new(inst.procs());
-            let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+            let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
             result.schedule.assert_valid(&inst);
             let packing = cbs.packing();
             packing.assert_valid();
@@ -40,7 +40,7 @@ fn packing_matches_schedule() {
 fn concurrent_rects_have_disjoint_intervals() {
     let inst = rigid_dag::gen::erdos_dag(11, 60, 0.1, &TaskSampler::default_mix(), 8);
     let mut cbs = CatBatchStrip::new(8);
-    let _ = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+    let _ = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
     let rects = cbs.packing().rects();
     for (i, a) in rects.iter().enumerate() {
         for b in &rects[i + 1..] {
@@ -62,7 +62,7 @@ fn strip_within_lemma7() {
         let inst = rigid_dag::gen::layered(seed, 7, 8, &sampler, 8);
         let bound = catbatch::analysis::lemma7_bound(&inst);
         let mut cbs = CatBatchStrip::new(8);
-        let result = engine::run(&mut StaticSource::new(inst.clone()), &mut cbs);
+        let result = engine::EngineConfig::new().run(&mut StaticSource::new(inst.clone()), &mut cbs);
         assert!(
             result.makespan() <= bound,
             "seed {seed}: {} > {bound}",
