@@ -92,12 +92,13 @@ fn parse(argv: &[String]) -> Result<Option<Args>, String> {
 
 fn campaign(args: &Args) -> Result<String, String> {
     interrupt::install();
+    let token = interrupt::InterruptToken::current();
     let outcome = hunt_campaign(
         &args.config,
         Some(&args.journal),
         args.resume,
         args.shard,
-        interrupt::interrupted,
+        move || token.interrupted(),
     )?;
     let c = &args.config;
     let mut out = String::from("== worst-case hunt campaign ==\n");

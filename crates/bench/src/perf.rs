@@ -25,11 +25,17 @@
 //! a report is self-describing.
 //!
 //! The JSON shape (`BENCH_engine.json`, schema
-//! `catbatch-bench-engine/v1.2`) is documented in `docs/performance.md`;
+//! `catbatch-bench-engine/v1.3`) is documented in `docs/performance.md`;
 //! [`check_regression`] is the guard CI's `bench-smoke` job runs against
-//! the committed snapshot in `results/bench_baseline.json` (v1/v1.1
+//! the committed snapshot in `results/bench_baseline.json` (v1/v1.1/v1.2
 //! baselines are still accepted — v1.1 added an optional field, v1.2
-//! changed what `wall_ms` times, not the document shape).
+//! changed what `wall_ms` times, v1.3 added the optional `serve`
+//! daemon-throughput section).
+//!
+//! Besides the engine matrix, every report carries a [`ServeBench`]
+//! section: an in-process `catbatch serve` daemon driven by the load
+//! generator, so the end-to-end service path (frame codec, session
+//! ordering, shard queues, supervision) has a tracked number too.
 
 use crate::harness::Sched;
 use rigid_baselines::Priority;
@@ -106,15 +112,19 @@ impl OnlineScheduler for PreRefactorFifo {
 /// added the optional per-scenario `repeats` field and switched
 /// `wall_ms` from best-of-reps to median-of-reps (after a warmup run);
 /// `v1.2` switched the timed repetitions to the engine's stats-only
-/// recording mode (same document shape). [`check_regression`] still
-/// accepts [`SCHEMA_V1`] and [`SCHEMA_V1_1`] baselines.
-pub const SCHEMA: &str = "catbatch-bench-engine/v1.2";
+/// recording mode; `v1.3` added the optional `serve` section (daemon
+/// round-trip throughput). [`check_regression`] still accepts
+/// [`SCHEMA_V1`], [`SCHEMA_V1_1`] and [`SCHEMA_V1_2`] baselines.
+pub const SCHEMA: &str = "catbatch-bench-engine/v1.3";
 
 /// The original report schema, accepted as a `--check` baseline.
 pub const SCHEMA_V1: &str = "catbatch-bench-engine/v1";
 
 /// The v1.1 report schema, accepted as a `--check` baseline.
 pub const SCHEMA_V1_1: &str = "catbatch-bench-engine/v1.1";
+
+/// The v1.2 report schema, accepted as a `--check` baseline.
+pub const SCHEMA_V1_2: &str = "catbatch-bench-engine/v1.2";
 
 /// Schema identifier of the resumable scenario journal
 /// (`catbatch bench --journal`).
@@ -328,6 +338,33 @@ pub struct RefComparison {
     pub engine_only_speedup: f64,
 }
 
+/// Daemon round-trip throughput (added in schema v1.3): an in-process
+/// `catbatch serve` daemon on a throwaway Unix socket, hammered by the
+/// load generator. Unlike the engine scenarios this measures the whole
+/// service path — frame codec, session reorder buffer, shard queues,
+/// supervised execution — not just the simulation hot loop.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Daemon worker (= shard) count.
+    pub workers: usize,
+    /// Concurrent loadgen clients.
+    pub clients: usize,
+    /// Total jobs submitted across all clients.
+    pub jobs: u64,
+    /// Approximate task count per submitted DAG.
+    pub n: usize,
+    /// Jobs answered with a schedule.
+    pub ok: u64,
+    /// Jobs answered with a typed error.
+    pub errors: u64,
+    /// End-to-end completed jobs per second.
+    pub jobs_per_sec: f64,
+    /// Median per-job latency (send → in-order response), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-job latency, milliseconds.
+    pub p99_ms: f64,
+}
+
 /// A complete `BENCH_engine.json` document.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -339,6 +376,9 @@ pub struct BenchReport {
     pub scenarios: Vec<ScenarioResult>,
     /// Present on the full tier: the 10⁵-task engine comparison.
     pub reference: Option<RefComparison>,
+    /// The daemon throughput section (schema v1.3; `None` when reading
+    /// an older report, or if the socket could not be bound).
+    pub serve: Option<ServeBench>,
 }
 
 /// Times `reps` runs of `engine_fn` against fresh source/scheduler
@@ -460,6 +500,51 @@ fn run_reference_comparison(sc: &Scenario) -> RefComparison {
     }
 }
 
+/// Times the daemon round trip: boots an in-process daemon (4 workers)
+/// on a throwaway Unix socket, drives it with 4 concurrent clients
+/// submitting ~100-task layered DAGs, and reports throughput and
+/// latency quantiles. Deterministic DAGs, but wall-clock timing — like
+/// every other number in the report.
+pub fn run_serve_bench() -> Result<ServeBench, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SOCKET_SERIAL: AtomicU64 = AtomicU64::new(0);
+    let sock = std::env::temp_dir().join(format!(
+        "catbatch-bench-serve-{}-{}.sock",
+        std::process::id(),
+        SOCKET_SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&sock);
+    let serve = rigid_serve::ServeOptions {
+        bind: rigid_serve::Bind::Unix(sock.clone()),
+        workers: 4,
+        ..rigid_serve::ServeOptions::default()
+    };
+    let workers = serve.workers;
+    let daemon = rigid_serve::Daemon::start(serve)?;
+    let load = rigid_serve::LoadgenOptions {
+        bind: rigid_serve::Bind::Unix(sock),
+        clients: 4,
+        jobs: 100,
+        n: 100,
+        ..rigid_serve::LoadgenOptions::default()
+    };
+    let outcome = rigid_serve::loadgen::run(&load);
+    daemon.trigger_shutdown();
+    daemon.wait();
+    let report = outcome?;
+    Ok(ServeBench {
+        workers,
+        clients: load.clients,
+        jobs: report.jobs,
+        n: load.n,
+        ok: report.ok,
+        errors: report.errors,
+        jobs_per_sec: report.jobs_per_sec,
+        p50_ms: report.p50_ms,
+        p99_ms: report.p99_ms,
+    })
+}
+
 /// Runs the matrix and assembles the report. The full tier
 /// (`quick = false`) also times [`REFERENCE_SCENARIO`] on the frozen
 /// pre-refactor engine and records the speedup.
@@ -490,6 +575,7 @@ pub fn run(quick: bool, jobs: usize) -> BenchReport {
         quick,
         scenarios: results,
         reference,
+        serve: run_serve_bench().ok(),
     }
 }
 
@@ -673,6 +759,9 @@ pub fn run_journaled(
             quick,
             scenarios: results,
             reference,
+            // Always timed fresh: the serve bench takes well under a
+            // second, so checkpointing it buys nothing.
+            serve: run_serve_bench().ok(),
         },
         executed,
         replayed,
@@ -709,6 +798,13 @@ pub fn render_table(report: &BenchReport) -> String {
             rc.scenario, rc.reference_ms, rc.event_driven_ms, rc.speedup, rc.engine_only_speedup
         ));
     }
+    if let Some(sv) = &report.serve {
+        out.push_str(&format!(
+            "\nserve round trip ({} workers, {} clients x n~{} DAGs): \
+             {:.0} jobs/sec, p50 {:.2} ms, p99 {:.2} ms ({} ok / {} errors)\n",
+            sv.workers, sv.clients, sv.n, sv.jobs_per_sec, sv.p50_ms, sv.p99_ms, sv.ok, sv.errors
+        ));
+    }
     out
 }
 
@@ -723,10 +819,11 @@ pub fn check_regression(
     factor: f64,
 ) -> Result<(), String> {
     assert!(factor >= 1.0, "regression factor must be >= 1");
-    if baseline.schema != SCHEMA && baseline.schema != SCHEMA_V1_1 && baseline.schema != SCHEMA_V1
-    {
+    let accepted = [SCHEMA, SCHEMA_V1_2, SCHEMA_V1_1, SCHEMA_V1];
+    if !accepted.contains(&baseline.schema.as_str()) {
         return Err(format!(
-            "baseline schema {:?} does not match {SCHEMA:?} (or {SCHEMA_V1_1:?}, {SCHEMA_V1:?})",
+            "baseline schema {:?} does not match {SCHEMA:?} \
+             (or {SCHEMA_V1_2:?}, {SCHEMA_V1_1:?}, {SCHEMA_V1:?})",
             baseline.schema
         ));
     }
@@ -774,6 +871,11 @@ mod tests {
             assert!(r.length_ratio.is_some(), "{}: degenerate stats", r.name);
             assert!(r.repeats.is_some_and(|n| n >= 1), "{}: no repeat count", r.name);
         }
+        let serve = report.serve.expect("serve section present");
+        assert_eq!(serve.ok, serve.jobs, "every loadgen job completes");
+        assert_eq!(serve.errors, 0);
+        assert!(serve.jobs_per_sec > 0.0);
+        assert!(serve.p99_ms >= serve.p50_ms && serve.p50_ms > 0.0);
     }
 
     #[test]
@@ -831,6 +933,31 @@ mod tests {
         let mut alien = report.clone();
         alien.schema = "catbatch-bench-engine/v99".into();
         assert!(check_regression(&report, &alien, 2.0).is_err());
+    }
+
+    #[test]
+    fn regression_check_accepts_v12_baselines_without_serve_section() {
+        let report = run(true, 1);
+        // A v1.2 baseline predates the `serve` member entirely.
+        let mut doc: Vec<(String, serde::Value)> =
+            match serde_json::from_str::<serde::Value>(&serde_json::to_string(&report).unwrap())
+                .unwrap()
+            {
+                serde::Value::Object(entries) => entries,
+                other => panic!("report serializes as an object, got {other:?}"),
+            };
+        doc.retain(|(k, _)| k != "serve");
+        for (k, v) in &mut doc {
+            if k == "schema" {
+                *v = serde::Value::Str(SCHEMA_V1_2.to_string());
+            }
+        }
+        let baseline: BenchReport =
+            serde_json::from_str(&serde_json::to_string(&serde::Value::Object(doc)).unwrap())
+                .expect("v1.2 report must still parse");
+        assert_eq!(baseline.schema, SCHEMA_V1_2);
+        assert!(baseline.serve.is_none(), "missing serve member reads as None");
+        check_regression(&report, &baseline, 2.0).expect("v1.2 baseline accepted");
     }
 
     /// Drops every `"repeats": <n>` member from a serialized report,

@@ -141,6 +141,53 @@ pub enum Command {
         /// Worker threads for the scenario sweep (`None` = all cores).
         jobs: Option<usize>,
     },
+    /// `serve [--bind PATH | --tcp ADDR] [--workers N] [--queue-depth N]
+    /// [--journal PATH] [--watchdog-ms N] [--max-events N] [--retries R]`
+    /// — run the scheduling daemon until SIGINT/SIGTERM or a client's
+    /// `shutdown` request.
+    Serve {
+        /// Unix socket path to listen on.
+        bind: String,
+        /// TCP address to listen on instead of the Unix socket.
+        tcp: Option<String>,
+        /// Worker (= shard) count.
+        workers: usize,
+        /// Per-session in-flight job cap; the excess gets `overloaded`.
+        queue_depth: usize,
+        /// Journal path enabling crash recovery.
+        journal: Option<String>,
+        /// Per-attempt wall-clock watchdog for jobs, milliseconds.
+        watchdog_ms: Option<u64>,
+        /// Per-job engine event budget.
+        max_events: Option<u64>,
+        /// Supervised retries per job after a panic/timeout.
+        retries: u32,
+    },
+    /// `loadgen [--bind PATH | --tcp ADDR] [--clients N] [--jobs N]
+    /// [--n N] [--procs P] [--scheduler S] [--seed S] [--window W]
+    /// [--shutdown]` — hammer a running daemon and report throughput.
+    Loadgen {
+        /// Unix socket path of the daemon.
+        bind: String,
+        /// TCP address of the daemon instead of the Unix socket.
+        tcp: Option<String>,
+        /// Concurrent client connections.
+        clients: usize,
+        /// Jobs submitted per client.
+        jobs: usize,
+        /// Approximate task count per generated instance.
+        n: usize,
+        /// Platform size of generated instances.
+        procs: u32,
+        /// Scheduler to request (validated locally before submitting).
+        scheduler: SchedChoice,
+        /// Base seed; client `i` generates its DAG from `seed + i`.
+        seed: u64,
+        /// In-flight jobs per client connection.
+        window: usize,
+        /// Send a `shutdown` request once the load is done.
+        shutdown: bool,
+    },
     /// `verify <file> <schedule.json>` — validate an externally produced
     /// schedule against an instance.
     Verify {
@@ -206,6 +253,25 @@ USAGE:
       --journal/--resume checkpoint finished scenarios so a killed
       bench run resumes without re-timing them; --jobs runs the sweep
       on N worker threads (scenario order in the report is unchanged)
+  catbatch serve [--bind PATH | --tcp ADDR] [--workers N]
+                 [--queue-depth N] [--journal PATH] [--watchdog-ms N]
+                 [--max-events N] [--retries R]
+      run the scheduling daemon: clients submit instances over
+      length-prefixed JSON frames (see docs/serve.md) and stream back
+      schedule summaries; runs until SIGINT/SIGTERM or a client's
+      shutdown request, then drains in order
+      defaults: --bind catbatch.sock --workers 4 --queue-depth 64
+      --retries 1; --journal makes accepted jobs crash-recoverable —
+      a restarted daemon replays the backlog before going live
+  catbatch loadgen [--bind PATH | --tcp ADDR] [--clients N] [--jobs N]
+                   [--n N] [--procs P] [--scheduler S] [--seed S]
+                   [--window W] [--shutdown]
+      drive a running daemon with N concurrent clients, each
+      submitting a deterministic generated DAG --jobs times with a
+      bounded pipeline window; prints throughput and latency
+      quantiles; --shutdown stops the daemon afterwards
+      defaults: --clients 4 --jobs 25 --n 100 --procs 16
+      --scheduler catbatch --seed 42 --window 32
   catbatch convert <file.rigid> --dot
       emit Graphviz DOT to stdout
   catbatch verify <file.rigid> <schedule.json>
@@ -467,6 +533,140 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 jobs,
             })
         }
+        Some("serve") => {
+            let mut bind = "catbatch.sock".to_string();
+            let mut tcp = None;
+            let mut workers = 4usize;
+            let mut queue_depth = 64usize;
+            let mut journal = None;
+            let mut watchdog_ms = None;
+            let mut max_events = None;
+            let mut retries = 1u32;
+            while let Some(a) = it.next() {
+                match a {
+                    "--bind" => bind = take_value(a, &mut it)?,
+                    "--tcp" => tcp = Some(take_value(a, &mut it)?),
+                    "--workers" => {
+                        workers = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --workers value".to_string())?
+                    }
+                    "--queue-depth" => {
+                        queue_depth = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --queue-depth value".to_string())?
+                    }
+                    "--journal" => journal = Some(take_value(a, &mut it)?),
+                    "--watchdog-ms" => {
+                        watchdog_ms = Some(
+                            take_value(a, &mut it)?
+                                .parse()
+                                .map_err(|_| "bad --watchdog-ms value".to_string())?,
+                        )
+                    }
+                    "--max-events" => {
+                        max_events = Some(
+                            take_value(a, &mut it)?
+                                .parse()
+                                .map_err(|_| "bad --max-events value".to_string())?,
+                        )
+                    }
+                    "--retries" => {
+                        retries = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --retries value".to_string())?
+                    }
+                    other => return Err(format!("unexpected argument {other:?}")),
+                }
+            }
+            if workers == 0 {
+                return Err("--workers must be at least 1".into());
+            }
+            if queue_depth == 0 {
+                return Err("--queue-depth must be at least 1".into());
+            }
+            Ok(Command::Serve {
+                bind,
+                tcp,
+                workers,
+                queue_depth,
+                journal,
+                watchdog_ms,
+                max_events,
+                retries,
+            })
+        }
+        Some("loadgen") => {
+            let mut bind = "catbatch.sock".to_string();
+            let mut tcp = None;
+            let mut clients = 4usize;
+            let mut jobs = 25usize;
+            let mut n = 100usize;
+            let mut procs = 16u32;
+            let mut scheduler = SchedChoice::CatBatch;
+            let mut seed = 42u64;
+            let mut window = 32usize;
+            let mut shutdown = false;
+            while let Some(a) = it.next() {
+                match a {
+                    "--bind" => bind = take_value(a, &mut it)?,
+                    "--tcp" => tcp = Some(take_value(a, &mut it)?),
+                    "--clients" => {
+                        clients = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --clients value".to_string())?
+                    }
+                    "--jobs" => {
+                        jobs = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --jobs value".to_string())?
+                    }
+                    "--n" => {
+                        n = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --n value".to_string())?
+                    }
+                    "--procs" => {
+                        procs = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --procs value".to_string())?
+                    }
+                    "--scheduler" => {
+                        scheduler = SchedChoice::parse(&take_value(a, &mut it)?)?;
+                    }
+                    "--seed" => {
+                        seed = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --seed value".to_string())?
+                    }
+                    "--window" => {
+                        window = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --window value".to_string())?
+                    }
+                    "--shutdown" => shutdown = true,
+                    other => return Err(format!("unexpected argument {other:?}")),
+                }
+            }
+            if clients == 0 || jobs == 0 {
+                return Err("--clients/--jobs must be at least 1".into());
+            }
+            if window == 0 {
+                return Err("--window must be at least 1".into());
+            }
+            Ok(Command::Loadgen {
+                bind,
+                tcp,
+                clients,
+                jobs,
+                n,
+                procs,
+                scheduler,
+                seed,
+                window,
+                shutdown,
+            })
+        }
         Some("verify") => {
             let file = it.next().ok_or("verify needs an instance file")?;
             let schedule = it.next().ok_or("verify needs a schedule JSON file")?;
@@ -659,6 +859,79 @@ mod tests {
         assert!(parse_args(&["merge", "--out", "m.jsonl"]).is_err(), "no inputs");
         assert!(parse_args(&["merge", "a.jsonl"]).is_err(), "no --out");
         assert!(parse_args(&["merge", "a.jsonl", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse_args(&["serve"]).unwrap(),
+            Command::Serve {
+                bind: "catbatch.sock".into(),
+                tcp: None,
+                workers: 4,
+                queue_depth: 64,
+                journal: None,
+                watchdog_ms: None,
+                max_events: None,
+                retries: 1,
+            }
+        );
+        match parse_args(&[
+            "serve", "--bind", "/tmp/s.sock", "--workers", "8", "--queue-depth", "16",
+            "--journal", "j.jsonl", "--watchdog-ms", "2000", "--max-events", "500000",
+            "--retries", "2",
+        ])
+        .unwrap()
+        {
+            Command::Serve { bind, workers, queue_depth, journal, watchdog_ms, max_events, retries, .. } => {
+                assert_eq!(bind, "/tmp/s.sock");
+                assert_eq!(workers, 8);
+                assert_eq!(queue_depth, 16);
+                assert_eq!(journal.as_deref(), Some("j.jsonl"));
+                assert_eq!(watchdog_ms, Some(2_000));
+                assert_eq!(max_events, Some(500_000));
+                assert_eq!(retries, 2);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        match parse_args(&["serve", "--tcp", "127.0.0.1:7070"]).unwrap() {
+            Command::Serve { tcp, .. } => assert_eq!(tcp.as_deref(), Some("127.0.0.1:7070")),
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        assert!(parse_args(&["serve", "--workers", "0"]).is_err());
+        assert!(parse_args(&["serve", "--queue-depth", "0"]).is_err());
+        assert!(parse_args(&["serve", "extra"]).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen() {
+        match parse_args(&["loadgen"]).unwrap() {
+            Command::Loadgen { bind, clients, jobs, n, procs, scheduler, seed, window, shutdown, .. } => {
+                assert_eq!(bind, "catbatch.sock");
+                assert_eq!((clients, jobs, n, procs), (4, 25, 100, 16));
+                assert_eq!(scheduler, SchedChoice::CatBatch);
+                assert_eq!(seed, 42);
+                assert_eq!(window, 32);
+                assert!(!shutdown);
+            }
+            other => panic!("expected Loadgen, got {other:?}"),
+        }
+        match parse_args(&[
+            "loadgen", "--clients", "2", "--jobs", "50", "--scheduler", "backfill",
+            "--window", "8", "--shutdown",
+        ])
+        .unwrap()
+        {
+            Command::Loadgen { clients, jobs, scheduler, window, shutdown, .. } => {
+                assert_eq!((clients, jobs, window), (2, 50, 8));
+                assert_eq!(scheduler, SchedChoice::Backfill);
+                assert!(shutdown);
+            }
+            other => panic!("expected Loadgen, got {other:?}"),
+        }
+        assert!(parse_args(&["loadgen", "--scheduler", "zzz"]).is_err());
+        assert!(parse_args(&["loadgen", "--clients", "0"]).is_err());
+        assert!(parse_args(&["loadgen", "--window", "0"]).is_err());
     }
 
     #[test]

@@ -98,6 +98,48 @@ pub fn run_command(
             *jobs,
             read_file,
         ),
+        Command::Serve {
+            bind,
+            tcp,
+            workers,
+            queue_depth,
+            journal,
+            watchdog_ms,
+            max_events,
+            retries,
+        } => serve_cmd(
+            bind,
+            tcp.as_deref(),
+            *workers,
+            *queue_depth,
+            journal.as_deref(),
+            *watchdog_ms,
+            *max_events,
+            *retries,
+        ),
+        Command::Loadgen {
+            bind,
+            tcp,
+            clients,
+            jobs,
+            n,
+            procs,
+            scheduler,
+            seed,
+            window,
+            shutdown,
+        } => loadgen_cmd(
+            bind,
+            tcp.as_deref(),
+            *clients,
+            *jobs,
+            *n,
+            *procs,
+            *scheduler,
+            *seed,
+            *window,
+            *shutdown,
+        ),
         Command::Verify { file, schedule } => {
             let inst = load(file, read_file)?;
             let text = read_file(schedule)?;
@@ -278,13 +320,14 @@ fn faults_cmd(
     // abort lands at a deterministic trial count (what the chaos tests
     // and the CI chaos-smoke job rely on).
     let chaos_polls = std::sync::atomic::AtomicU64::new(0);
+    let token = rigid_supervise::interrupt::InterruptToken::current();
     let stop = move || {
         if let Some(k) = chaos_exit_after {
             if chaos_polls.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= k {
                 std::process::abort();
             }
         }
-        rigid_supervise::interrupt::interrupted()
+        token.interrupted()
     };
     let outcome = run_campaign(
         inst,
@@ -537,6 +580,113 @@ fn bench_cmd(
     Ok(text)
 }
 
+/// The wire name the daemon knows a [`SchedChoice`] by.
+fn sched_wire_name(choice: SchedChoice) -> &'static str {
+    match choice {
+        SchedChoice::CatBatch => "catbatch",
+        SchedChoice::Backfill => "backfill",
+        SchedChoice::CatPrio => "catprio",
+        SchedChoice::Strip => "strip",
+        SchedChoice::ListFifo => "list-fifo",
+        SchedChoice::ListLongest => "list-longest",
+    }
+}
+
+fn resolve_bind(bind: &str, tcp: Option<&str>) -> rigid_serve::Bind {
+    match tcp {
+        Some(addr) => rigid_serve::Bind::Tcp(addr.to_string()),
+        None => rigid_serve::Bind::Unix(std::path::PathBuf::from(bind)),
+    }
+}
+
+/// Runs the daemon until SIGINT/SIGTERM or a client's shutdown request.
+/// Unlike its siblings this blocks on real network I/O by nature; the
+/// liveness line goes to stderr immediately, the drain report is the
+/// returned text.
+#[allow(clippy::too_many_arguments)]
+fn serve_cmd(
+    bind: &str,
+    tcp: Option<&str>,
+    workers: usize,
+    queue_depth: usize,
+    journal: Option<&str>,
+    watchdog_ms: Option<u64>,
+    max_events: Option<u64>,
+    retries: u32,
+) -> Result<String, String> {
+    let options = rigid_serve::ServeOptions {
+        bind: resolve_bind(bind, tcp),
+        workers,
+        queue_depth,
+        journal: journal.map(std::path::PathBuf::from),
+        watchdog: watchdog_ms.map(std::time::Duration::from_millis),
+        max_events,
+        retries,
+        ..rigid_serve::ServeOptions::default()
+    };
+    let bind_display = options.bind.clone();
+    let daemon = rigid_serve::Daemon::start(options)?;
+    eprintln!(
+        "catbatch serve: listening on {bind_display} ({workers} worker{})",
+        if workers == 1 { "" } else { "s" }
+    );
+    let report = daemon.wait();
+    Ok(format!(
+        "serve: drained\n\
+         sessions       : {}\n\
+         jobs completed : {}\n\
+         jobs failed    : {}\n\
+         jobs resumed   : {}\n",
+        report.sessions, report.jobs_completed, report.jobs_failed, report.jobs_resumed
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn loadgen_cmd(
+    bind: &str,
+    tcp: Option<&str>,
+    clients: usize,
+    jobs: usize,
+    n: usize,
+    procs: u32,
+    scheduler: SchedChoice,
+    seed: u64,
+    window: usize,
+    shutdown: bool,
+) -> Result<String, String> {
+    let options = rigid_serve::LoadgenOptions {
+        bind: resolve_bind(bind, tcp),
+        clients,
+        jobs,
+        n,
+        procs,
+        scheduler: sched_wire_name(scheduler).to_string(),
+        seed,
+        window,
+        shutdown,
+    };
+    let report = rigid_serve::loadgen::run(&options)?;
+    Ok(format!(
+        "loadgen: {} clients x {} jobs (n~{}, procs {}, scheduler {})\n\
+         ok / errors  : {} / {}\n\
+         elapsed      : {:.1} ms\n\
+         throughput   : {:.1} jobs/sec\n\
+         latency p50  : {:.2} ms\n\
+         latency p99  : {:.2} ms\n",
+        clients,
+        jobs,
+        n,
+        procs,
+        sched_wire_name(scheduler),
+        report.ok,
+        report.errors,
+        report.elapsed_ms,
+        report.jobs_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,6 +699,29 @@ mod tests {
             "sample.rigid" => Ok(SAMPLE.to_string()),
             _ => Err(format!("no such file {path:?}")),
         }
+    }
+
+    #[test]
+    fn loadgen_command_against_a_live_daemon() {
+        let sock = std::env::temp_dir()
+            .join(format!("catbatch-cli-loadgen-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let daemon = rigid_serve::Daemon::start(rigid_serve::ServeOptions {
+            bind: rigid_serve::Bind::Unix(sock.clone()),
+            workers: 2,
+            ..rigid_serve::ServeOptions::default()
+        })
+        .expect("daemon starts");
+        let cmd = parse_args(&[
+            "loadgen", "--bind", sock.to_str().unwrap(), "--clients", "2", "--jobs", "3",
+            "--n", "30", "--scheduler", "list-fifo", "--shutdown",
+        ])
+        .unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        assert!(out.contains("ok / errors  : 6 / 0"), "{out}");
+        assert!(out.contains("scheduler list-fifo"), "{out}");
+        let report = daemon.wait();
+        assert_eq!(report.jobs_completed, 6);
     }
 
     #[test]
@@ -599,7 +772,7 @@ mod tests {
         let cmd =
             parse_args(&["bench", "--quick", "--check", "sample.rigid"]).unwrap();
         let err = run_command(&cmd, &fs).unwrap_err();
-        assert!(err.contains("not a catbatch-bench-engine/v1.2 report"), "{err}");
+        assert!(err.contains("not a catbatch-bench-engine/v1.3 report"), "{err}");
         assert!(err.contains("catbatch bench --json --out"), "{err}");
     }
 

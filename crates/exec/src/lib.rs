@@ -35,7 +35,7 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
@@ -132,8 +132,11 @@ where
 /// A boxed watchdog job.
 type Job = Box<dyn FnOnce() + Send>;
 
-/// An idle worker thread, addressed by its private job channel.
+/// An idle worker thread, addressed by its private job channel. The
+/// `id` lets a worker find (and remove) its own free-list entry when it
+/// reaps itself after sitting idle.
 struct Worker {
+    id: u64,
     jobs: Sender<Job>,
 }
 
@@ -167,21 +170,44 @@ pub enum WatchdogOutcome<T> {
 /// Jobs are `'static` because a timed-out job outlives the `run` call that
 /// submitted it — the same reason the old detached-thread scheme required
 /// `'static` closures.
+///
+/// Workers that sit on the free list longer than the pool's idle timeout
+/// reap themselves (remove their own free-list entry and exit), so a
+/// burst of slow jobs no longer pins peak thread count forever — what a
+/// long-running daemon needs. Claiming and reaping are serialized by the
+/// free-list lock: a worker only exits after removing its own entry, so
+/// a caller can never claim a worker that has decided to die.
 pub struct WatchdogPool {
     idle: Arc<Mutex<Vec<Worker>>>,
-    /// Total threads ever spawned by this pool (observability for tests).
-    spawned: AtomicUsize,
+    /// Currently live worker threads (observability for tests).
+    live: Arc<AtomicUsize>,
+    /// Monotonic worker-id source.
+    next_id: AtomicU64,
+    /// How long a worker may sit idle before reaping itself.
+    idle_timeout: Duration,
 }
+
+/// Default idle time before a pooled watchdog thread reaps itself.
+pub const WATCHDOG_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl WatchdogPool {
     /// Create an empty pool. Threads are spawned lazily on first use and
-    /// live until the process exits (they are parked on their own channel,
-    /// which they keep a sender for).
+    /// live until they sit idle for [`WATCHDOG_IDLE_TIMEOUT`] (then they
+    /// reap themselves).
     #[must_use]
     pub fn new() -> Self {
+        WatchdogPool::with_idle_timeout(WATCHDOG_IDLE_TIMEOUT)
+    }
+
+    /// Create an empty pool whose idle workers exit after `idle_timeout`
+    /// without a job (tests use short timeouts to observe the shrink).
+    #[must_use]
+    pub fn with_idle_timeout(idle_timeout: Duration) -> Self {
         WatchdogPool {
             idle: Arc::new(Mutex::new(Vec::new())),
-            spawned: AtomicUsize::new(0),
+            live: Arc::new(AtomicUsize::new(0)),
+            next_id: AtomicU64::new(0),
+            idle_timeout,
         }
     }
 
@@ -191,14 +217,15 @@ impl WatchdogPool {
         GLOBAL.get_or_init(WatchdogPool::new)
     }
 
-    /// Total worker threads this pool has ever spawned.
+    /// Worker threads currently alive in this pool (busy or idle).
     ///
     /// After N sequential watchdog attempts the count stays at 1, plus one
     /// per attempt that timed out while a stale job still occupied its
-    /// worker — that bound (not N) is the satellite fix this pool exists for.
+    /// worker; once the burst passes and workers sit idle past the pool's
+    /// idle timeout, the count drops back as they reap themselves.
     #[must_use]
     pub fn spawned_threads(&self) -> usize {
-        self.spawned.load(Ordering::Relaxed)
+        self.live.load(Ordering::SeqCst)
     }
 
     /// Run `job` on a pooled worker thread, waiting at most `limit` for it
@@ -217,6 +244,7 @@ impl WatchdogPool {
             .unwrap_or_else(|| self.spawn_worker());
         let (done_tx, done_rx) = channel();
         let idle = Arc::clone(&self.idle);
+        let id = worker.id;
         let handle = worker.jobs.clone();
         let wrapped: Job = Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(job));
@@ -225,7 +253,7 @@ impl WatchdogPool {
             // next submit without racing the registration.
             idle.lock()
                 .expect("watchdog pool lock poisoned")
-                .push(Worker { jobs: handle });
+                .push(Worker { id, jobs: handle });
             // The supervisor may have stopped waiting (timeout); a closed
             // channel is expected then.
             let _ = done_tx.send(result);
@@ -244,19 +272,47 @@ impl WatchdogPool {
     /// Spawn a fresh worker. Re-registration on the free list is done by
     /// the job wrapper itself (see [`WatchdogPool::run`]) so it is ordered
     /// before the result is reported; the bare loop just executes jobs —
-    /// including stale ones whose submitter timed out long ago.
+    /// including stale ones whose submitter timed out long ago — and exits
+    /// once the worker has sat idle past the pool's idle timeout.
     fn spawn_worker(&self) -> Worker {
-        self.spawned.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_add(1, Ordering::SeqCst);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::<Job>();
+        let idle = Arc::clone(&self.idle);
+        let live = Arc::clone(&self.live);
+        let idle_timeout = self.idle_timeout;
         thread::Builder::new()
             .name("catbatch-watchdog".into())
             .spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    job();
+                loop {
+                    match rx.recv_timeout(idle_timeout) {
+                        Ok(job) => job(),
+                        Err(RecvTimeoutError::Timeout) => {
+                            let mut list = idle.lock().expect("watchdog pool lock poisoned");
+                            if let Some(pos) = list.iter().position(|w| w.id == id) {
+                                // Still on the free list: nobody can claim
+                                // this worker once its entry is gone, so it
+                                // is safe to exit (the removed entry drops
+                                // the last long-lived Sender).
+                                list.remove(pos);
+                                break;
+                            }
+                            drop(list);
+                            // A caller popped this worker between the
+                            // timeout and the lock; its job is in flight on
+                            // the private channel — take it and keep going.
+                            match rx.recv() {
+                                Ok(job) => job(),
+                                Err(_) => break,
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
                 }
+                live.fetch_sub(1, Ordering::SeqCst);
             })
             .expect("failed to spawn watchdog worker thread");
-        Worker { jobs: tx }
+        Worker { id, jobs: tx }
     }
 }
 
@@ -469,6 +525,57 @@ mod tests {
             }
         }
         assert_eq!(pool.spawned_threads(), 2, "recovered workers must be reused");
+    }
+
+    /// Daemon regression: a burst of overlapping jobs grows the pool,
+    /// and once the burst passes the idle workers reap themselves — the
+    /// thread count must drop back instead of pinning the peak forever.
+    #[test]
+    fn watchdog_pool_reaps_idle_threads_after_a_burst() {
+        let pool = WatchdogPool::with_idle_timeout(Duration::from_millis(50));
+        // Burst: four jobs that all block until released, forcing four
+        // concurrent workers.
+        let (release_tx, release_rx) = channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let mut results = Vec::new();
+        for _ in 0..4 {
+            let rx = Arc::clone(&release_rx);
+            let (done_tx, done_rx) = channel::<()>();
+            let outcome = pool.run(
+                move || {
+                    let _ = rx.lock().expect("release lock").recv_timeout(Duration::from_secs(10));
+                    drop(done_tx);
+                },
+                Duration::from_millis(10),
+            );
+            assert!(matches!(outcome, WatchdogOutcome::TimedOut));
+            results.push(done_rx);
+        }
+        assert_eq!(pool.spawned_threads(), 4, "burst must grow the pool");
+        // Release the burst; all four workers finish and go idle.
+        for _ in 0..4 {
+            release_tx.send(()).expect("burst job receiver alive");
+        }
+        for done in &results {
+            let _ = done.recv_timeout(Duration::from_secs(10));
+        }
+        // Past the idle timeout, the pool sheds threads.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.spawned_threads() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle watchdog workers were never reaped (still {})",
+                pool.spawned_threads()
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+        // Reaping keeps pooled-reuse semantics: the next run simply
+        // spawns a fresh worker and completes.
+        match pool.run(|| 11u32, Duration::from_secs(5)) {
+            WatchdogOutcome::Completed(v) => assert_eq!(v, 11),
+            _ => panic!("post-reap job must complete"),
+        }
+        assert_eq!(pool.spawned_threads(), 1);
     }
 
     #[test]

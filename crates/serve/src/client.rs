@@ -1,0 +1,49 @@
+//! A minimal blocking client for the serve protocol.
+
+use crate::net::{Bind, Conn};
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
+
+/// One connection to a daemon.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Dials the daemon.
+    pub fn connect(bind: &Bind) -> std::io::Result<Client> {
+        Conn::connect(bind).map(|conn| Client { conn })
+    }
+
+    /// Sends one message. Responses come back strictly in send order —
+    /// pipelining is encouraged; interleave [`Client::recv`] calls as
+    /// suits the workload. Generic so tests can send frames that are
+    /// *not* valid requests and observe the typed protocol errors.
+    pub fn send<T: serde::Serialize>(&mut self, msg: &T) -> std::io::Result<()> {
+        write_frame(&mut self.conn, msg)
+    }
+
+    /// Receives the next response.
+    pub fn recv(&mut self) -> Result<Response, FrameError> {
+        let body = read_frame(&mut self.conn, crate::protocol::MAX_FRAME, &|| false)?;
+        let text = std::str::from_utf8(&body).map_err(|e| {
+            FrameError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                e.to_string(),
+            ))
+        })?;
+        serde_json::from_str(text).map_err(|e| {
+            FrameError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                e.to_string(),
+            ))
+        })
+    }
+
+    /// Sends a request and blocks for its response. Only valid when no
+    /// other responses are outstanding (otherwise the reply returned
+    /// here is the oldest outstanding one, not this request's).
+    pub fn call(&mut self, req: &Request) -> Result<Response, FrameError> {
+        self.send(req).map_err(FrameError::Io)?;
+        self.recv()
+    }
+}

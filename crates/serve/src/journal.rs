@@ -1,0 +1,461 @@
+//! The serve journal: crash-recoverable record of accepted jobs.
+//!
+//! The daemon appends two kinds of records to a JSONL journal: a
+//! `Submitted` record once a job has passed validation (so the job is
+//! *accepted* — it parses and names a real scheduler), and a terminal
+//! `Completed`/`Failed` record once it has run. A daemon that restarts
+//! over the same journal re-executes every accepted job with no
+//! terminal record — jobs are pure functions of their spec, so the
+//! replay produces the same `Completed` record the crashed daemon
+//! would have written.
+//!
+//! Appends are group-committed on a dedicated writer thread (batch of
+//! [`GROUP_COMMIT_RECORDS`] or [`GROUP_COMMIT_DEADLINE`], whichever
+//! comes first), the same discipline as the campaign journal: one
+//! `fdatasync` amortized over a burst of jobs instead of one per job.
+//! Torn tails from a crash are tolerated and truncated on reopen via
+//! the shared `rigid_supervise::journal` scan helpers.
+
+use crate::protocol::JobSpec;
+use rigid_supervise::journal::{complete_lines, open_validated_append, scan_records};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Schema tag on the journal's header line.
+pub const SERVE_SCHEMA: &str = "catbatch-serve-journal/v1";
+
+/// Group-commit batch size: a sync is forced once this many records
+/// are buffered.
+pub const GROUP_COMMIT_RECORDS: usize = 64;
+
+/// Group-commit deadline: a sync is forced once the oldest buffered
+/// record has waited this long.
+pub const GROUP_COMMIT_DEADLINE: Duration = Duration::from_millis(25);
+
+/// The journal header line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ServeHeader {
+    schema: String,
+}
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum JobRecord {
+    /// A job passed validation and was accepted for execution. Carries
+    /// the full instance text so a restarted daemon can re-execute the
+    /// job without the (gone) client.
+    Submitted {
+        /// The client-chosen job id (the dedup key).
+        id: u64,
+        /// Scheduler name.
+        scheduler: String,
+        /// Instance fingerprint at submission time, recorded so audit
+        /// tooling can cross-check the instance text without parsing.
+        fingerprint: u64,
+        /// The instance, in `.rigid` text format.
+        instance: String,
+    },
+    /// The job ran to completion.
+    Completed {
+        /// The job id.
+        id: u64,
+        /// Scheduler name.
+        scheduler: String,
+        /// Exact makespan (display form).
+        makespan: String,
+        /// Engine events processed.
+        events: u64,
+        /// Makespan / lower bound.
+        ratio_to_lb: f64,
+    },
+    /// The job terminated without a schedule (typed engine error,
+    /// panic, watchdog timeout, or quarantine). Terminal: the job is
+    /// not re-executed on restart.
+    Failed {
+        /// The job id.
+        id: u64,
+        /// Scheduler name.
+        scheduler: String,
+        /// The [`crate::protocol::kind`] constant.
+        kind: String,
+    },
+}
+
+impl JobRecord {
+    fn id(&self) -> u64 {
+        match self {
+            JobRecord::Submitted { id, .. }
+            | JobRecord::Completed { id, .. }
+            | JobRecord::Failed { id, .. } => *id,
+        }
+    }
+}
+
+/// Everything a scan recovers from an existing journal.
+#[derive(Debug)]
+pub struct JournalState {
+    /// Accepted jobs with no terminal record, in first-submission
+    /// order: the restart backlog.
+    pub pending: Vec<JobSpec>,
+    /// Terminal records (`Completed`/`Failed`), deduplicated by id
+    /// (replays after an untimely crash write identical duplicates;
+    /// first wins).
+    pub terminal: Vec<JobRecord>,
+    /// Whether a torn tail was truncated.
+    pub torn_tail: bool,
+}
+
+/// Order-independent digest of a journal's terminal records. Two
+/// daemons that completed the same job set — no matter how execution
+/// interleaved or how many crash/restart cycles it took — produce equal
+/// aggregates, byte for byte once serialized.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Aggregates {
+    /// Jobs with a `Completed` record.
+    pub completed: u64,
+    /// Jobs with a `Failed` record.
+    pub failed: u64,
+    /// Total engine events across completed jobs.
+    pub events: u64,
+    /// FNV-1a over `(id, scheduler, makespan, events)` of every
+    /// completed job in id order.
+    pub fingerprint: u64,
+}
+
+/// Folds terminal records (as returned by [`JournalState`]) into their
+/// aggregate digest.
+pub fn aggregate(terminal: &[JobRecord]) -> Aggregates {
+    let mut by_id: BTreeMap<u64, &JobRecord> = BTreeMap::new();
+    for rec in terminal {
+        by_id.entry(rec.id()).or_insert(rec);
+    }
+    let mut agg = Aggregates { completed: 0, failed: 0, events: 0, fingerprint: 0xcbf2_9ce4_8422_2325 };
+    for rec in by_id.values() {
+        match rec {
+            JobRecord::Completed { id, scheduler, makespan, events, .. } => {
+                agg.completed += 1;
+                agg.events += events;
+                for bytes in [
+                    &id.to_le_bytes()[..],
+                    scheduler.as_bytes(),
+                    makespan.as_bytes(),
+                    &events.to_le_bytes()[..],
+                ] {
+                    for &b in bytes {
+                        agg.fingerprint ^= b as u64;
+                        agg.fingerprint = agg.fingerprint.wrapping_mul(0x100_0000_01b3);
+                    }
+                }
+            }
+            JobRecord::Failed { .. } => agg.failed += 1,
+            JobRecord::Submitted { .. } => unreachable!("terminal records only"),
+        }
+    }
+    agg
+}
+
+/// Scans an existing journal: validates the header, tolerates a torn
+/// tail, and splits records into the restart backlog and the terminal
+/// set. Errors are strings — the daemon refuses to start over a
+/// journal it cannot make sense of rather than silently dropping jobs.
+pub fn scan(path: &Path) -> Result<(JournalState, bool, u64), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+    let lines = complete_lines(&text);
+    let Some(&(_, header_line, _)) = lines.lines.first() else {
+        return Err(format!("journal {} has no header", path.display()));
+    };
+    let header: ServeHeader = serde_json::from_str(header_line)
+        .map_err(|e| format!("journal {} header is invalid: {e}", path.display()))?;
+    if header.schema != SERVE_SCHEMA {
+        return Err(format!(
+            "journal {} has schema {:?}, expected {SERVE_SCHEMA:?}",
+            path.display(),
+            header.schema
+        ));
+    }
+    let rs = scan_records(&lines, |line| {
+        serde_json::from_str::<JobRecord>(line).map_err(|e| e.to_string())
+    })
+    .map_err(|(lineno, msg)| format!("journal {} line {lineno}: {msg}", path.display()))?;
+
+    let mut submitted: BTreeMap<u64, JobSpec> = BTreeMap::new();
+    let mut submit_order: Vec<u64> = Vec::new();
+    let mut terminal_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut terminal: Vec<JobRecord> = Vec::new();
+    for rec in rs.records {
+        match rec {
+            JobRecord::Submitted { id, scheduler, instance, .. } => {
+                if let std::collections::btree_map::Entry::Vacant(slot) = submitted.entry(id) {
+                    submit_order.push(id);
+                    slot.insert(JobSpec {
+                        id,
+                        scheduler,
+                        instance,
+                        gantt: false,
+                        trace: false,
+                    });
+                }
+            }
+            other => {
+                if terminal_ids.insert(other.id()) {
+                    terminal.push(other);
+                }
+            }
+        }
+    }
+    let pending = submit_order
+        .into_iter()
+        .filter(|id| !terminal_ids.contains(id))
+        .map(|id| submitted.remove(&id).expect("ordered id is in the map"))
+        .collect();
+    Ok((
+        JournalState { pending, terminal, torn_tail: rs.torn_tail },
+        rs.torn_tail,
+        rs.valid_len,
+    ))
+}
+
+enum Msg {
+    Record(Box<JobRecord>),
+    Flush(Sender<()>),
+    Close,
+}
+
+/// Cloneable append handle; records are enqueued to the writer thread.
+#[derive(Clone)]
+pub struct JournalTx {
+    tx: Sender<Msg>,
+}
+
+impl JournalTx {
+    /// Enqueues one record for group-committed append.
+    pub fn record(&self, rec: JobRecord) {
+        // A send can only fail after close(); records raced against
+        // shutdown are intentionally dropped (their jobs will replay).
+        let _ = self.tx.send(Msg::Record(Box::new(rec)));
+    }
+
+    /// Blocks until everything enqueued before this call is on disk.
+    pub fn flush(&self) {
+        let (ack, done) = mpsc::channel();
+        if self.tx.send(Msg::Flush(ack)).is_ok() {
+            let _ = done.recv();
+        }
+    }
+}
+
+/// The open journal: background writer thread plus its file.
+pub struct ServeJournal {
+    tx: Option<Sender<Msg>>,
+    handle: Option<JoinHandle<()>>,
+    path: PathBuf,
+}
+
+impl ServeJournal {
+    /// Opens (or creates) the journal at `path`. Returns the handle and
+    /// the recovered state: for a fresh journal the state is empty.
+    pub fn open(path: &Path) -> Result<(ServeJournal, JournalState), String> {
+        let (state, file) = if path.exists() {
+            let (state, torn_tail, valid_len) = scan(path)?;
+            let file = open_validated_append(path, torn_tail, valid_len)
+                .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?;
+            (state, file)
+        } else {
+            let header = ServeHeader { schema: SERVE_SCHEMA.to_string() };
+            let mut file = File::create(path)
+                .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
+            let line = serde_json::to_string(&header).expect("header serializes");
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .and_then(|()| file.sync_data())
+                .map_err(|e| format!("cannot write journal header: {e}"))?;
+            let state =
+                JournalState { pending: Vec::new(), terminal: Vec::new(), torn_tail: false };
+            (state, file)
+        };
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let handle = std::thread::Builder::new()
+            .name("serve-journal".into())
+            .spawn(move || writer_loop(file, rx))
+            .map_err(|e| format!("cannot spawn journal thread: {e}"))?;
+        let journal =
+            ServeJournal { tx: Some(tx), handle: Some(handle), path: path.to_path_buf() };
+        Ok((journal, state))
+    }
+
+    /// A cloneable append handle for workers and sessions.
+    pub fn sender(&self) -> JournalTx {
+        JournalTx { tx: self.tx.clone().expect("journal is open") }
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes outstanding records and stops the writer thread.
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        // An explicit close message, not just dropping the sender:
+        // outstanding `JournalTx` clones (a worker mid-job) must not be
+        // able to stall the final flush.
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Close);
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeJournal {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn writer_loop(mut file: File, rx: mpsc::Receiver<Msg>) {
+    let mut buf = String::new();
+    let mut buffered = 0usize;
+    let mut oldest: Option<Instant> = None;
+    let commit = |file: &mut File, buf: &mut String, buffered: &mut usize| {
+        if !buf.is_empty() {
+            // A failed append is unrecoverable mid-run; the affected
+            // jobs simply replay on restart, so log and carry on.
+            if let Err(e) = file.write_all(buf.as_bytes()).and_then(|()| file.sync_data()) {
+                eprintln!("serve journal append failed: {e}");
+            }
+            buf.clear();
+            *buffered = 0;
+        }
+    };
+    loop {
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(Msg::Record(rec)) => {
+                buf.push_str(&serde_json::to_string(&*rec).expect("record serializes"));
+                buf.push('\n');
+                buffered += 1;
+                if oldest.is_none() {
+                    oldest = Some(Instant::now());
+                }
+            }
+            Ok(Msg::Flush(ack)) => {
+                commit(&mut file, &mut buf, &mut buffered);
+                oldest = None;
+                let _ = ack.send(());
+            }
+            Ok(Msg::Close) | Err(RecvTimeoutError::Disconnected) => {
+                commit(&mut file, &mut buf, &mut buffered);
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        let deadline_hit =
+            oldest.is_some_and(|t| t.elapsed() >= GROUP_COMMIT_DEADLINE);
+        if buffered >= GROUP_COMMIT_RECORDS || deadline_hit {
+            commit(&mut file, &mut buf, &mut buffered);
+            oldest = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "serve-journal-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    fn completed(id: u64) -> JobRecord {
+        JobRecord::Completed {
+            id,
+            scheduler: "catbatch".into(),
+            makespan: "5".into(),
+            events: 10 + id,
+            ratio_to_lb: 1.25,
+        }
+    }
+
+    fn submitted(id: u64) -> JobRecord {
+        JobRecord::Submitted {
+            id,
+            scheduler: "catbatch".into(),
+            fingerprint: 99,
+            instance: "procs 2\n".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_pending_extraction() {
+        let path = tmp("roundtrip");
+        let (journal, state) = ServeJournal::open(&path).expect("create");
+        assert!(state.pending.is_empty());
+        let tx = journal.sender();
+        tx.record(submitted(1));
+        tx.record(submitted(2));
+        tx.record(completed(1));
+        tx.record(submitted(3));
+        tx.record(JobRecord::Failed { id: 3, scheduler: "catbatch".into(), kind: "run".into() });
+        journal.close();
+
+        let (reopened, state) = ServeJournal::open(&path).expect("reopen");
+        assert_eq!(state.pending.len(), 1, "only job 2 lacks a terminal record");
+        assert_eq!(state.pending[0].id, 2);
+        assert_eq!(state.terminal.len(), 2);
+        reopened.close();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = tmp("torn");
+        let (journal, _) = ServeJournal::open(&path).expect("create");
+        let tx = journal.sender();
+        tx.record(submitted(1));
+        tx.flush();
+        journal.close();
+        // Simulate a crash mid-append.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).expect("open");
+        f.write_all(b"{\"Completed\":{\"id\":1,").expect("torn write");
+        drop(f);
+
+        let (journal, state) = ServeJournal::open(&path).expect("reopen over torn tail");
+        assert!(state.torn_tail);
+        assert_eq!(state.pending.len(), 1);
+        let tx = journal.sender();
+        tx.record(completed(1));
+        journal.close();
+
+        let (journal, state) = ServeJournal::open(&path).expect("third open");
+        assert!(state.pending.is_empty());
+        assert_eq!(state.terminal, vec![completed(1)]);
+        journal.close();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn aggregates_are_order_independent_and_dedup_replays() {
+        let a = [completed(1), completed(2)];
+        let b = [completed(2), completed(1), completed(1)];
+        assert_eq!(aggregate(&a), aggregate(&b));
+        let c = [completed(1), completed(3)];
+        assert_ne!(aggregate(&a).fingerprint, aggregate(&c).fingerprint);
+    }
+}

@@ -1,0 +1,189 @@
+//! The load generator: N concurrent clients hammering one daemon.
+//!
+//! Each client dials its own connection, generates one deterministic
+//! layered DAG (seeded by `seed + client`), and submits it `jobs`
+//! times with a bounded pipeline window — mimicking a fleet of
+//! analysis frontends resubmitting instances for different what-if
+//! runs. Latency is measured per job (send → matching in-order
+//! response); the report aggregates throughput and latency quantiles
+//! across all clients.
+
+use crate::client::Client;
+use crate::net::Bind;
+use crate::protocol::{JobSpec, Request, Response};
+use rigid_dag::format;
+use rigid_dag::gen::{self, TaskSampler};
+use std::time::Instant;
+
+/// Load-generation parameters.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Daemon address.
+    pub bind: Bind,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Jobs submitted per client.
+    pub jobs: usize,
+    /// Approximate task count per generated instance.
+    pub n: usize,
+    /// Platform size of generated instances.
+    pub procs: u32,
+    /// Scheduler to request.
+    pub scheduler: String,
+    /// Base seed; client `i` uses `seed + i`.
+    pub seed: u64,
+    /// Pipeline window: in-flight jobs per client. Keep below the
+    /// daemon's `queue_depth` or submissions bounce as `overloaded`.
+    pub window: usize,
+    /// Send a `Shutdown` request after the run.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            bind: Bind::Unix(std::path::PathBuf::from("catbatch.sock")),
+            clients: 4,
+            jobs: 25,
+            n: 100,
+            procs: 16,
+            scheduler: "catbatch".into(),
+            seed: 42,
+            window: 32,
+            shutdown: false,
+        }
+    }
+}
+
+/// Aggregate loadgen outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadgenReport {
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs answered with a result.
+    pub ok: u64,
+    /// Jobs answered with a typed error.
+    pub errors: u64,
+    /// Wall-clock of the whole run, milliseconds.
+    pub elapsed_ms: f64,
+    /// `ok / elapsed`.
+    pub jobs_per_sec: f64,
+    /// Median per-job latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-job latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// One client's raw outcome.
+struct ClientOutcome {
+    ok: u64,
+    errors: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// Quantile by the nearest-rank rule over a sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs the load, blocking until every client is done.
+pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
+    assert!(options.window >= 1, "window must be at least 1");
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|c| scope.spawn(move || one_client(c, options)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    if options.shutdown {
+        let mut c = Client::connect(&options.bind)
+            .map_err(|e| format!("shutdown connection failed: {e}"))?;
+        c.call(&Request::Shutdown { flush: true })
+            .map_err(|e| format!("shutdown request failed: {e}"))?;
+    }
+
+    let mut latencies: Vec<f64> =
+        outcomes.iter().flat_map(|o| o.latencies_ms.iter().copied()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let ok: u64 = outcomes.iter().map(|o| o.ok).sum();
+    let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+    Ok(LoadgenReport {
+        jobs: (options.clients * options.jobs) as u64,
+        ok,
+        errors,
+        elapsed_ms,
+        jobs_per_sec: if elapsed_ms > 0.0 { ok as f64 / (elapsed_ms / 1e3) } else { 0.0 },
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    })
+}
+
+fn one_client(index: usize, options: &LoadgenOptions) -> Result<ClientOutcome, String> {
+    // ~n tasks: layered() draws each layer's width uniformly in
+    // [1, width], so width = n/layers * 2 targets n in expectation.
+    let layers = (options.n / 10).max(1);
+    let width = (2 * options.n / layers).max(1);
+    let inst = gen::layered(
+        options.seed + index as u64,
+        layers,
+        width,
+        &TaskSampler::default_mix(),
+        options.procs,
+    );
+    let text = format::write(&inst);
+
+    let mut client = Client::connect(&options.bind)
+        .map_err(|e| format!("client {index}: connect failed: {e}"))?;
+    let mut outcome = ClientOutcome { ok: 0, errors: 0, latencies_ms: Vec::new() };
+    let mut sent_at: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
+    let recv_one = |client: &mut Client,
+                        sent_at: &mut std::collections::VecDeque<Instant>,
+                        outcome: &mut ClientOutcome|
+     -> Result<(), String> {
+        let resp = client
+            .recv()
+            .map_err(|e| format!("client {index}: recv failed: {e}"))?;
+        let t0 = sent_at
+            .pop_front()
+            .ok_or_else(|| format!("client {index}: response with nothing in flight"))?;
+        outcome.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        match resp {
+            Response::Result(_) => outcome.ok += 1,
+            Response::Error(_) => outcome.errors += 1,
+            other => return Err(format!("client {index}: unexpected reply {other:?}")),
+        }
+        Ok(())
+    };
+
+    for j in 0..options.jobs {
+        if sent_at.len() >= options.window {
+            recv_one(&mut client, &mut sent_at, &mut outcome)?;
+        }
+        let spec = JobSpec {
+            // Unique across clients and (re)submissions of one run.
+            id: (index as u64) * 1_000_000 + j as u64 + 1,
+            scheduler: options.scheduler.clone(),
+            instance: text.clone(),
+            gantt: false,
+            trace: false,
+        };
+        sent_at.push_back(Instant::now());
+        client
+            .send(&Request::Submit(spec))
+            .map_err(|e| format!("client {index}: send failed: {e}"))?;
+    }
+    while !sent_at.is_empty() {
+        recv_one(&mut client, &mut sent_at, &mut outcome)?;
+    }
+    Ok(outcome)
+}

@@ -1,0 +1,145 @@
+//! Transport abstraction: one daemon, two socket families.
+//!
+//! The daemon listens on a Unix-domain socket by default (no port
+//! juggling, filesystem permissions for free) with TCP as an opt-in for
+//! cross-host load generation. Everything above this module speaks
+//! [`Conn`]/[`Listener`] and never mentions the family again.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a daemon listens (or a client connects).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bind {
+    /// A Unix-domain socket at this path (the default family).
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:7411`.
+    Tcp(String),
+}
+
+impl std::fmt::Display for Bind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bind::Unix(p) => write!(f, "unix:{}", p.display()),
+            Bind::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// One accepted (or dialed) connection.
+#[derive(Debug)]
+pub enum Conn {
+    /// Unix-domain stream.
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    /// Dials the given address.
+    pub fn connect(bind: &Bind) -> std::io::Result<Conn> {
+        match bind {
+            Bind::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            Bind::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Conn::Tcp),
+        }
+    }
+
+    /// Clones the underlying socket handle (for a split reader/writer).
+    pub fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+
+    /// Sets the read timeout; reads then fail with `WouldBlock` /
+    /// `TimedOut`, which the frame reader uses to poll its stop flag.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(dur),
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, non-blocking listener.
+#[derive(Debug)]
+pub enum Listener {
+    /// Unix-domain listener plus the path to unlink on drop.
+    Unix(UnixListener, PathBuf),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds and switches to non-blocking accepts. A pre-existing Unix
+    /// socket file at the path is removed first: the daemon owns its
+    /// socket path, and a leftover file is debris from a previous
+    /// instance that crashed before its cleanup ran.
+    pub fn bind(bind: &Bind) -> std::io::Result<Listener> {
+        match bind {
+            Bind::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l, path.clone()))
+            }
+            Bind::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+        }
+    }
+
+    /// Accepts one pending connection, or `None` when none is waiting.
+    pub fn accept(&self) -> std::io::Result<Option<Conn>> {
+        let conn = match self {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        };
+        match conn {
+            Ok(c) => Ok(Some(c)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

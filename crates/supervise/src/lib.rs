@@ -42,6 +42,7 @@ pub mod supervisor;
 pub use campaign::{
     campaign_fingerprint, run_campaign, CampaignError, CampaignOptions, CampaignOutcome,
 };
+pub use interrupt::InterruptToken;
 pub use journal::{
     read_journal, JournalContents, JournalError, JournalHeader, JournalWriter, ShardInfo,
     JOURNAL_SCHEMA, SHARD_SCHEMA,

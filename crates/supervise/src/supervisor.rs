@@ -314,7 +314,10 @@ mod tests {
         for seed in 0..100 {
             assert_eq!(sup.run_trial(seed, 1, || move || seed), Ok(seed));
         }
-        let grown = WatchdogPool::global().spawned_threads() - before;
+        // `spawned_threads` counts *live* workers since idle reaping
+        // landed, so another test's worker exiting mid-run could make
+        // the count shrink — saturate instead of underflowing.
+        let grown = WatchdogPool::global().spawned_threads().saturating_sub(before);
         assert!(
             grown <= 1,
             "100 sequential watchdog trials grew the pool by {grown} threads"

@@ -136,9 +136,18 @@ impl Pow2 {
             return Pow2::new(chi);
         }
         // Start from an exponent guaranteed to be >= the answer, then walk
-        // down. The f64 log2 gives a starting guess; exact comparisons make
-        // the final decision, so float error only costs a couple of probes.
-        let guess = t.to_f64().log2().ceil() as i32 + 1;
+        // down. The guess comes from exact numerator/denominator bit
+        // lengths: for reduced `t = n/d > 0`, `2^(bn-1) ≤ n < 2^bn` and
+        // `2^(bd-1) ≤ d < 2^bd` give `2^(bn-bd-1) < t < 2^(bn-bd+1)`, so
+        // `bn - bd + 1` bounds `log2 t` from above and the correction
+        // loops below probe at most twice. (The old `t.to_f64().log2()`
+        // guess saturated through `as i32` whenever the float pipeline
+        // produced ±inf/NaN, starting the walk from ±MAX_ABS_EXPONENT —
+        // a 250-step correction loop in the worst case.)
+        let r = t.rational();
+        let bn = 128 - r.numer().unsigned_abs().leading_zeros() as i32;
+        let bd = 128 - r.denom().unsigned_abs().leading_zeros() as i32;
+        let guess = bn - bd + 1;
         let mut chi = guess.clamp(-MAX_ABS_EXPONENT, MAX_ABS_EXPONENT);
         while Pow2::new(chi).as_time() >= t {
             chi -= 1;
@@ -255,6 +264,32 @@ mod tests {
             Pow2::largest_below(Time::from_dyadic(i64::MAX, -126)).exponent(),
             -64
         );
+    }
+
+    /// Regression for the starting guess on *non-dyadic* rationals at
+    /// extreme exponents (the slow path; dyadic values never reach the
+    /// guess). The old f64 `log2` guess risked ±inf/NaN saturating
+    /// through `as i32` into a wildly wrong start; the exact bit-length
+    /// bound must land within two probes of the answer everywhere.
+    #[test]
+    fn largest_below_extreme_nondyadic_rationals() {
+        // Tiny: t = 1/(3·2^120), so 2^-122 < t < 2^-121.
+        let tiny = Time::from_rational(Rational::new(1, 3 * (1i128 << 120)));
+        assert_eq!(Pow2::largest_below(tiny).exponent(), -122);
+        // Huge: t = 3·2^120/7 ≈ 2^118.78.
+        let huge = Time::from_rational(Rational::new(3 * (1i128 << 120), 7));
+        assert_eq!(Pow2::largest_below(huge).exponent(), 118);
+        // Numerator at the i128 ceiling: t = (2^127 − 1)/3 ≈ 2^125.4.
+        let max = Time::from_rational(Rational::new(i128::MAX, 3));
+        assert_eq!(Pow2::largest_below(max).exponent(), 125);
+        // Maximal bit-length mismatch both ways.
+        let lopsided_small = Time::from_rational(Rational::new(3, i128::MAX));
+        assert_eq!(Pow2::largest_below(lopsided_small).exponent(), -126);
+        let exact_power_ratio = Time::from_rational(Rational::new(
+            (1i128 << 125) + 1,
+            (1i128 << 5) + 1,
+        ));
+        assert_eq!(Pow2::largest_below(exact_power_ratio).exponent(), 119);
     }
 
     #[test]

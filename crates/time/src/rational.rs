@@ -62,6 +62,60 @@ impl fmt::Display for OverflowError {
 
 impl std::error::Error for OverflowError {}
 
+/// Correctly rounded `n / d` as an `f64`, for nonzero `n, d`.
+///
+/// Long-divides the exact integers into a ≥55-bit quotient mantissa
+/// (53 target bits plus guard/round) with the remainder folded into a
+/// sticky bit, then rounds to nearest-even exactly once. All `u128`
+/// ratios lie in `[2^-127, 2^127]`, safely inside normal `f64` range,
+/// so the final power-of-two scaling is exact.
+fn div_round_nearest(n: u128, d: u128) -> f64 {
+    let mut mant = n / d;
+    let mut rem = n % d;
+    if mant >> 54 != 0 {
+        // The integer quotient already carries ≥55 bits; any nonzero
+        // remainder only matters as a sticky bit.
+        return round_mantissa_to_f64(mant, rem != 0, 0);
+    }
+    // Pull fractional quotient bits until the mantissa has 55 bits.
+    // `rem < d <= 2^127` keeps `rem << 1` inside u128; the loop runs at
+    // most ~182 times (127 leading-zero bits + 55 mantissa bits).
+    let mut exp = 0i32;
+    while mant >> 54 == 0 {
+        mant <<= 1;
+        rem <<= 1;
+        exp -= 1;
+        if rem >= d {
+            rem -= d;
+            mant |= 1;
+        }
+    }
+    round_mantissa_to_f64(mant, rem != 0, exp)
+}
+
+/// Rounds `mant * 2^exp` (with `sticky` recording discarded low bits)
+/// to the nearest `f64`, ties to even. `mant` must be nonzero and the
+/// result must lie in normal `f64` range.
+fn round_mantissa_to_f64(mant: u128, sticky: bool, exp: i32) -> f64 {
+    let bits = 128 - mant.leading_zeros() as i32;
+    let excess = bits - 53;
+    if excess <= 0 {
+        // Already exact in 53 bits (sticky can only be set when the
+        // mantissa is full-width, so it is false here).
+        return mant as f64 * 2f64.powi(exp);
+    }
+    let kept = (mant >> excess) as u64;
+    let dropped = mant & ((1u128 << excess) - 1);
+    let half = 1u128 << (excess - 1);
+    let round_up = match dropped.cmp(&half) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => sticky || (kept & 1 == 1),
+    };
+    // `kept + 1` may carry to 2^53, still exactly representable.
+    (kept + round_up as u64) as f64 * 2f64.powi(exp + excess)
+}
+
 /// Full 128×128→256-bit unsigned multiplication, as `(hi, lo)` limbs.
 fn widemul(a: u128, b: u128) -> (u128, u128) {
     const MASK: u128 = (1u128 << 64) - 1;
@@ -211,10 +265,26 @@ impl Rational {
         }
     }
 
-    /// Approximate conversion to `f64` (for reporting only; never used in
-    /// scheduling decisions).
+    /// Correctly rounded conversion to `f64` (for reporting only; never
+    /// used in scheduling decisions).
+    ///
+    /// Casting `num` and `den` to `f64` independently rounds each to 53
+    /// bits *before* the division, so large reduced rationals (the kind
+    /// `worst_case_hunt` climbing produces) could be off by up to a few
+    /// ulps in journals and bench JSON. Instead we long-divide the exact
+    /// integers into a 55-bit quotient plus a sticky bit, then round to
+    /// nearest-even once. Every `i128/i128` ratio lies well inside the
+    /// normal `f64` range (`2^-127 ..= 2^127`), so no overflow/underflow
+    /// handling is needed and the final power-of-two scaling is exact.
     pub fn to_f64(&self) -> f64 {
-        self.num as f64 / self.den as f64
+        if self.num == 0 {
+            return 0.0;
+        }
+        let negative = self.num < 0;
+        let n = self.num.unsigned_abs();
+        let d = self.den as u128; // den > 0 invariant
+        let value = div_round_nearest(n, d);
+        if negative { -value } else { value }
     }
 
     /// Checked addition, returning `None` on `i128` overflow. The result
@@ -541,6 +611,114 @@ mod tests {
     #[test]
     fn to_f64_close() {
         assert!((r(34, 5).to_f64() - 6.8).abs() < 1e-12);
+    }
+
+    /// Asserts `rat.to_f64()` is the correctly rounded double: the exact
+    /// error is at most half an ulp, with ties only on even mantissas.
+    /// Callers must keep |value| and the reduced denominator moderate
+    /// (the exact difference below is computed in `i128` rationals).
+    fn assert_correctly_rounded(rat: Rational) {
+        let f = rat.to_f64();
+        assert!(f.is_finite(), "{rat:?} -> {f}");
+        if rat == Rational::ZERO {
+            assert_eq!(f, 0.0);
+            return;
+        }
+        assert_eq!(f < 0.0, rat < Rational::ZERO, "{rat:?} -> {f} wrong sign");
+        // Decompose |f| exactly as mant * 2^exp, mant in [2^52, 2^53).
+        let bits = f.abs().to_bits();
+        let mant = ((bits & ((1u64 << 52) - 1)) | (1u64 << 52)) as i128;
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023 - 52;
+        let f_rat = if exp >= 0 {
+            Rational::new(mant << exp, 1)
+        } else {
+            Rational::new(mant, 1i128 << (-exp))
+        };
+        let v = rat.abs();
+        let half_ulp = if exp >= 1 {
+            Rational::new(1i128 << (exp - 1), 1)
+        } else {
+            Rational::new(1, 1i128 << (1 - exp))
+        };
+        let diff = if f_rat >= v { f_rat - v } else { v - f_rat };
+        assert!(diff <= half_ulp, "{rat:?} -> {f} off by more than half an ulp");
+        if diff == half_ulp {
+            assert_eq!(mant & 1, 0, "{rat:?} -> {f} tie broken to odd mantissa");
+        }
+    }
+
+    /// Regression: the old `num as f64 / den as f64` rounded both casts
+    /// independently before the division, drifting large reduced
+    /// rationals (the kind `worst_case_hunt` climbing produces) by an
+    /// ulp. Expected values are the correctly rounded doubles.
+    #[test]
+    fn to_f64_is_correctly_rounded_on_hunt_sized_ratios() {
+        let a = r(5855543267441242937, 93609460865670841);
+        assert_eq!(a.to_f64(), 62.55290024417427);
+        assert_ne!(a.numer() as f64 / a.denom() as f64, a.to_f64());
+        let b = r(14904083994765921387896827, 1040025956730605916151403);
+        assert_eq!(b.to_f64(), 14.330492328881817);
+        assert_ne!(b.numer() as f64 / b.denom() as f64, b.to_f64());
+        assert_correctly_rounded(a);
+        assert_correctly_rounded(-a);
+    }
+
+    /// Numerators just past `2^53` are where the independent-cast error
+    /// first bites: `12636956566307343 as f64` already rounds, and the
+    /// old code then divided the rounded value.
+    #[test]
+    fn to_f64_near_2_pow_53() {
+        let v = r(12636956566307343, 10);
+        assert_eq!(v.to_f64(), 1263695656630734.2);
+        assert_ne!(v.to_f64(), 12636956566307343i128 as f64 / 10.0);
+        // Exactly representable neighbours stay exact.
+        assert_eq!(r(1i128 << 53, 1).to_f64(), 9007199254740992.0);
+        assert_eq!(r((1i128 << 53) + 2, 1).to_f64(), 9007199254740994.0);
+        // 2^53 + 1 is a perfect tie: round to even mantissa (2^53).
+        assert_eq!(r((1i128 << 53) + 1, 1).to_f64(), 9007199254740992.0);
+        assert_correctly_rounded(v);
+        assert_correctly_rounded(r((1i128 << 53) + 1, 3));
+    }
+
+    /// Extreme exponents: power-of-two scaling must commute with the
+    /// rounding (no subnormals are reachable from `i128` ratios).
+    #[test]
+    fn to_f64_extreme_exponents() {
+        // 1/(3·2^100) = round(1/3) · 2^-100 — scaling is exact.
+        let tiny = r(1, 3 * (1i128 << 100));
+        assert_eq!(tiny.to_f64(), (1.0f64 / 3.0) * 2f64.powi(-100));
+        // 3·2^120/7 = round(3/7) · 2^120.
+        let huge = r(3 * (1i128 << 120), 7);
+        assert_eq!(huge.to_f64(), (3.0f64 / 7.0) * 2f64.powi(120));
+        // The extremes of the representable range stay finite and exact.
+        assert_eq!(r(1i128 << 126, 1).to_f64(), 2f64.powi(126));
+        assert_eq!(r(1, 1i128 << 126).to_f64(), 2f64.powi(-126));
+        assert_eq!(r(i128::MIN, 1).to_f64(), -(2f64.powi(127)));
+    }
+
+    /// Property sweep: structured pseudo-random ratios across magnitudes
+    /// are all correctly rounded (exact half-ulp check via rationals).
+    #[test]
+    fn to_f64_half_ulp_property() {
+        let mut x: u128 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            // xorshift-ish mixer, deterministic.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..2000 {
+            // Keep the ratio within ~2^±11 and denominators under 2^60
+            // so the helper's exact difference arithmetic fits i128.
+            let nbits = (next() % 21 + 30) as u32; // 30..=50
+            let delta = (next() % 21) as i64 - 10; // -10..=10
+            let dbits = (nbits as i64 + delta).clamp(2, 60) as u32;
+            let n = ((next() >> (128 - nbits)) | (1u128 << (nbits - 1))) as i128;
+            let d = ((next() >> (128 - dbits)) | (1u128 << (dbits - 1))) as i128;
+            assert_correctly_rounded(r(n, d));
+            assert_correctly_rounded(r(-n, d));
+        }
     }
 
     #[test]

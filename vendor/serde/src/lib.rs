@@ -126,6 +126,21 @@ pub trait Deserialize: Sized {
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
+// `Value` round-trips through itself, so callers can parse arbitrary
+// JSON into the data model and re-serialize it — the stub equivalent of
+// the real `serde_json::Value` being self-(de)serializable.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! int_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -246,12 +246,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Advance one full UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Bulk-copy the maximal span free of quotes and
+                    // escapes. UTF-8 continuation bytes are >= 0x80 and
+                    // can never collide with '"' or '\\', so a byte scan
+                    // always stops on a character boundary; validating
+                    // only the span keeps long strings linear instead of
+                    // re-checking the whole remaining input per char.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid utf8 in string"))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
@@ -340,6 +350,32 @@ mod tests {
         assert_eq!(json, "[[1,-2],[3,4]]");
         let back: Vec<(u32, i64)> = from_str(&json).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // Regression: parse_string used to re-validate the whole
+        // remaining input per character, making big string fields
+        // quadratic (~seconds for a 160KB frame). Spans between
+        // escapes are now copied in bulk.
+        let body: String = "abcdef ".repeat(64 * 1024);
+        let json = to_string(&body).unwrap();
+        let started = std::time::Instant::now();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, body);
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(250),
+            "448KB string took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn string_spans_split_on_escapes_and_multibyte() {
+        let s = "plain \"quoted\" back\\slash newline\n tab\t émoji 🦀 done";
+        let json = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]
