@@ -142,9 +142,9 @@ pub enum Command {
         jobs: Option<usize>,
     },
     /// `serve [--bind PATH | --tcp ADDR] [--workers N] [--queue-depth N]
-    /// [--journal PATH] [--watchdog-ms N] [--max-events N] [--retries R]`
-    /// — run the scheduling daemon until SIGINT/SIGTERM or a client's
-    /// `shutdown` request.
+    /// [--journal PATH] [--watchdog-ms N] [--max-events N] [--retries R]
+    /// [--max-sessions N]` — run the scheduling daemon until
+    /// SIGINT/SIGTERM or a client's `shutdown` request.
     Serve {
         /// Unix socket path to listen on.
         bind: String,
@@ -162,10 +162,14 @@ pub enum Command {
         max_events: Option<u64>,
         /// Supervised retries per job after a panic/timeout.
         retries: u32,
+        /// Concurrent session cap; excess connections get a retryable
+        /// `overloaded` refusal.
+        max_sessions: usize,
     },
     /// `loadgen [--bind PATH | --tcp ADDR] [--clients N] [--jobs N]
     /// [--n N] [--procs P] [--scheduler S] [--seed S] [--window W]
-    /// [--shutdown]` — hammer a running daemon and report throughput.
+    /// [--shutdown] [--read-timeout-ms N] [--max-attempts K]` — hammer
+    /// a running daemon and report throughput.
     Loadgen {
         /// Unix socket path of the daemon.
         bind: String,
@@ -187,6 +191,31 @@ pub enum Command {
         window: usize,
         /// Send a `shutdown` request once the load is done.
         shutdown: bool,
+        /// Per-`recv` read timeout, milliseconds; a stalled read
+        /// becomes a reconnect + resubmit instead of a hang.
+        read_timeout_ms: u64,
+        /// Total attempts per job before the client gives up on it.
+        max_attempts: u32,
+    },
+    /// `chaos-proxy --listen PATH --upstream PATH [--listen-tcp ADDR]
+    /// [--upstream-tcp ADDR] [--seed N] [--plan SPEC]` — relay
+    /// client↔daemon byte streams while injecting seeded network
+    /// faults (delays, torn writes, trickle, resets, corruption).
+    ChaosProxy {
+        /// Unix socket path to listen on.
+        listen: String,
+        /// TCP address to listen on instead of the Unix socket.
+        listen_tcp: Option<String>,
+        /// Unix socket path of the upstream daemon.
+        upstream: String,
+        /// TCP address of the upstream daemon instead.
+        upstream_tcp: Option<String>,
+        /// Fault-stream seed (per-connection/direction substreams are
+        /// derived from it).
+        seed: u64,
+        /// Fault plan spec, e.g. `tear=16,reset=2048..8192,delay=1..5ms`
+        /// (empty = transparent relay). Validated at parse time.
+        plan: String,
     },
     /// `verify <file> <schedule.json>` — validate an externally produced
     /// schedule against an instance.
@@ -255,23 +284,40 @@ USAGE:
       on N worker threads (scenario order in the report is unchanged)
   catbatch serve [--bind PATH | --tcp ADDR] [--workers N]
                  [--queue-depth N] [--journal PATH] [--watchdog-ms N]
-                 [--max-events N] [--retries R]
+                 [--max-events N] [--retries R] [--max-sessions N]
       run the scheduling daemon: clients submit instances over
       length-prefixed JSON frames (see docs/serve.md) and stream back
       schedule summaries; runs until SIGINT/SIGTERM or a client's
       shutdown request, then drains in order
       defaults: --bind catbatch.sock --workers 4 --queue-depth 64
-      --retries 1; --journal makes accepted jobs crash-recoverable —
-      a restarted daemon replays the backlog before going live
+      --retries 1 --max-sessions 256; --journal makes accepted jobs
+      crash-recoverable — a restarted daemon replays the backlog
+      before going live; connections past --max-sessions are refused
+      with a retryable `overloaded` error
   catbatch loadgen [--bind PATH | --tcp ADDR] [--clients N] [--jobs N]
                    [--n N] [--procs P] [--scheduler S] [--seed S]
-                   [--window W] [--shutdown]
+                   [--window W] [--shutdown] [--read-timeout-ms MS]
+                   [--max-attempts N]
       drive a running daemon with N concurrent clients, each
       submitting a deterministic generated DAG --jobs times with a
       bounded pipeline window; prints throughput and latency
-      quantiles; --shutdown stops the daemon afterwards
+      quantiles plus retry/reconnect counts; --shutdown stops the
+      daemon afterwards; every submit carries an idempotency key, so
+      retries after resets or evictions are exactly-once
       defaults: --clients 4 --jobs 25 --n 100 --procs 16
       --scheduler catbatch --seed 42 --window 32
+      --read-timeout-ms 30000 --max-attempts 8
+  catbatch chaos-proxy [--listen PATH | --listen-tcp ADDR]
+                       [--upstream PATH | --upstream-tcp ADDR]
+                       [--seed S] [--plan SPEC]
+      run a deterministic fault-injecting relay in front of a daemon:
+      clients connect to --listen, bytes are forwarded to --upstream
+      with faults drawn from a ChaCha8 stream keyed by --seed; the
+      plan grammar is `delay=LO[..HI]ms, tear=MAX, trickle=BYTES/MSms,
+      reset=LO[..HI], corrupt=PPM` (empty plan = transparent relay);
+      runs until SIGINT/SIGTERM, then prints a relay report
+      defaults: --listen catbatch-chaos.sock --upstream catbatch.sock
+      --seed 42 --plan \"\"
   catbatch convert <file.rigid> --dot
       emit Graphviz DOT to stdout
   catbatch verify <file.rigid> <schedule.json>
@@ -542,10 +588,16 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             let mut watchdog_ms = None;
             let mut max_events = None;
             let mut retries = 1u32;
+            let mut max_sessions = 256usize;
             while let Some(a) = it.next() {
                 match a {
                     "--bind" => bind = take_value(a, &mut it)?,
                     "--tcp" => tcp = Some(take_value(a, &mut it)?),
+                    "--max-sessions" => {
+                        max_sessions = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --max-sessions value".to_string())?
+                    }
                     "--workers" => {
                         workers = take_value(a, &mut it)?
                             .parse()
@@ -585,6 +637,9 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             if queue_depth == 0 {
                 return Err("--queue-depth must be at least 1".into());
             }
+            if max_sessions == 0 {
+                return Err("--max-sessions must be at least 1".into());
+            }
             Ok(Command::Serve {
                 bind,
                 tcp,
@@ -594,6 +649,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 watchdog_ms,
                 max_events,
                 retries,
+                max_sessions,
             })
         }
         Some("loadgen") => {
@@ -607,10 +663,22 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             let mut seed = 42u64;
             let mut window = 32usize;
             let mut shutdown = false;
+            let mut read_timeout_ms = 30_000u64;
+            let mut max_attempts = 8u32;
             while let Some(a) = it.next() {
                 match a {
                     "--bind" => bind = take_value(a, &mut it)?,
                     "--tcp" => tcp = Some(take_value(a, &mut it)?),
+                    "--read-timeout-ms" => {
+                        read_timeout_ms = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --read-timeout-ms value".to_string())?
+                    }
+                    "--max-attempts" => {
+                        max_attempts = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --max-attempts value".to_string())?
+                    }
                     "--clients" => {
                         clients = take_value(a, &mut it)?
                             .parse()
@@ -654,6 +722,9 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             if window == 0 {
                 return Err("--window must be at least 1".into());
             }
+            if read_timeout_ms == 0 || max_attempts == 0 {
+                return Err("--read-timeout-ms/--max-attempts must be at least 1".into());
+            }
             Ok(Command::Loadgen {
                 bind,
                 tcp,
@@ -665,7 +736,35 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 seed,
                 window,
                 shutdown,
+                read_timeout_ms,
+                max_attempts,
             })
+        }
+        Some("chaos-proxy") => {
+            let mut listen = "catbatch-chaos.sock".to_string();
+            let mut listen_tcp = None;
+            let mut upstream = "catbatch.sock".to_string();
+            let mut upstream_tcp = None;
+            let mut seed = 42u64;
+            let mut plan = String::new();
+            while let Some(a) = it.next() {
+                match a {
+                    "--listen" => listen = take_value(a, &mut it)?,
+                    "--listen-tcp" => listen_tcp = Some(take_value(a, &mut it)?),
+                    "--upstream" => upstream = take_value(a, &mut it)?,
+                    "--upstream-tcp" => upstream_tcp = Some(take_value(a, &mut it)?),
+                    "--seed" => {
+                        seed = take_value(a, &mut it)?
+                            .parse()
+                            .map_err(|_| "bad --seed value".to_string())?
+                    }
+                    "--plan" => plan = take_value(a, &mut it)?,
+                    other => return Err(format!("unexpected argument {other:?}")),
+                }
+            }
+            // Fail on a bad plan here, not after the listener binds.
+            rigid_serve::ChaosPlan::parse(&plan).map_err(|e| e.to_string())?;
+            Ok(Command::ChaosProxy { listen, listen_tcp, upstream, upstream_tcp, seed, plan })
         }
         Some("verify") => {
             let file = it.next().ok_or("verify needs an instance file")?;
@@ -844,7 +943,10 @@ mod tests {
             other => panic!("expected Faults, got {other:?}"),
         }
         assert!(parse_args(&["faults", "w.rigid", "--chaos-exit-after", "x"]).is_err());
-        assert!(!USAGE.contains("chaos"), "the chaos hook is a hidden test surface");
+        assert!(
+            !USAGE.contains("chaos-exit-after"),
+            "the crash-chaos hook is a hidden test surface"
+        );
     }
 
     #[test]
@@ -874,6 +976,7 @@ mod tests {
                 watchdog_ms: None,
                 max_events: None,
                 retries: 1,
+                max_sessions: 256,
             }
         );
         match parse_args(&[
@@ -900,38 +1003,82 @@ mod tests {
         }
         assert!(parse_args(&["serve", "--workers", "0"]).is_err());
         assert!(parse_args(&["serve", "--queue-depth", "0"]).is_err());
+        assert!(parse_args(&["serve", "--max-sessions", "0"]).is_err());
         assert!(parse_args(&["serve", "extra"]).is_err());
     }
 
     #[test]
     fn parses_loadgen() {
         match parse_args(&["loadgen"]).unwrap() {
-            Command::Loadgen { bind, clients, jobs, n, procs, scheduler, seed, window, shutdown, .. } => {
+            Command::Loadgen {
+                bind, clients, jobs, n, procs, scheduler, seed, window, shutdown,
+                read_timeout_ms, max_attempts, ..
+            } => {
                 assert_eq!(bind, "catbatch.sock");
                 assert_eq!((clients, jobs, n, procs), (4, 25, 100, 16));
                 assert_eq!(scheduler, SchedChoice::CatBatch);
                 assert_eq!(seed, 42);
                 assert_eq!(window, 32);
                 assert!(!shutdown);
+                assert_eq!(read_timeout_ms, 30_000);
+                assert_eq!(max_attempts, 8);
             }
             other => panic!("expected Loadgen, got {other:?}"),
         }
         match parse_args(&[
             "loadgen", "--clients", "2", "--jobs", "50", "--scheduler", "backfill",
-            "--window", "8", "--shutdown",
+            "--window", "8", "--shutdown", "--read-timeout-ms", "500", "--max-attempts", "3",
         ])
         .unwrap()
         {
-            Command::Loadgen { clients, jobs, scheduler, window, shutdown, .. } => {
+            Command::Loadgen {
+                clients, jobs, scheduler, window, shutdown, read_timeout_ms, max_attempts, ..
+            } => {
                 assert_eq!((clients, jobs, window), (2, 50, 8));
                 assert_eq!(scheduler, SchedChoice::Backfill);
                 assert!(shutdown);
+                assert_eq!(read_timeout_ms, 500);
+                assert_eq!(max_attempts, 3);
             }
             other => panic!("expected Loadgen, got {other:?}"),
         }
         assert!(parse_args(&["loadgen", "--scheduler", "zzz"]).is_err());
         assert!(parse_args(&["loadgen", "--clients", "0"]).is_err());
         assert!(parse_args(&["loadgen", "--window", "0"]).is_err());
+        assert!(parse_args(&["loadgen", "--max-attempts", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_proxy() {
+        match parse_args(&["chaos-proxy"]).unwrap() {
+            Command::ChaosProxy { listen, listen_tcp, upstream, upstream_tcp, seed, plan } => {
+                assert_eq!(listen, "catbatch-chaos.sock");
+                assert_eq!(listen_tcp, None);
+                assert_eq!(upstream, "catbatch.sock");
+                assert_eq!(upstream_tcp, None);
+                assert_eq!(seed, 42);
+                assert!(plan.is_empty());
+            }
+            other => panic!("expected ChaosProxy, got {other:?}"),
+        }
+        match parse_args(&[
+            "chaos-proxy", "--listen", "c.sock", "--upstream-tcp", "127.0.0.1:7070",
+            "--seed", "7", "--plan", "delay=1..5ms, reset=200..400",
+        ])
+        .unwrap()
+        {
+            Command::ChaosProxy { listen, upstream_tcp, seed, plan, .. } => {
+                assert_eq!(listen, "c.sock");
+                assert_eq!(upstream_tcp.as_deref(), Some("127.0.0.1:7070"));
+                assert_eq!(seed, 7);
+                assert_eq!(plan, "delay=1..5ms, reset=200..400");
+            }
+            other => panic!("expected ChaosProxy, got {other:?}"),
+        }
+        // Malformed plans are rejected at parse time, before any socket binds.
+        assert!(parse_args(&["chaos-proxy", "--plan", "frobnicate=1"]).is_err());
+        assert!(parse_args(&["chaos-proxy", "--seed", "x"]).is_err());
+        assert!(USAGE.contains("chaos-proxy"));
     }
 
     #[test]

@@ -107,6 +107,7 @@ pub fn run_command(
             watchdog_ms,
             max_events,
             retries,
+            max_sessions,
         } => serve_cmd(
             bind,
             tcp.as_deref(),
@@ -116,6 +117,7 @@ pub fn run_command(
             *watchdog_ms,
             *max_events,
             *retries,
+            *max_sessions,
         ),
         Command::Loadgen {
             bind,
@@ -128,6 +130,8 @@ pub fn run_command(
             seed,
             window,
             shutdown,
+            read_timeout_ms,
+            max_attempts,
         } => loadgen_cmd(
             bind,
             tcp.as_deref(),
@@ -139,6 +143,23 @@ pub fn run_command(
             *seed,
             *window,
             *shutdown,
+            *read_timeout_ms,
+            *max_attempts,
+        ),
+        Command::ChaosProxy {
+            listen,
+            listen_tcp,
+            upstream,
+            upstream_tcp,
+            seed,
+            plan,
+        } => chaos_proxy_cmd(
+            listen,
+            listen_tcp.as_deref(),
+            upstream,
+            upstream_tcp.as_deref(),
+            *seed,
+            plan,
         ),
         Command::Verify { file, schedule } => {
             let inst = load(file, read_file)?;
@@ -613,6 +634,7 @@ fn serve_cmd(
     watchdog_ms: Option<u64>,
     max_events: Option<u64>,
     retries: u32,
+    max_sessions: usize,
 ) -> Result<String, String> {
     let options = rigid_serve::ServeOptions {
         bind: resolve_bind(bind, tcp),
@@ -622,6 +644,7 @@ fn serve_cmd(
         watchdog: watchdog_ms.map(std::time::Duration::from_millis),
         max_events,
         retries,
+        max_sessions,
         ..rigid_serve::ServeOptions::default()
     };
     let bind_display = options.bind.clone();
@@ -653,6 +676,8 @@ fn loadgen_cmd(
     seed: u64,
     window: usize,
     shutdown: bool,
+    read_timeout_ms: u64,
+    max_attempts: u32,
 ) -> Result<String, String> {
     let options = rigid_serve::LoadgenOptions {
         bind: resolve_bind(bind, tcp),
@@ -664,11 +689,15 @@ fn loadgen_cmd(
         seed,
         window,
         shutdown,
+        read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+        max_attempts,
+        ..rigid_serve::LoadgenOptions::default()
     };
     let report = rigid_serve::loadgen::run(&options)?;
     Ok(format!(
         "loadgen: {} clients x {} jobs (n~{}, procs {}, scheduler {})\n\
          ok / errors  : {} / {}\n\
+         retries      : {} ({} reconnects, {} gave up)\n\
          elapsed      : {:.1} ms\n\
          throughput   : {:.1} jobs/sec\n\
          latency p50  : {:.2} ms\n\
@@ -680,10 +709,53 @@ fn loadgen_cmd(
         sched_wire_name(scheduler),
         report.ok,
         report.errors,
+        report.retries,
+        report.reconnects,
+        report.gave_up,
         report.elapsed_ms,
         report.jobs_per_sec,
         report.p50_ms,
         report.p99_ms,
+    ))
+}
+
+/// Runs the chaos proxy until SIGINT/SIGTERM, then reports what it did
+/// to the traffic. Like `serve_cmd`, this blocks on real network I/O;
+/// the liveness line goes to stderr, the relay report is the returned
+/// text.
+fn chaos_proxy_cmd(
+    listen: &str,
+    listen_tcp: Option<&str>,
+    upstream: &str,
+    upstream_tcp: Option<&str>,
+    seed: u64,
+    plan: &str,
+) -> Result<String, String> {
+    let plan = rigid_serve::ChaosPlan::parse(plan).map_err(|e| e.to_string())?;
+    let listen_bind = resolve_bind(listen, listen_tcp);
+    let upstream_bind = resolve_bind(upstream, upstream_tcp);
+    rigid_supervise::interrupt::install();
+    let token = rigid_supervise::interrupt::InterruptToken::current();
+    let proxy = rigid_serve::ChaosProxy::spawn(&listen_bind, upstream_bind.clone(), seed, plan)
+        .map_err(|e| format!("chaos-proxy: bind {listen_bind}: {e}"))?;
+    eprintln!("catbatch chaos-proxy: {listen_bind} -> {upstream_bind} (seed {seed})");
+    while !token.interrupted() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let report = proxy.stop();
+    Ok(format!(
+        "chaos-proxy: stopped\n\
+         connections       : {}\n\
+         resets injected   : {}\n\
+         bytes relayed     : {} up / {} down\n\
+         bytes corrupted   : {}\n\
+         upstream failures : {}\n",
+        report.connections,
+        report.resets,
+        report.bytes_up,
+        report.bytes_down,
+        report.corrupted,
+        report.upstream_failures,
     ))
 }
 

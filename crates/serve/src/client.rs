@@ -1,17 +1,72 @@
-//! A minimal blocking client for the serve protocol.
+//! Clients for the serve protocol: a minimal blocking [`Client`] and a
+//! fault-tolerant [`ResilientClient`].
+//!
+//! The raw client is a thin framing wrapper: pipelining, in-order
+//! responses, no opinions about failures. The resilient client layers
+//! the wire-failure discipline on top: configurable read timeouts (a
+//! stalled daemon becomes a typed [`FrameError::TimedOut`], never an
+//! infinite block), reconnect-and-resubmit under bounded exponential
+//! backoff with deterministic seeded jitter (the same retry discipline
+//! as `rigid-supervise`, plus a ChaCha8 jitter stream so a thousand
+//! clients don't retry in lockstep), and idempotency keys on every
+//! submission so an at-least-once wire still yields exactly-once
+//! results — the daemon dedupes resubmitted keys against its session
+//! table and journal and answers with the first execution's outcome.
 
 use crate::net::{Bind, Conn};
-use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
+use crate::protocol::{
+    read_frame_timeout, write_frame, FrameError, JobSpec, Request, Response,
+};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rigid_dag::StableHasher;
+use std::time::Duration;
+
+/// How long the raw connection's OS-level read timeout is: the poll
+/// granularity for stop flags and deadlines, not a failure threshold.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Connection-level configuration for [`Client`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Overall deadline for one [`Client::recv`]: when no complete
+    /// frame arrives in time the call fails with a typed
+    /// [`FrameError::TimedOut`]. `None` blocks indefinitely (the
+    /// pre-PR-9 behavior — only sensible against a trusted local
+    /// daemon).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { read_timeout: Some(Duration::from_secs(30)) }
+    }
+}
 
 /// One connection to a daemon.
 pub struct Client {
     conn: Conn,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Dials the daemon.
+    /// Dials the daemon with the default config (30 s read timeout).
     pub fn connect(bind: &Bind) -> std::io::Result<Client> {
-        Conn::connect(bind).map(|conn| Client { conn })
+        Client::connect_with(bind, ClientConfig::default())
+    }
+
+    /// Dials the daemon with an explicit config.
+    pub fn connect_with(bind: &Bind, config: ClientConfig) -> std::io::Result<Client> {
+        let conn = Conn::connect(bind)?;
+        // A short OS timeout makes reads poll-able; the real deadline
+        // lives in `recv` so `read_timeout` can change per call site.
+        conn.set_read_timeout(Some(POLL_INTERVAL))?;
+        Ok(Client { conn, config })
+    }
+
+    /// Changes the per-`recv` read timeout on a live connection.
+    pub fn set_read_timeout(&mut self, read_timeout: Option<Duration>) {
+        self.config.read_timeout = read_timeout;
     }
 
     /// Sends one message. Responses come back strictly in send order —
@@ -22,9 +77,15 @@ impl Client {
         write_frame(&mut self.conn, msg)
     }
 
-    /// Receives the next response.
+    /// Receives the next response, honoring the configured read
+    /// timeout.
     pub fn recv(&mut self) -> Result<Response, FrameError> {
-        let body = read_frame(&mut self.conn, crate::protocol::MAX_FRAME, &|| false)?;
+        let body = read_frame_timeout(
+            &mut self.conn,
+            crate::protocol::MAX_FRAME,
+            &|| false,
+            self.config.read_timeout,
+        )?;
         let text = std::str::from_utf8(&body).map_err(|e| {
             FrameError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -45,5 +106,223 @@ impl Client {
     pub fn call(&mut self, req: &Request) -> Result<Response, FrameError> {
         self.send(req).map_err(FrameError::Io)?;
         self.recv()
+    }
+}
+
+/// Retry discipline for [`ResilientClient`]: bounded attempts with
+/// exponential backoff (`base * 2^(k-1)`, capped) plus deterministic
+/// seeded jitter drawn from a ChaCha8 stream — reproducible per seed,
+/// decorrelated across clients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based): `base * 2^(k-1)` plus
+    /// jitter, capped at [`RetryPolicy::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter stream (and for generated idempotency
+    /// keys). Two clients with different seeds jitter differently; the
+    /// same seed replays the same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(640),
+            seed: 0,
+        }
+    }
+}
+
+/// Why a resilient request ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt failed on the wire or bounced retryably; the
+    /// budget is spent. `last` describes the final failure.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last failure, rendered.
+        last: String,
+    },
+    /// The daemon answered with something structurally impossible for
+    /// the request (e.g. a `Pong` for a `Submit`). Not retried: the
+    /// session ordering guarantee makes this a peer bug, not weather.
+    ProtocolViolation(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+            ClientError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+/// Counters a [`ResilientClient`] accumulates across its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Reconnections after a dead or timed-out connection.
+    pub reconnects: u64,
+    /// Resubmissions (wire failures and retryable errors combined).
+    pub retries: u64,
+}
+
+/// A client that survives an adversarial wire.
+///
+/// One request at a time (no pipelining): `submit` owns the connection
+/// until its terminal response lands, reconnecting and resubmitting as
+/// needed. The pipelined many-jobs-in-flight variant lives in
+/// [`crate::loadgen`], which layers the same discipline over a window.
+pub struct ResilientClient {
+    bind: Bind,
+    config: ClientConfig,
+    policy: RetryPolicy,
+    jitter: ChaCha8Rng,
+    conn: Option<Client>,
+    idem_counter: u64,
+    stats: ClientStats,
+}
+
+impl ResilientClient {
+    /// Creates the client; the first connection is dialed lazily.
+    pub fn new(bind: Bind, config: ClientConfig, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient {
+            bind,
+            config,
+            policy,
+            jitter: ChaCha8Rng::seed_from_u64(policy.seed ^ 0x6a69_7474_6572),
+            conn: None,
+            idem_counter: 0,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Lifetime counters (reconnects, retries).
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Allocates a fresh idempotency key: a stable hash of the seed and
+    /// a lifetime counter, so keys are deterministic per (seed, order)
+    /// and never repeat within one client.
+    pub fn alloc_idem(&mut self) -> u64 {
+        self.idem_counter += 1;
+        let mut h = StableHasher::new();
+        h.write_u64(self.policy.seed);
+        h.write_u64(self.idem_counter);
+        h.finish()
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        let shift = attempt.saturating_sub(1).min(16);
+        let base = self.policy.backoff_base.saturating_mul(1u32 << shift);
+        let jitter_span = self.policy.backoff_base.as_micros() as u64 + 1;
+        let jitter = Duration::from_micros(self.jitter.next_u64() % jitter_span);
+        let sleep = (base + jitter).min(self.policy.backoff_cap);
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
+    }
+
+    fn connection(&mut self) -> std::io::Result<&mut Client> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect_with(&self.bind, self.config)?);
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    fn drop_connection(&mut self) {
+        if self.conn.take().is_some() {
+            self.stats.reconnects += 1;
+        }
+    }
+
+    /// Submits one job and blocks until a *terminal* response: a
+    /// result, or a typed error that is not retryable. Wire failures
+    /// (reset, timeout, torn connection) and retryable errors
+    /// (`overloaded`, `shutting-down`) trigger reconnect + resubmit
+    /// under the retry policy. The spec is stamped with an idempotency
+    /// key (unless it already carries one), so however many copies the
+    /// daemon receives, the job executes once and every copy gets that
+    /// one execution's outcome.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<Response, ClientError> {
+        let mut spec = spec.clone();
+        if spec.idem.is_none() {
+            spec.idem = Some(self.alloc_idem());
+        }
+        let mut last = String::new();
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                self.stats.retries += 1;
+                self.backoff(attempt - 1);
+            }
+            let outcome = self
+                .connection()
+                .map_err(|e| e.to_string())
+                .and_then(|client| {
+                    client.send(&Request::Submit(spec.clone())).map_err(|e| e.to_string())?;
+                    client.recv().map_err(|e| e.to_string())
+                });
+            match outcome {
+                Ok(Response::Error(err)) if err.retryable => {
+                    // The daemon is healthy but refusing (backpressure,
+                    // drain): the connection is fine, only the job
+                    // needs to wait.
+                    last = format!("retryable {}: {}", err.kind, err.message);
+                }
+                Ok(resp @ (Response::Result(_) | Response::Error(_))) => return Ok(resp),
+                Ok(other) => {
+                    return Err(ClientError::ProtocolViolation(format!(
+                        "submit answered with {other:?}"
+                    )))
+                }
+                Err(e) => {
+                    last = e;
+                    self.drop_connection();
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted { attempts: self.policy.max_attempts, last })
+    }
+
+    /// Pings the daemon (same retry envelope as [`submit`]).
+    ///
+    /// [`submit`]: ResilientClient::submit
+    pub fn ping(&mut self, payload: u64) -> Result<Response, ClientError> {
+        let mut last = String::new();
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                self.stats.retries += 1;
+                self.backoff(attempt - 1);
+            }
+            let outcome = self
+                .connection()
+                .map_err(|e| e.to_string())
+                .and_then(|client| {
+                    client.call(&Request::Ping { payload }).map_err(|e| e.to_string())
+                });
+            match outcome {
+                Ok(resp @ Response::Pong { .. }) => return Ok(resp),
+                Ok(other) => {
+                    return Err(ClientError::ProtocolViolation(format!(
+                        "ping answered with {other:?}"
+                    )))
+                }
+                Err(e) => {
+                    last = e;
+                    self.drop_connection();
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted { attempts: self.policy.max_attempts, last })
     }
 }

@@ -32,6 +32,34 @@
 //! backlog — accepted jobs with no outcome — is re-executed *before*
 //! the listener binds, so a resumed journal's terminal set converges
 //! to exactly what an uninterrupted daemon would have produced.
+//!
+//! ## Exactly-once over an at-least-once wire
+//!
+//! A submission may carry an idempotency key ([`JobSpec::idem`]). The
+//! daemon keeps a dedup table keyed by it: the first submission
+//! executes; a duplicate that arrives while the original is in flight
+//! *waits* for that execution (no second run) and gets the same
+//! terminal response; a duplicate after completion gets the memoized
+//! response. Only terminal outcomes (a result, or a non-retryable
+//! error) are memoized — a retryable `overloaded`/`shutting-down`
+//! bounce clears the key so the eventual resubmission really runs.
+//! With a journal, the table is additionally seeded at startup from
+//! journaled terminal records, so resubmission works across daemon
+//! restarts; journal-reconstructed responses carry the full result
+//! summary but empty `gantt`/`trace` attachments.
+//!
+//! ## Wire hardening
+//!
+//! Per-request deadlines ([`JobSpec::deadline_ms`]) are mapped onto
+//! the engine's wall-clock [`RunBudget`] and surface as typed
+//! `deadline_exceeded` errors, counted in `Pong` stats. Session reply
+//! queues are bounded: a client that stops reading while jobs keep
+//! completing overflows its queue and is *evicted* — the writer sends
+//! a best-effort typed `evicted-slow-reader` notice (under a write
+//! timeout) and tears the connection down, so slow readers cost one
+//! session, never a wedged worker. Connection admission is capped at
+//! [`ServeOptions::max_sessions`]; excess connections are answered
+//! with a retryable `overloaded` error and closed.
 
 use crate::journal::{JobRecord, JournalTx, ServeJournal};
 use crate::net::{Bind, Conn, Listener};
@@ -46,14 +74,14 @@ use rigid_faults::TrialError;
 use rigid_sim::engine::{EngineConfig, EngineScratch, RunBudget, RunResult};
 use rigid_sim::gantt::{render, GanttOptions};
 use rigid_sim::trace::Trace;
-use rigid_sim::{metrics, OnlineScheduler};
+use rigid_sim::{metrics, BudgetKind, OnlineScheduler, RunError};
 use rigid_strip::CatBatchStrip;
 use rigid_supervise::interrupt::InterruptToken;
 use rigid_supervise::{Supervisor, SupervisorPolicy};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Sender};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -77,6 +105,16 @@ pub struct ServeOptions {
     pub max_events: Option<u64>,
     /// Supervised retries per job after a panic/timeout.
     pub retries: u32,
+    /// Concurrent session cap. A connection accepted beyond this is
+    /// answered with a retryable `overloaded` error and closed.
+    pub max_sessions: usize,
+    /// Per-session reply-queue bound. When a session has this many
+    /// unsent responses (a client that submits but never reads), the
+    /// session is evicted with a typed `evicted-slow-reader` notice.
+    pub writer_queue: usize,
+    /// Socket write timeout for response frames; a peer whose receive
+    /// window is full fails the write instead of wedging the writer.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeOptions {
@@ -90,6 +128,9 @@ impl Default for ServeOptions {
             watchdog: None,
             max_events: None,
             retries: 1,
+            max_sessions: 256,
+            writer_queue: 1024,
+            write_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -114,8 +155,47 @@ pub struct ServeReport {
 struct WorkItem {
     seq: u64,
     spec: JobSpec,
-    reply: Sender<(u64, Response)>,
+    reply: SyncSender<(u64, Response)>,
     pending: Arc<AtomicUsize>,
+    gate: Arc<SessionGate>,
+}
+
+/// Shared per-session eviction state: the flag a producer raises when
+/// the bounded reply queue overflows, plus a socket handle the writer
+/// uses to tear the connection down (shutdown acts on the socket, so
+/// any clone reaches the reader's and writer's halves too).
+struct SessionGate {
+    evicted: AtomicBool,
+    conn: Conn,
+}
+
+/// Queues a response without ever blocking the caller. A full reply
+/// queue marks the session evicted; the session writer notices, sends
+/// the typed notice, and closes the connection.
+fn deliver(reply: &SyncSender<(u64, Response)>, gate: &SessionGate, seq: u64, resp: Response) {
+    match reply.try_send((seq, resp)) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            gate.evicted.store(true, Ordering::SeqCst);
+        }
+        Err(TrySendError::Disconnected(_)) => {} // session already gone
+    }
+}
+
+/// State of one idempotency key in the dedup table.
+enum IdemState {
+    /// The first submission is executing; duplicates park here and are
+    /// answered when it completes.
+    InFlight(Vec<Waiter>),
+    /// The key reached a terminal outcome; duplicates get this.
+    Done(Response),
+}
+
+/// A parked duplicate submission.
+struct Waiter {
+    seq: u64,
+    reply: SyncSender<(u64, Response)>,
+    gate: Arc<SessionGate>,
 }
 
 /// State shared by the accept loop, sessions, and workers.
@@ -132,6 +212,12 @@ struct Shared {
     queues: Vec<(Mutex<VecDeque<WorkItem>>, Condvar)>,
     completed: AtomicU64,
     failed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    sessions_active: AtomicUsize,
+    /// Idempotency-key dedup table. Grows with distinct keys (like the
+    /// journal grows with jobs); keys are client-scoped hashes, so the
+    /// table stays proportional to actual submissions.
+    dedup: Mutex<HashMap<u64, IdemState>>,
     options: ServeOptions,
     journal: Mutex<Option<JournalTx>>,
 }
@@ -143,6 +229,36 @@ impl Shared {
 
     fn journal_tx(&self) -> Option<JournalTx> {
         self.journal.lock().expect("journal lock poisoned").clone()
+    }
+
+    /// Settles an idempotency key after its execution finished:
+    /// memoizes terminal outcomes, clears retryable ones, and answers
+    /// every parked duplicate either way.
+    fn resolve_idem(&self, idem: Option<u64>, response: &Response) {
+        let Some(key) = idem else { return };
+        let terminal = match response {
+            Response::Result(_) => true,
+            Response::Error(e) => !e.retryable,
+            _ => false,
+        };
+        let waiters = {
+            let mut map = self.dedup.lock().expect("dedup lock poisoned");
+            let waiters = match map.remove(&key) {
+                Some(IdemState::InFlight(w)) => w,
+                Some(done @ IdemState::Done(_)) => {
+                    map.insert(key, done); // first terminal outcome wins
+                    Vec::new()
+                }
+                None => Vec::new(),
+            };
+            if terminal && !matches!(map.get(&key), Some(IdemState::Done(_))) {
+                map.insert(key, IdemState::Done(response.clone()));
+            }
+            waiters
+        };
+        for w in waiters {
+            deliver(&w.reply, &w.gate, w.seq, response.clone());
+        }
     }
 }
 
@@ -170,9 +286,20 @@ impl Daemon {
         let mut jobs_resumed = 0u64;
         let mut resumed_completed = 0u64;
         let mut resumed_failed = 0u64;
+        let mut dedup: HashMap<u64, IdemState> = HashMap::new();
         let journal = match &options.journal {
             Some(path) => {
                 let (journal, state) = ServeJournal::open(path)?;
+                // Seed the dedup table from journaled terminal records:
+                // a client resubmitting across our restart gets the
+                // journaled outcome, not a re-execution.
+                for rec in &state.terminal {
+                    if let Some(&key) = state.idem_by_id.get(&record_id(rec)) {
+                        dedup.entry(key).or_insert_with(|| {
+                            IdemState::Done(response_from_record(rec))
+                        });
+                    }
+                }
                 if !state.pending.is_empty() {
                     let tx = journal.sender();
                     let mut sup = supervisor(&options);
@@ -180,9 +307,14 @@ impl Daemon {
                     for spec in &state.pending {
                         jobs_resumed += 1;
                         let response = run_job(spec, &mut sup, &pool, Some(&tx), &options);
-                        match response {
+                        match &response {
                             Response::Result(_) => resumed_completed += 1,
                             _ => resumed_failed += 1,
+                        }
+                        // Resumed outcomes are terminal by construction
+                        // (replays run without deadlines or drains).
+                        if let Some(key) = spec.idem {
+                            dedup.insert(key, IdemState::Done(response));
                         }
                     }
                     tx.flush();
@@ -205,6 +337,9 @@ impl Daemon {
                 .collect(),
             completed: AtomicU64::new(resumed_completed),
             failed: AtomicU64::new(resumed_failed),
+            deadline_exceeded: AtomicU64::new(0),
+            sessions_active: AtomicUsize::new(0),
+            dedup: Mutex::new(dedup),
             journal: Mutex::new(journal.as_ref().map(ServeJournal::sender)),
             options,
         });
@@ -282,13 +417,24 @@ fn accept_loop(
     while !shared.stopping() {
         match listener.accept() {
             Ok(Some(conn)) => {
+                // Admission control: beyond the session cap, answer
+                // with a retryable `overloaded` and close — a bounded,
+                // typed refusal instead of an unbounded thread pile.
+                if shared.sessions_active.load(Ordering::SeqCst) >= shared.options.max_sessions {
+                    refuse_connection(conn, shared.options.max_sessions);
+                    continue;
+                }
                 session_count += 1;
+                shared.sessions_active.fetch_add(1, Ordering::SeqCst);
                 let id = session_count;
                 let shared = Arc::clone(shared);
                 sessions.push(
                     std::thread::Builder::new()
                         .name(format!("serve-session-{id}"))
-                        .spawn(move || session(id, conn, &shared))
+                        .spawn(move || {
+                            session(id, conn, &shared);
+                            shared.sessions_active.fetch_sub(1, Ordering::SeqCst);
+                        })
                         .expect("spawn session"),
                 );
             }
@@ -329,6 +475,20 @@ fn accept_loop(
     }
 }
 
+/// Answers an over-cap connection with a retryable `overloaded` error
+/// (best effort, under a short write timeout) and closes it.
+fn refuse_connection(mut conn: Conn, max_sessions: usize) {
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(250)));
+    let refusal = Response::Error(JobError {
+        id: 0,
+        kind: kind::OVERLOADED.into(),
+        retryable: true,
+        message: format!("daemon is at its {max_sessions}-session cap; reconnect after backoff"),
+    });
+    let _ = write_frame(&mut conn, &refusal);
+    conn.shutdown();
+}
+
 /// The session reader: frames in, exactly one queued response per
 /// frame, strict sequence numbering. Runs on the session thread; the
 /// paired writer is joined before returning.
@@ -336,19 +496,27 @@ fn session(id: u64, conn: Conn, shared: &Arc<Shared>) {
     let Ok(write_half) = conn.try_clone() else {
         return;
     };
+    let Ok(gate_conn) = conn.try_clone() else {
+        return;
+    };
     if conn.set_read_timeout(Some(Duration::from_millis(50))).is_err() {
         return;
     }
-    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Response)>();
-    let writer = std::thread::Builder::new()
-        .name(format!("serve-writer-{id}"))
-        .spawn(move || session_writer(write_half, reply_rx))
-        .expect("spawn session writer");
+    let gate = Arc::new(SessionGate { evicted: AtomicBool::new(false), conn: gate_conn });
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<(u64, Response)>(shared.options.writer_queue);
+    let writer = {
+        let gate = Arc::clone(&gate);
+        let write_timeout = shared.options.write_timeout;
+        std::thread::Builder::new()
+            .name(format!("serve-writer-{id}"))
+            .spawn(move || session_writer(write_half, reply_rx, gate, write_timeout))
+            .expect("spawn session writer")
+    };
 
     let pending = Arc::new(AtomicUsize::new(0));
     let mut conn = conn;
     let mut next_seq = 0u64;
-    let stop = || shared.stopping();
+    let stop = || shared.stopping() || gate.evicted.load(Ordering::SeqCst);
     loop {
         let outcome = read_frame(&mut conn, shared.options.max_frame, &stop);
         let seq = next_seq;
@@ -358,14 +526,15 @@ fn session(id: u64, conn: Conn, shared: &Arc<Shared>) {
                 std::str::from_utf8(&body).unwrap_or("\u{fffd}"),
             ) {
                 Ok(Request::Submit(spec)) => {
-                    match enqueue(shared, seq, spec, &reply_tx, &pending) {
+                    match enqueue(shared, seq, spec, &reply_tx, &pending, &gate) {
                         None => continue, // the worker will reply
-                        Some(err) => Response::Error(err),
+                        Some(resp) => resp,
                     }
                 }
                 Ok(Request::Ping { payload }) => Response::Pong {
                     payload,
                     completed: shared.completed.load(Ordering::SeqCst),
+                    deadline_exceeded: shared.deadline_exceeded.load(Ordering::SeqCst),
                 },
                 Ok(Request::Shutdown { flush }) => {
                     let has_journal = shared.journal_tx().is_some();
@@ -385,39 +554,62 @@ fn session(id: u64, conn: Conn, shared: &Arc<Shared>) {
                 retryable: false,
                 message: format!("frame of {len} bytes exceeds the {max}-byte cap"),
             }),
-            Err(FrameError::Closed | FrameError::Stopped | FrameError::Io(_)) => break,
+            Err(
+                FrameError::Closed
+                | FrameError::Stopped
+                | FrameError::Io(_)
+                | FrameError::TimedOut { .. },
+            ) => break,
         };
-        if reply_tx.send((seq, response)).is_err() {
-            break;
-        }
+        deliver(&reply_tx, &gate, seq, response);
     }
     drop(reply_tx);
     let _ = writer.join();
 }
 
-/// Validates queue capacity and shard-routes a submission. Returns the
-/// immediate error response, or `None` when the job was queued.
+/// Validates queue capacity, consults the idempotency dedup table, and
+/// shard-routes a submission. Returns the immediate response (error,
+/// or a memoized result for a resubmitted key), or `None` when the job
+/// was queued or parked behind an in-flight duplicate — in both of
+/// those cases a worker will reply later.
 fn enqueue(
     shared: &Arc<Shared>,
     seq: u64,
     spec: JobSpec,
-    reply: &Sender<(u64, Response)>,
+    reply: &SyncSender<(u64, Response)>,
     pending: &Arc<AtomicUsize>,
-) -> Option<JobError> {
+    gate: &Arc<SessionGate>,
+) -> Option<Response> {
     let id = spec.id;
     if shared.stopping() {
-        return Some(shutdown_error(id));
+        return Some(Response::Error(shutdown_error(id)));
     }
-    if pending.load(Ordering::SeqCst) >= shared.options.queue_depth {
-        return Some(JobError {
-            id,
-            kind: kind::OVERLOADED.into(),
-            retryable: true,
-            message: format!(
-                "session already has {} jobs in flight",
-                shared.options.queue_depth
-            ),
-        });
+    // Dedup before capacity: answering a memoized key costs no worker,
+    // so a full session can still recover outcomes it already paid for.
+    if let Some(key) = spec.idem {
+        let mut map = shared.dedup.lock().expect("dedup lock poisoned");
+        match map.get_mut(&key) {
+            Some(IdemState::Done(resp)) => return Some(resp.clone()),
+            Some(IdemState::InFlight(waiters)) => {
+                // The original is executing right now (maybe on another
+                // session). Park; resolve_idem answers us — a second
+                // execution never starts.
+                waiters.push(Waiter {
+                    seq,
+                    reply: reply.clone(),
+                    gate: Arc::clone(gate),
+                });
+                return None;
+            }
+            None => {
+                if pending.load(Ordering::SeqCst) >= shared.options.queue_depth {
+                    return Some(Response::Error(overloaded_error(shared, id)));
+                }
+                map.insert(key, IdemState::InFlight(Vec::new()));
+            }
+        }
+    } else if pending.load(Ordering::SeqCst) >= shared.options.queue_depth {
+        return Some(Response::Error(overloaded_error(shared, id)));
     }
     pending.fetch_add(1, Ordering::SeqCst);
     // Journal acceptance *here*, not at execution: a job that is
@@ -430,6 +622,7 @@ fn enqueue(
             scheduler: spec.scheduler.clone(),
             fingerprint: text_fingerprint(&spec.instance),
             instance: spec.instance.clone(),
+            idem: spec.idem,
         });
     }
     // Route by job id, not session id: one session's burst spreads
@@ -441,9 +634,22 @@ fn enqueue(
         spec,
         reply: reply.clone(),
         pending: Arc::clone(pending),
+        gate: Arc::clone(gate),
     });
     cond.notify_one();
     None
+}
+
+fn overloaded_error(shared: &Shared, id: u64) -> JobError {
+    JobError {
+        id,
+        kind: kind::OVERLOADED.into(),
+        retryable: true,
+        message: format!(
+            "session already has {} jobs in flight",
+            shared.options.queue_depth
+        ),
+    }
 }
 
 fn shutdown_error(id: u64) -> JobError {
@@ -456,17 +662,50 @@ fn shutdown_error(id: u64) -> JobError {
 }
 
 /// The session writer: releases responses in sequence order. Exits
-/// when every reply sender (reader + queued jobs) is gone.
-fn session_writer(mut conn: Conn, rx: mpsc::Receiver<(u64, Response)>) {
+/// when every reply sender (reader + queued jobs) is gone, or when the
+/// session is evicted — then it sends a best-effort typed notice and
+/// tears the connection down. All writes run under the configured
+/// write timeout, so a peer with a full receive window fails the write
+/// instead of parking this thread (and the worker behind it) forever.
+fn session_writer(
+    mut conn: Conn,
+    rx: mpsc::Receiver<(u64, Response)>,
+    gate: Arc<SessionGate>,
+    write_timeout: Duration,
+) {
+    let _ = conn.set_write_timeout(Some(write_timeout));
     let mut next = 0u64;
     let mut held: BTreeMap<u64, Response> = BTreeMap::new();
-    for (seq, resp) in rx {
-        held.insert(seq, resp);
-        while let Some(resp) = held.remove(&next) {
-            if write_frame(&mut conn, &resp).is_err() {
-                return; // client is gone; drain silently
+    loop {
+        if gate.evicted.load(Ordering::SeqCst) {
+            let notice = Response::Error(JobError {
+                id: 0,
+                kind: kind::EVICTED.into(),
+                retryable: true,
+                message: "session evicted: responses were not read fast enough; \
+                          reconnect and resubmit (idempotency keys recover outcomes)"
+                    .into(),
+            });
+            let _ = write_frame(&mut conn, &notice);
+            gate.conn.shutdown();
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok((seq, resp)) => {
+                held.insert(seq, resp);
+                while let Some(resp) = held.remove(&next) {
+                    if write_frame(&mut conn, &resp).is_err() {
+                        // Timed-out write or dead client: evict so the
+                        // reader stops too, then close.
+                        gate.evicted.store(true, Ordering::SeqCst);
+                        gate.conn.shutdown();
+                        return;
+                    }
+                    next += 1;
+                }
             }
-            next += 1;
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -490,12 +729,22 @@ fn worker_loop(index: usize, shared: &Arc<Shared>, scratch: &Arc<ScratchPool<Eng
                     Response::Result(_) => {
                         shared.completed.fetch_add(1, Ordering::SeqCst);
                     }
+                    Response::Error(e) => {
+                        shared.failed.fetch_add(1, Ordering::SeqCst);
+                        if e.kind == kind::DEADLINE_EXCEEDED {
+                            shared.deadline_exceeded.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
                     _ => {
                         shared.failed.fetch_add(1, Ordering::SeqCst);
                     }
                 }
+                // Settle the idempotency key *before* replying: once
+                // the submitting client sees the outcome, a duplicate
+                // from any session must already find it memoized.
+                shared.resolve_idem(item.spec.idem, &response);
                 item.pending.fetch_sub(1, Ordering::SeqCst);
-                let _ = item.reply.send((item.seq, response));
+                deliver(&item.reply, &item.gate, item.seq, response);
             }
             None if shared.stopping() && shared.producers_done.load(Ordering::SeqCst) => break,
             None => {
@@ -595,6 +844,7 @@ fn run_job(
     let outcome = {
         let name = spec.scheduler.clone();
         let max_events = options.max_events;
+        let deadline_ms = spec.deadline_ms;
         sup.run_trial(fingerprint, scheduler_hash(&spec.scheduler), || {
             let inst = inst.clone();
             let name = name.clone();
@@ -604,8 +854,19 @@ fn run_job(
                     .expect("scheduler name validated above");
                 scratch.with(EngineScratch::new, |s| {
                     let mut config = EngineConfig::new().scratch(s);
-                    if let Some(limit) = max_events {
-                        config = config.budget(RunBudget::max_events(limit));
+                    // The per-request deadline rides the engine's wall
+                    // budget, composed with the daemon-wide event cap;
+                    // either trip surfaces as a typed RunError below.
+                    let mut budget = max_events.map(RunBudget::max_events);
+                    if let Some(ms) = deadline_ms {
+                        let limit = Duration::from_millis(ms);
+                        budget = Some(match budget {
+                            Some(b) => b.with_wall_deadline(limit),
+                            None => RunBudget::wall_deadline(limit),
+                        });
+                    }
+                    if let Some(b) = budget {
+                        config = config.budget(b);
                     }
                     config.try_run(&mut StaticSource::new(inst.clone()), sched.as_mut())
                 })
@@ -623,11 +884,15 @@ fn run_job(
                     makespan: result.makespan.clone(),
                     events: result.events,
                     ratio_to_lb: result.ratio_to_lb,
+                    tasks: Some(result.tasks as u64),
+                    procs: Some(result.procs),
+                    lower_bound: Some(result.lower_bound.clone()),
+                    peak_ready: Some(result.peak_ready),
                 });
             }
             return Response::Result(result);
         }
-        Ok(Err(run_err)) => (kind::RUN, format!("{run_err}")),
+        Ok(Err(run_err)) => (run_error_kind(&run_err, spec), format!("{run_err}")),
         Err(TrialError::Panicked { message }) => (kind::PANICKED, message),
         Err(TrialError::TimedOut { limit_ms }) => {
             (kind::TIMED_OUT, format!("exceeded the {limit_ms} ms watchdog"))
@@ -636,7 +901,7 @@ fn run_job(
             kind::QUARANTINED,
             format!("quarantined after {attempts} failed attempt(s)"),
         ),
-        Err(TrialError::Run(e)) => (kind::RUN, format!("{e}")),
+        Err(TrialError::Run(e)) => (run_error_kind(&e, spec), format!("{e}")),
     };
     if let Some(tx) = journal {
         tx.record(JobRecord::Failed {
@@ -646,6 +911,71 @@ fn run_job(
         });
     }
     Response::Error(JobError { id: spec.id, kind: kind_str.into(), retryable: false, message })
+}
+
+/// Classifies a typed engine error: a wall-clock budget trip on a job
+/// that carried `deadline_ms` is the job's own deadline expiring, not a
+/// generic run error.
+fn run_error_kind(err: &RunError, spec: &JobSpec) -> &'static str {
+    match err {
+        RunError::BudgetExceeded { exceeded: BudgetKind::WallClock { .. }, .. }
+            if spec.deadline_ms.is_some() =>
+        {
+            kind::DEADLINE_EXCEEDED
+        }
+        _ => kind::RUN,
+    }
+}
+
+/// Reconstructs the response a journaled terminal record stands for,
+/// used to answer resubmitted idempotency keys across restarts. The
+/// result summary is faithful; `gantt`/`trace` attachments are not
+/// journaled and come back empty (documented in `docs/serve.md`).
+fn response_from_record(rec: &JobRecord) -> Response {
+    match rec {
+        JobRecord::Completed {
+            id,
+            scheduler,
+            makespan,
+            events,
+            ratio_to_lb,
+            tasks,
+            procs,
+            lower_bound,
+            peak_ready,
+        } => Response::Result(JobResult {
+            id: *id,
+            scheduler: scheduler.clone(),
+            tasks: tasks.unwrap_or(0) as usize,
+            procs: procs.unwrap_or(0),
+            makespan: makespan.clone(),
+            lower_bound: lower_bound.clone().unwrap_or_default(),
+            ratio_to_lb: *ratio_to_lb,
+            events: *events,
+            peak_ready: peak_ready.unwrap_or(0),
+            gantt: Vec::new(),
+            trace: String::new(),
+        }),
+        JobRecord::Failed { id, scheduler: _, kind: kind_str } => {
+            Response::Error(JobError {
+                id: *id,
+                kind: kind_str.clone(),
+                retryable: false,
+                message: "journaled terminal failure, replayed for a resubmitted \
+                          idempotency key"
+                    .into(),
+            })
+        }
+        JobRecord::Submitted { .. } => unreachable!("terminal records only"),
+    }
+}
+
+fn record_id(rec: &JobRecord) -> u64 {
+    match rec {
+        JobRecord::Submitted { id, .. }
+        | JobRecord::Completed { id, .. }
+        | JobRecord::Failed { id, .. } => *id,
+    }
 }
 
 fn summarize(spec: &JobSpec, inst: &Instance, run: &RunResult) -> JobResult {

@@ -60,6 +60,13 @@ pub enum JobRecord {
         fingerprint: u64,
         /// The instance, in `.rigid` text format.
         instance: String,
+        /// The client's idempotency key, if the submission carried one.
+        /// `None` on records written before PR 9 (schema is still v1 —
+        /// absent fields deserialize as `None`). Per-request deadlines
+        /// are deliberately *not* journaled: a deadline bounds one live
+        /// execution attempt, and a crash-replay runs without it rather
+        /// than inheriting a stale wall-clock bound.
+        idem: Option<u64>,
     },
     /// The job ran to completion.
     Completed {
@@ -73,6 +80,17 @@ pub enum JobRecord {
         events: u64,
         /// Makespan / lower bound.
         ratio_to_lb: f64,
+        /// Task count (`None` on pre-PR-9 records). These optional
+        /// fields let a restarted daemon answer a resubmitted
+        /// idempotency key with a faithful `JobResult` instead of
+        /// re-executing; they do not participate in [`aggregate`].
+        tasks: Option<u64>,
+        /// Processor count (`None` on pre-PR-9 records).
+        procs: Option<u32>,
+        /// Lower bound, display form (`None` on pre-PR-9 records).
+        lower_bound: Option<String>,
+        /// Peak ready-set size (`None` on pre-PR-9 records).
+        peak_ready: Option<u64>,
     },
     /// The job terminated without a schedule (typed engine error,
     /// panic, watchdog timeout, or quarantine). Terminal: the job is
@@ -107,6 +125,12 @@ pub struct JournalState {
     /// (replays after an untimely crash write identical duplicates;
     /// first wins).
     pub terminal: Vec<JobRecord>,
+    /// Idempotency key per job id, for every submission that carried
+    /// one (first submission wins). The daemon joins this against
+    /// `terminal` at startup to seed its dedup table, so a client that
+    /// resubmits across a daemon restart still gets the journaled
+    /// outcome instead of a re-execution.
+    pub idem_by_id: BTreeMap<u64, u64>,
     /// Whether a torn tail was truncated.
     pub torn_tail: bool,
 }
@@ -187,19 +211,27 @@ pub fn scan(path: &Path) -> Result<(JournalState, bool, u64), String> {
 
     let mut submitted: BTreeMap<u64, JobSpec> = BTreeMap::new();
     let mut submit_order: Vec<u64> = Vec::new();
+    let mut idem_by_id: BTreeMap<u64, u64> = BTreeMap::new();
     let mut terminal_ids: BTreeSet<u64> = BTreeSet::new();
     let mut terminal: Vec<JobRecord> = Vec::new();
     for rec in rs.records {
         match rec {
-            JobRecord::Submitted { id, scheduler, instance, .. } => {
+            JobRecord::Submitted { id, scheduler, instance, idem, .. } => {
                 if let std::collections::btree_map::Entry::Vacant(slot) = submitted.entry(id) {
                     submit_order.push(id);
+                    if let Some(key) = idem {
+                        idem_by_id.insert(id, key);
+                    }
                     slot.insert(JobSpec {
                         id,
                         scheduler,
                         instance,
                         gantt: false,
                         trace: false,
+                        idem,
+                        // Deadlines bound live attempts only; replays
+                        // run unbounded (see the record's field docs).
+                        deadline_ms: None,
                     });
                 }
             }
@@ -216,7 +248,7 @@ pub fn scan(path: &Path) -> Result<(JournalState, bool, u64), String> {
         .map(|id| submitted.remove(&id).expect("ordered id is in the map"))
         .collect();
     Ok((
-        JournalState { pending, terminal, torn_tail: rs.torn_tail },
+        JournalState { pending, terminal, idem_by_id, torn_tail: rs.torn_tail },
         rs.torn_tail,
         rs.valid_len,
     ))
@@ -276,8 +308,12 @@ impl ServeJournal {
                 .and_then(|()| file.write_all(b"\n"))
                 .and_then(|()| file.sync_data())
                 .map_err(|e| format!("cannot write journal header: {e}"))?;
-            let state =
-                JournalState { pending: Vec::new(), terminal: Vec::new(), torn_tail: false };
+            let state = JournalState {
+                pending: Vec::new(),
+                terminal: Vec::new(),
+                idem_by_id: BTreeMap::new(),
+                torn_tail: false,
+            };
             (state, file)
         };
         let (tx, rx) = mpsc::channel::<Msg>();
@@ -389,6 +425,10 @@ mod tests {
             makespan: "5".into(),
             events: 10 + id,
             ratio_to_lb: 1.25,
+            tasks: Some(4),
+            procs: Some(2),
+            lower_bound: Some("4".into()),
+            peak_ready: Some(3),
         }
     }
 
@@ -398,6 +438,7 @@ mod tests {
             scheduler: "catbatch".into(),
             fingerprint: 99,
             instance: "procs 2\n".into(),
+            idem: Some(0x1000 + id),
         }
     }
 
@@ -448,6 +489,54 @@ mod tests {
         assert_eq!(state.terminal, vec![completed(1)]);
         journal.close();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn idem_keys_are_recovered_per_job_id() {
+        let path = tmp("idem");
+        let (journal, _) = ServeJournal::open(&path).expect("create");
+        let tx = journal.sender();
+        tx.record(submitted(1)); // idem 0x1001
+        tx.record(JobRecord::Submitted {
+            id: 2,
+            scheduler: "catbatch".into(),
+            fingerprint: 99,
+            instance: "procs 2\n".into(),
+            idem: None, // a client that opted out
+        });
+        tx.record(completed(1));
+        journal.close();
+
+        let (journal, state) = ServeJournal::open(&path).expect("reopen");
+        assert_eq!(state.idem_by_id.get(&1), Some(&0x1001));
+        assert_eq!(state.idem_by_id.get(&2), None);
+        journal.close();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Pre-PR-9 journals lack `idem` on `Submitted` and the result
+    /// detail fields on `Completed`; they must keep parsing (the schema
+    /// tag is still v1 — evolution is additive `Option` fields only).
+    #[test]
+    fn pre_idempotency_records_still_parse() {
+        let old_submitted = r#"{"Submitted":{"id":7,"scheduler":"catbatch","fingerprint":3,"instance":"procs 2\n"}}"#;
+        let rec: JobRecord = serde_json::from_str(old_submitted).expect("old Submitted parses");
+        match rec {
+            JobRecord::Submitted { id, idem, .. } => {
+                assert_eq!(id, 7);
+                assert_eq!(idem, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let old_completed = r#"{"Completed":{"id":7,"scheduler":"catbatch","makespan":"5","events":12,"ratio_to_lb":1.5}}"#;
+        let rec: JobRecord = serde_json::from_str(old_completed).expect("old Completed parses");
+        match rec {
+            JobRecord::Completed { id, tasks, procs, lower_bound, peak_ready, .. } => {
+                assert_eq!(id, 7);
+                assert_eq!((tasks, procs, lower_bound, peak_ready), (None, None, None, None));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -17,9 +17,16 @@
 //!   execution, outcomes after; a restarted daemon replays the
 //!   unfinished backlog before it binds, so the terminal record set
 //!   converges to the uninterrupted run's, byte for byte.
-//! * [`client`] / [`loadgen`] — a minimal pipelining client and the
-//!   N-client load generator behind `catbatch loadgen` and the
-//!   `serve` bench scenario.
+//! * [`client`] / [`loadgen`] — a minimal pipelining client, a
+//!   fault-tolerant [`ResilientClient`] (read timeouts, reconnect +
+//!   idempotent resubmit under seeded backoff), and the N-client load
+//!   generator behind `catbatch loadgen` and the `serve` bench
+//!   scenario.
+//! * [`chaos`] — a seeded in-process network fault injector
+//!   (`catbatch chaos-proxy`): relays client↔daemon byte streams while
+//!   injecting delays, torn writes, slowloris trickle, planned
+//!   connection resets, and byte corruption, all drawn from ChaCha8
+//!   substreams in byte-offset space so fault schedules replay exactly.
 //!
 //! See `docs/serve.md` for the frame format, the session/shard model,
 //! and the crash-recovery walkthrough.
@@ -29,6 +36,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod daemon;
 pub mod journal;
@@ -36,7 +44,8 @@ pub mod loadgen;
 pub mod net;
 pub mod protocol;
 
-pub use client::Client;
+pub use chaos::{ChaosPlan, ChaosProxy, ChaosProxyHandle, ProxyReport};
+pub use client::{Client, ClientConfig, ClientError, ResilientClient, RetryPolicy};
 pub use daemon::{run_one, Daemon, ServeOptions, ServeReport};
 pub use journal::{aggregate, Aggregates, JobRecord, ServeJournal, SERVE_SCHEMA};
 pub use loadgen::{LoadgenOptions, LoadgenReport};

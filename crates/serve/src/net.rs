@@ -63,6 +63,26 @@ impl Conn {
             Conn::Tcp(s) => s.set_read_timeout(dur),
         }
     }
+
+    /// Sets the write timeout; a write into a full socket buffer (a
+    /// peer that stopped reading) then fails instead of blocking the
+    /// writer thread forever.
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_write_timeout(dur),
+            Conn::Tcp(s) => s.set_write_timeout(dur),
+        }
+    }
+
+    /// Shuts down both directions. Pending reads/writes on any clone of
+    /// this socket fail immediately — the abrupt-close primitive used
+    /// by slow-reader eviction and the chaos proxy's connection resets.
+    pub fn shutdown(&self) {
+        let _ = match self {
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
 }
 
 impl Read for Conn {

@@ -36,6 +36,18 @@ pub struct JobSpec {
     pub gantt: bool,
     /// Include the event trace (JSON) in the result payload.
     pub trace: bool,
+    /// Client-generated idempotency key. When present, the daemon
+    /// dedupes: a resubmission carrying a key it has already accepted
+    /// returns the first submission's terminal outcome instead of
+    /// executing again — exactly-once results over an at-least-once
+    /// wire. Keys must be unique per *logical* job for the daemon's
+    /// journal lifetime; reuse a key only to retry the same job.
+    pub idem: Option<u64>,
+    /// Per-request deadline, milliseconds of wall clock from the moment
+    /// a worker starts the job. Mapped onto the engine's `RunBudget`
+    /// wall deadline: a job past its budget fails with a typed
+    /// [`kind::DEADLINE_EXCEEDED`] error instead of hanging.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A client-to-daemon message.
@@ -111,6 +123,16 @@ pub mod kind {
     /// The daemon is shutting down; the job was not run. Retryable
     /// against the restarted daemon (journaled jobs resume there).
     pub const SHUTDOWN: &str = "shutting-down";
+    /// The job's `deadline_ms` wall-clock budget expired before the
+    /// engine reached quiescence. Terminal: the same job would blow the
+    /// same deadline again (resubmit with a larger one).
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// The session was evicted because its client read responses too
+    /// slowly: the bounded writer queue overflowed or a frame write
+    /// timed out. The daemon closes the connection after a best-effort
+    /// final error frame; submitted jobs still run (and journal), so a
+    /// reconnecting client can recover outcomes via idempotency keys.
+    pub const EVICTED: &str = "evicted-slow-reader";
 }
 
 /// A typed error response. `retryable` says whether resubmitting the
@@ -141,6 +163,8 @@ pub enum Response {
         payload: u64,
         /// Jobs completed by this daemon so far.
         completed: u64,
+        /// Jobs that failed with [`kind::DEADLINE_EXCEEDED`] so far.
+        deadline_exceeded: u64,
     },
     /// Acknowledgement of a shutdown request.
     ShuttingDown {
@@ -156,6 +180,13 @@ pub enum FrameError {
     Closed,
     /// The reader was asked to stop (daemon shutdown).
     Stopped,
+    /// No complete frame arrived within the configured read timeout.
+    /// The stream may be mid-frame: the only safe recovery is to drop
+    /// the connection and (for idempotent requests) resubmit.
+    TimedOut {
+        /// How long the reader waited, milliseconds.
+        waited_ms: u64,
+    },
     /// A frame length exceeded the cap. The body was drained; the
     /// stream is still framed correctly.
     Oversized {
@@ -173,6 +204,9 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::Closed => write!(f, "connection closed"),
             FrameError::Stopped => write!(f, "reader stopped"),
+            FrameError::TimedOut { waited_ms } => {
+                write!(f, "no frame within the {waited_ms} ms read timeout")
+            }
             FrameError::Oversized { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
             }
@@ -182,12 +216,13 @@ impl std::fmt::Display for FrameError {
 }
 
 /// Reads exactly `buf.len()` bytes, retrying on read timeouts while
-/// polling `stop`. `clean_eof` is true when EOF before the first byte
-/// is a legal end of stream (frame boundary).
+/// polling `stop` and the optional deadline. `clean_eof` is true when
+/// EOF before the first byte is a legal end of stream (frame boundary).
 fn read_full(
     r: &mut impl Read,
     buf: &mut [u8],
     stop: &dyn Fn() -> bool,
+    deadline: Option<(std::time::Instant, u64)>,
     clean_eof: bool,
 ) -> Result<(), FrameError> {
     let mut got = 0usize;
@@ -208,6 +243,11 @@ fn read_full(
                 if stop() {
                     return Err(FrameError::Stopped);
                 }
+                if let Some((at, waited_ms)) = deadline {
+                    if std::time::Instant::now() >= at {
+                        return Err(FrameError::TimedOut { waited_ms });
+                    }
+                }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => return Err(FrameError::Io(e)),
@@ -225,8 +265,22 @@ pub fn read_frame(
     max_frame: u32,
     stop: &dyn Fn() -> bool,
 ) -> Result<Vec<u8>, FrameError> {
+    read_frame_timeout(r, max_frame, stop, None)
+}
+
+/// [`read_frame`] with an overall deadline: if no complete frame has
+/// arrived within `timeout`, fails with [`FrameError::TimedOut`]. The
+/// underlying stream must have a (shorter) OS-level read timeout set —
+/// the deadline is only checked when a read returns `WouldBlock`.
+pub fn read_frame_timeout(
+    r: &mut impl Read,
+    max_frame: u32,
+    stop: &dyn Fn() -> bool,
+    timeout: Option<std::time::Duration>,
+) -> Result<Vec<u8>, FrameError> {
+    let deadline = timeout.map(|t| (std::time::Instant::now() + t, t.as_millis() as u64));
     let mut len_bytes = [0u8; 4];
-    read_full(r, &mut len_bytes, stop, true)?;
+    read_full(r, &mut len_bytes, stop, deadline, true)?;
     let len = u32::from_be_bytes(len_bytes);
     if len > max_frame {
         // Drain the declared body so the next frame starts cleanly.
@@ -234,13 +288,13 @@ pub fn read_frame(
         let mut remaining = len as usize;
         while remaining > 0 {
             let take = remaining.min(sink.len());
-            read_full(r, &mut sink[..take], stop, false)?;
+            read_full(r, &mut sink[..take], stop, deadline, false)?;
             remaining -= take;
         }
         return Err(FrameError::Oversized { len, max: max_frame });
     }
     let mut body = vec![0u8; len as usize];
-    read_full(r, &mut body, stop, false)?;
+    read_full(r, &mut body, stop, deadline, false)?;
     Ok(body)
 }
 
@@ -273,12 +327,52 @@ mod tests {
             instance: "procs 2\ntask a 1 1\n".into(),
             gantt: true,
             trace: false,
+            idem: Some(0xfeed),
+            deadline_ms: Some(250),
         };
         assert_eq!(roundtrip(&Request::Submit(spec.clone())), Request::Submit(spec));
         assert_eq!(
             roundtrip(&Request::Ping { payload: 99 }),
             Request::Ping { payload: 99 }
         );
+    }
+
+    #[test]
+    fn pre_idempotency_submissions_still_parse() {
+        // A frame from a client predating `idem`/`deadline_ms`: the
+        // optional fields default to None instead of rejecting it.
+        let body = r#"{"Submit":{"id":3,"scheduler":"catbatch","instance":"procs 1\n","gantt":false,"trace":false}}"#;
+        let req: Request = serde_json::from_str(body).expect("old-format frame parses");
+        match req {
+            Request::Submit(spec) => {
+                assert_eq!(spec.id, 3);
+                assert_eq!(spec.idem, None);
+                assert_eq!(spec.deadline_ms, None);
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_timeout_is_typed_not_an_io_error() {
+        // A reader whose stream never produces bytes: every read yields
+        // WouldBlock, so only the deadline can end the wait.
+        struct Stalled;
+        impl Read for Stalled {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+        match read_frame_timeout(
+            &mut Stalled,
+            MAX_FRAME,
+            &|| false,
+            Some(std::time::Duration::from_millis(20)),
+        ) {
+            Err(FrameError::TimedOut { waited_ms }) => assert_eq!(waited_ms, 20),
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
     }
 
     #[test]

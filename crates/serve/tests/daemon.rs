@@ -40,6 +40,8 @@ fn spec(id: u64, scheduler: &str, instance: &str) -> JobSpec {
         instance: instance.into(),
         gantt: false,
         trace: false,
+        idem: None,
+        deadline_ms: None,
     }
 }
 
@@ -330,6 +332,7 @@ fn crafted_backlog_replays_deterministically_on_startup() {
                 scheduler: "catbatch".into(),
                 fingerprint: 0,
                 instance: inst.clone(),
+                idem: None,
             });
         }
         tx.flush();

@@ -48,6 +48,8 @@ fn sigterm_mid_load_flushes_journal_and_the_restarted_daemon_resumes() {
             instance: if id == 1 { heavy.clone() } else { light.clone() },
             gantt: false,
             trace: false,
+            idem: None,
+            deadline_ms: None,
         })
         .collect();
 
@@ -119,7 +121,7 @@ fn sigterm_mid_load_flushes_journal_and_the_restarted_daemon_resumes() {
     // It is actually alive and serving, not just constructed.
     let mut probe = Client::connect(&opts_b.bind).expect("reconnect");
     match probe.call(&Request::Ping { payload: 5 }).expect("ping") {
-        Response::Pong { payload, completed } => {
+        Response::Pong { payload, completed, .. } => {
             assert_eq!(payload, 5);
             assert_eq!(completed, pending, "the whole backlog replayed before binding");
         }
