@@ -120,8 +120,8 @@ pub enum Command {
         /// Output path for the merged v1 journal.
         out: String,
     },
-    /// `bench [--json] [--quick] [--out PATH] [--check BASELINE]` — run
-    /// the fixed perf scenario matrix.
+    /// `bench [--json] [--quick] [--profile] [--out PATH]
+    /// [--check BASELINE]` — run the fixed perf scenario matrix.
     Bench {
         /// Write the machine-readable report (`BENCH_engine.json` by
         /// default) instead of only printing the table.
@@ -140,6 +140,9 @@ pub enum Command {
         resume: bool,
         /// Worker threads for the scenario sweep (`None` = all cores).
         jobs: Option<usize>,
+        /// Also print the engine-loop counter breakdown per scenario
+        /// (queue ops, rational fallbacks, decision rounds, batching).
+        profile: bool,
     },
     /// `serve [--bind PATH | --tcp ADDR] [--workers N] [--queue-depth N]
     /// [--journal PATH] [--watchdog-ms N] [--max-events N] [--retries R]
@@ -272,12 +275,16 @@ USAGE:
       merged journal — byte-identical to the journal one unsharded
       process would have written, so `faults --journal PATH --resume`
       replays it into the single-process report
-  catbatch bench [--json] [--quick] [--out PATH] [--check BASELINE]
-                 [--journal PATH [--resume]] [--jobs N]
+  catbatch bench [--json] [--quick] [--profile] [--out PATH]
+                 [--check BASELINE] [--journal PATH [--resume]]
+                 [--jobs N]
       run the fixed perf scenario matrix (paper figures + random DAGs
       up to n = 1e7; the quick tier stops at 1e6) and print the
       throughput table; --json also
       writes BENCH_engine.json (or PATH); --quick runs the small tier;
+      --profile also prints the engine-loop counter breakdown (calendar
+      queue pushes/pops, rational fallbacks, decision rounds, cohort
+      batch sizes, scratch pre-sizing overruns) per scenario;
       --check fails on a >2x events/sec regression vs a baseline report;
       --journal/--resume checkpoint finished scenarios so a killed
       bench run resumes without re-timing them; --jobs runs the sweep
@@ -554,10 +561,12 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             let mut journal = None;
             let mut resume = false;
             let mut jobs = None;
+            let mut profile = false;
             while let Some(a) = it.next() {
                 match a {
                     "--json" => json = true,
                     "--quick" => quick = true,
+                    "--profile" => profile = true,
                     "--out" => out = take_value(a, &mut it)?,
                     "--check" => check = Some(take_value(a, &mut it)?),
                     "--journal" => journal = Some(take_value(a, &mut it)?),
@@ -577,6 +586,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 journal,
                 resume,
                 jobs,
+                profile,
             })
         }
         Some("serve") => {
@@ -850,12 +860,13 @@ mod tests {
                 journal: None,
                 resume: false,
                 jobs: None,
+                profile: false,
             }
         );
         assert_eq!(
             parse_args(&[
                 "bench", "--json", "--quick", "--out", "b.json", "--check", "base.json",
-                "--journal", "j.jsonl", "--resume", "--jobs", "4",
+                "--journal", "j.jsonl", "--resume", "--jobs", "4", "--profile",
             ])
             .unwrap(),
             Command::Bench {
@@ -866,6 +877,7 @@ mod tests {
                 journal: Some("j.jsonl".into()),
                 resume: true,
                 jobs: Some(4),
+                profile: true,
             }
         );
         assert!(parse_args(&["bench", "--out"]).is_err());

@@ -88,6 +88,7 @@ pub fn run_command(
             journal,
             resume,
             jobs,
+            profile,
         } => bench_cmd(
             *json,
             *quick,
@@ -96,6 +97,7 @@ pub fn run_command(
             journal.as_deref(),
             *resume,
             *jobs,
+            *profile,
             read_file,
         ),
         Command::Serve {
@@ -549,6 +551,7 @@ fn bench_cmd(
     journal: Option<&str>,
     resume: bool,
     jobs: Option<usize>,
+    profile: bool,
     read_file: &dyn Fn(&str) -> Result<String, String>,
 ) -> Result<String, String> {
     let jobs = rigid_exec::resolve_jobs(jobs);
@@ -565,6 +568,10 @@ fn bench_cmd(
         None => (rigid_bench::perf::run(quick, jobs), None),
     };
     let mut text = rigid_bench::perf::render_table(&report);
+    if profile {
+        text.push('\n');
+        text.push_str(&rigid_bench::perf::render_profile(&report));
+    }
     if let Some((executed, replayed)) = journal_counts {
         text.push_str(&format!(
             "\nscenarios executed : {executed}\nscenarios replayed : {replayed}\n"
@@ -840,11 +847,31 @@ mod tests {
     }
 
     #[test]
+    fn bench_quick_profile_prints_counter_table() {
+        let cmd = parse_args(&["bench", "--quick", "--profile"]).unwrap();
+        let out = run_command(&cmd, &fs).unwrap();
+        assert!(out.contains("rat_fb"), "{out}");
+        assert!(out.contains("hint_miss"), "{out}");
+        // Pure-dyadic generated scenarios never touch the exact-rational
+        // overflow path; the profile row must show that. The row lives
+        // in the second (profile) table: scenario q_push q_pop rat_fb ...
+        let rand_row = out
+            .lines()
+            .rfind(|l| l.starts_with("rand-layered-n1000"))
+            .expect("profile row for rand-layered-n1000");
+        let cols: Vec<&str> = rand_row.split_whitespace().collect();
+        assert_eq!(cols[3], "0", "rational fallbacks on a pure-dyadic scenario: {rand_row}");
+        // Without --profile the counter table is absent.
+        let plain = run_command(&parse_args(&["bench", "--quick"]).unwrap(), &fs).unwrap();
+        assert!(!plain.contains("rat_fb"), "{plain}");
+    }
+
+    #[test]
     fn bench_check_rejects_bad_baseline() {
         let cmd =
             parse_args(&["bench", "--quick", "--check", "sample.rigid"]).unwrap();
         let err = run_command(&cmd, &fs).unwrap_err();
-        assert!(err.contains("not a catbatch-bench-engine/v1.3 report"), "{err}");
+        assert!(err.contains("not a catbatch-bench-engine/v1.4 report"), "{err}");
         assert!(err.contains("catbatch bench --json --out"), "{err}");
     }
 

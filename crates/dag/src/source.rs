@@ -88,6 +88,17 @@ pub trait InstanceSource {
         let _ = (now, out);
     }
 
+    /// An upper bound on the number of tasks this source will release
+    /// over the whole run, when one is known up front. The engine uses
+    /// it to pre-size its per-task scratch columns so a large run does
+    /// zero mid-run reallocation; `None` (the default, and the only
+    /// honest answer for adaptive adversaries) just means the columns
+    /// grow on demand. Releasing more tasks than the hint is sound —
+    /// the engine counts the overruns in its stats rather than failing.
+    fn task_count_hint(&self) -> Option<usize> {
+        None
+    }
+
     /// Tasks ready at time zero, as a fresh `Vec` (see
     /// [`initial_into`](Self::initial_into)).
     fn initial(&mut self) -> Vec<ReleasedTask> {
@@ -194,6 +205,10 @@ impl InstanceSource for TimedSource {
             .iter()
             .map(|&(t, _)| t)
             .find(|&t| t > now)
+    }
+
+    fn task_count_hint(&self) -> Option<usize> {
+        Some(self.total())
     }
 
     fn timed_releases_into(&mut self, now: Time, out: &mut Vec<ReleasedTask>) {
@@ -314,6 +329,10 @@ impl InstanceSource for StaticSource {
 
     fn expects_more(&self) -> bool {
         self.released_count < self.instance.len()
+    }
+
+    fn task_count_hint(&self) -> Option<usize> {
+        Some(self.instance.len())
     }
 }
 

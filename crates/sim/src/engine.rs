@@ -54,6 +54,7 @@
 //! that treat violations as bugs. The old free functions remain as thin
 //! deprecated wrappers for the reference/differential harness.
 
+use crate::calendar::{CalendarQueue, Event};
 use crate::error::{BudgetKind, RunError, SchedulerViolation, SourceViolation};
 use crate::fault::{Attempt, AttemptOutcome, AttemptRecord, FaultLog, FaultModel, NoFaults};
 use crate::schedule::Schedule;
@@ -76,6 +77,28 @@ pub struct EngineStats {
     /// Peak size of the ready set — tasks released but neither running
     /// nor complete — observed at any decision point.
     pub peak_ready: u64,
+    /// Events pushed into the calendar queue (attempt starts).
+    pub queue_pushes: u64,
+    /// Events popped from the calendar queue (attempt completions and
+    /// failures; equals `queue_pushes` for a run that finishes).
+    pub queue_pops: u64,
+    /// Queue pushes that missed the radix fast path and took the exact
+    /// `Rational` overflow heap: off-grid timestamps, out-of-coverage
+    /// dyadics, behind-the-frontier keys. 0 on a pure-dyadic run — the
+    /// `bench --profile` smoke asserts exactly that.
+    pub rational_fallbacks: u64,
+    /// `decide_into` consultations (equals [`RunResult::decisions`];
+    /// mirrored here so profile output needs only the stats block).
+    pub decide_calls: u64,
+    /// Completion/failure cohorts drained: queue pops grouped by
+    /// identical timestamp, each answered by one decision round.
+    pub batches: u64,
+    /// Largest single cohort (events sharing one timestamp).
+    pub max_batch: u64,
+    /// Task releases that landed beyond the pre-sized per-task columns
+    /// and forced mid-run growth. 0 whenever the source's
+    /// `task_count_hint()` covered the run.
+    pub hint_misses: u64,
 }
 
 /// Hard resource limits on a single engine run.
@@ -213,91 +236,6 @@ impl RunResult {
     }
 }
 
-/// A queued attempt completion/failure. The derived order — `(at, seq,
-/// id, …)` — is the heap key: `seq` (start order) reproduces the legacy
-/// stepping engine's processing order for simultaneous events, and `id`
-/// is the total-order fallback that keeps the key deterministic even
-/// though `seq` is already unique.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    at: Time,
-    seq: u64,
-    id: TaskId,
-    procs: u32,
-    fails: bool,
-}
-
-/// Index-based 4-ary min-heap of [`Event`]s in one flat `Vec`.
-///
-/// Replaces `BinaryHeap<Reverse<Event>>` on the hot path: no `Reverse`
-/// wrapper, half the tree depth of a binary heap (fewer comparisons and
-/// cache misses per sift), and the child scan of a sift-down stays
-/// within a handful of adjacent `Event`s. Because the `(at, seq)` key
-/// is unique per event, every correct min-heap pops the same sequence —
-/// swapping the heap implementation cannot change engine output.
-#[derive(Default)]
-struct EventHeap {
-    data: Vec<Event>,
-}
-
-impl EventHeap {
-    /// Heap arity. 4 halves the depth of a binary heap while keeping
-    /// each sift-down's child scan over adjacent elements.
-    const D: usize = 4;
-
-    fn push(&mut self, e: Event) {
-        self.data.push(e);
-        let mut i = self.data.len() - 1;
-        while i > 0 {
-            let parent = (i - 1) / Self::D;
-            if self.data[i] < self.data[parent] {
-                self.data.swap(i, parent);
-                i = parent;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<&Event> {
-        self.data.first()
-    }
-
-    fn pop(&mut self) -> Option<Event> {
-        let n = self.data.len();
-        if n == 0 {
-            return None;
-        }
-        self.data.swap(0, n - 1);
-        let top = self.data.pop();
-        let n = self.data.len();
-        let mut i = 0;
-        loop {
-            let first = i * Self::D + 1;
-            if first >= n {
-                break;
-            }
-            let mut best = first;
-            for c in (first + 1)..(first + Self::D).min(n) {
-                if self.data[c] < self.data[best] {
-                    best = c;
-                }
-            }
-            if self.data[best] < self.data[i] {
-                self.data.swap(i, best);
-                i = best;
-            } else {
-                break;
-            }
-        }
-        top
-    }
-
-    fn clear(&mut self) {
-        self.data.clear();
-    }
-}
-
 /// Flag bit in [`EngineScratch::flags`]: the task has been released.
 const RELEASED: u8 = 1;
 /// Flag bit: the task is (or was) running. Cleared again on failure.
@@ -306,7 +244,7 @@ const STARTED: u8 = 1 << 1;
 const COMPLETED: u8 = 1 << 2;
 
 /// Reusable engine working memory: the per-task state columns and the
-/// completion-event heap.
+/// completion-event calendar queue.
 ///
 /// Per-task state is a structure-of-arrays indexed by the source's dense
 /// task ids, one column per field, each as narrow as its value demands.
@@ -344,7 +282,14 @@ pub struct EngineScratch {
     /// Per-task ids in the rebuilt `revealed` graph.
     graph_id: Vec<TaskId>,
     release_time: Vec<Time>,
-    events: EventHeap,
+    events: CalendarQueue,
+    /// Batch buffer for [`CalendarQueue::pop_cohort_into`]: all events
+    /// sharing the current instant, drained together.
+    cohort: Vec<Event>,
+    /// Release and decision buffers, kept here so their capacity also
+    /// survives across runs.
+    pending_releases: Vec<rigid_dag::ReleasedTask>,
+    to_start: Vec<TaskId>,
 }
 
 impl EngineScratch {
@@ -364,6 +309,9 @@ impl EngineScratch {
         self.graph_id.clear();
         self.release_time.clear();
         self.events.clear();
+        self.cohort.clear();
+        self.pending_releases.clear();
+        self.to_start.clear();
     }
 }
 
@@ -593,6 +541,9 @@ where
         graph_id: graph_of,
         release_time: released_at,
         events,
+        cohort,
+        pending_releases,
+        to_start,
     } = scratch;
     let mut start_seq: u64 = 0;
     let mut completion_index: u64 = 0;
@@ -605,12 +556,27 @@ where
 
     let mut now = Time::ZERO;
 
+    // Pre-size every per-task column from the source's task-count hint
+    // so a hinted run (every static instance) grows nothing mid-run;
+    // releases beyond the hint still work and are counted in
+    // `stats.hint_misses`. At most `procs` attempts are ever in flight
+    // (each holds ≥ 1 processor), which bounds the queue and cohort.
+    if let Some(hint) = source.task_count_hint() {
+        flags.resize(hint, 0);
+        procs_of.resize(hint, 0);
+        seen.resize(hint, 0);
+        attempts.resize(hint, 0);
+        time_of.resize(hint, Time::ZERO);
+        graph_of.resize(hint, TaskId(0));
+        released_at.resize(hint, Time::ZERO);
+    }
+    events.reserve(procs as usize);
+    cohort.reserve((procs as usize).saturating_sub(cohort.capacity()));
+
     // One release buffer and one decision buffer for the whole run:
     // sources and schedulers append into them (`*_into`), the loop
     // drains them, capacity is never given up.
-    let mut pending_releases: Vec<rigid_dag::ReleasedTask> = Vec::new();
-    let mut to_start: Vec<TaskId> = Vec::new();
-    source.initial_into(&mut pending_releases);
+    source.initial_into(pending_releases);
 
     loop {
         // Ingest releases, validating the source contract first.
@@ -661,6 +627,9 @@ where
                 new_id
             };
             if idx >= flags.len() {
+                // Beyond the pre-sized region (or no hint at all): grow
+                // on demand and record the miss.
+                stats.hint_misses += 1;
                 let n = idx + 1;
                 flags.resize(n, 0);
                 procs_of.resize(n, 0);
@@ -698,12 +667,12 @@ where
         loop {
             decisions += 1;
             to_start.clear();
-            scheduler.decide_into(now, avail, &mut to_start);
+            scheduler.decide_into(now, avail, to_start);
             if to_start.is_empty() {
                 break;
             }
             round += 1;
-            for &id in &to_start {
+            for &id in to_start.iter() {
                 let idx = id.index();
                 // The legacy engine rejects an unknown id before its
                 // duplicate check can ever re-encounter it, so
@@ -842,10 +811,18 @@ where
 
         now = tick;
         if next_event == Some(tick) {
-            // Drain every completion/failure at this instant before
-            // deciding again, in (instant, start_seq) order.
-            while events.peek().is_some_and(|e| e.at == now) {
-                let e = events.pop().expect("peeked event");
+            // Drain the whole cohort of completions/failures at this
+            // instant — in (instant, start_seq) order — apply every
+            // capacity return and notification, then decide once for
+            // the batch on the next loop iteration. Handlers never push
+            // queue events (completions append to `pending_releases`),
+            // so the cohort is fixed at drain time.
+            events
+                .pop_cohort_into(cohort)
+                .expect("next_event implies a queued event");
+            stats.batches += 1;
+            stats.max_batch = stats.max_batch.max(cohort.len() as u64);
+            for e in cohort.drain(..) {
                 used -= e.procs;
                 stats.events += 1;
                 if e.fails {
@@ -867,20 +844,25 @@ where
                 } else {
                     flags[e.id.index()] |= COMPLETED;
                     scheduler.on_complete(e.id, now);
-                    source.on_complete_into(e.id, completion_index, &mut pending_releases);
+                    source.on_complete_into(e.id, completion_index, pending_releases);
                     completion_index += 1;
                 }
             }
             budget.check(stats.events, now)?;
             // Clock arrivals landing exactly at this instant join the
             // same decision round.
-            source.timed_releases_into(now, &mut pending_releases);
+            source.timed_releases_into(now, pending_releases);
         } else if next_arrival == Some(tick) {
-            source.timed_releases_into(now, &mut pending_releases);
+            source.timed_releases_into(now, pending_releases);
         }
         // A pure capacity event needs no bookkeeping: the next loop
         // iteration re-reads the capacity and re-consults the scheduler.
     }
+
+    stats.queue_pushes = events.pushes();
+    stats.queue_pops = events.pops();
+    stats.rational_fallbacks = events.fallbacks();
+    stats.decide_calls = decisions;
 
     // Bulk-build the id-keyed result maps from the dense state. Run ids
     // ascend, so the iterator feeds the BTreeMap in key order and it is
@@ -1241,7 +1223,13 @@ mod tests {
         let result = EngineConfig::new().run(&mut src, &mut sched);
         assert_eq!(result.makespan(), Time::ZERO);
         assert!(result.schedule.is_empty());
-        assert_eq!(result.stats, EngineStats::default());
+        // Even an empty run consults the scheduler once; every other
+        // counter stays at zero.
+        assert_eq!(
+            result.stats,
+            EngineStats { decide_calls: 1, ..EngineStats::default() }
+        );
+        assert_eq!(result.decisions, 1);
     }
 
     #[test]

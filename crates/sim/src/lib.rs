@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod assign;
+pub mod calendar;
 pub mod engine;
 pub mod error;
 pub mod fault;

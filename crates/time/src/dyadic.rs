@@ -214,9 +214,46 @@ impl Dyadic {
 
     /// The magnitude exponent: the unique `k` with
     /// `2^(k-1) <= |value| < 2^k` (meaningless for zero).
-    const fn magnitude(&self) -> i32 {
+    pub(crate) const fn magnitude(&self) -> i32 {
         let bitlen = 64 - self.mantissa.unsigned_abs().leading_zeros() as i32;
         bitlen + self.exp
+    }
+
+    /// Mantissa bits the radix key can normalize (see [`Self::radix_key`]).
+    pub(crate) const KEY_MANTISSA_BITS: i32 = 57;
+
+    /// A strictly monotone `u64` key over the non-negative dyadics whose
+    /// canonical mantissa fits `KEY_MANTISSA_BITS` (57) bits.
+    ///
+    /// The encoding is float-like: the high 8 bits hold the biased
+    /// magnitude exponent (`magnitude() + 126`, in `1..=253`; zero maps
+    /// to key `0`), the low 56 bits hold the mantissa normalized to 57
+    /// bits with its always-set top bit dropped. For any two values `a`,
+    /// `b` with keys `ka`, `kb`: `a < b ⟺ ka < kb` and `a == b ⟺
+    /// ka == kb` — so sorting by key is sorting by value, which is what
+    /// lets a radix calendar queue order events with one integer compare.
+    ///
+    /// Returns `None` for negative values and for mantissas wider than
+    /// 57 bits (callers fall back to exact rational ordering).
+    #[must_use]
+    pub const fn radix_key(&self) -> Option<u64> {
+        if self.mantissa == 0 {
+            return Some(0);
+        }
+        if self.mantissa < 0 {
+            return None;
+        }
+        let m = self.mantissa as u64;
+        let bitlen = 64 - m.leading_zeros() as i32;
+        if bitlen > Self::KEY_MANTISSA_BITS {
+            return None;
+        }
+        // magnitude() is in [-125, 127] by the representability bounds,
+        // so the biased exponent field is in [1, 253] and fits 8 bits.
+        let field = (self.magnitude() + 126) as u64;
+        let frac = m << (Self::KEY_MANTISSA_BITS - bitlen);
+        let frac_low = frac & ((1u64 << (Self::KEY_MANTISSA_BITS - 1)) - 1);
+        Some((field << (Self::KEY_MANTISSA_BITS - 1)) | frac_low)
     }
 }
 
@@ -341,6 +378,50 @@ mod tests {
         assert_eq!(d(3, 0).checked_div_pow2(2), Some(d(3, -2)));
         assert_eq!(d(1, -126).checked_div_pow2(1), None);
         assert_eq!(Dyadic::ZERO.checked_div_pow2(200), Some(Dyadic::ZERO));
+    }
+
+    #[test]
+    fn radix_key_is_monotone_and_injective() {
+        // Every pair of keyable values must order by key exactly as by
+        // value, and distinct values must get distinct keys.
+        let samples = [
+            Dyadic::ZERO,
+            d(1, -126),
+            d(3, -126),
+            d(1, -20),
+            d(1, 0),
+            d(3, -2),
+            d(5, -3),
+            d(7, 0),
+            d(13, -2),
+            d(1, 56),
+            d((1 << 56) | 1, -20), // 57-bit mantissa: still keyable
+            d(1, 70),
+            d(1, 127 - 57),
+        ];
+        for a in samples {
+            for b in samples {
+                let (ka, kb) = (a.radix_key().unwrap(), b.radix_key().unwrap());
+                assert_eq!(ka.cmp(&kb), a.cmp(&b), "key order for {a:?} vs {b:?}");
+                assert_eq!(ka == kb, a == b, "key injectivity for {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix_key_coverage_bounds() {
+        assert_eq!(Dyadic::ZERO.radix_key(), Some(0));
+        // Negative values are out of coverage.
+        assert_eq!(d(-1, 0).radix_key(), None);
+        assert_eq!(d(-3, -40).radix_key(), None);
+        // 57-bit mantissas are in, 58-bit mantissas out.
+        assert!(d((1 << 56) | 1, 0).radix_key().is_some());
+        assert_eq!(d((1 << 57) | 1, 0).radix_key(), None);
+        // The extreme exponents stay keyable (mantissa 1 is one bit).
+        assert!(d(1, -126).radix_key().is_some());
+        assert!(d(1, 126).radix_key().is_some());
+        // Zero keys strictly below every positive value.
+        assert!(d(1, -126).radix_key().unwrap() > 0);
     }
 
     #[test]

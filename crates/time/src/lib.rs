@@ -206,6 +206,39 @@ mod prop_tests {
         }
 
         #[test]
+        fn dyadic_key_matches_exact_order(
+            (m1, e1) in (0i64..=(1 << 57), -60i32..40),
+            (m2, e2) in (0i64..=(1 << 57), -60i32..40),
+        ) {
+            // Over the key's full coverage (non-negative, mantissa up to
+            // 57 bits), key order must equal value order and key equality
+            // must equal value equality.
+            let a = Time::from_dyadic(m1, e1);
+            let b = Time::from_dyadic(m2, e2);
+            let (ka, kb) = (a.dyadic_key(), b.dyadic_key());
+            // Canonicalization only shrinks the mantissa, so both stay
+            // keyable.
+            let (ka, kb) = (ka.expect("in coverage"), kb.expect("in coverage"));
+            prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+            prop_assert_eq!(ka == kb, a == b);
+        }
+
+        #[test]
+        fn mixed_cmp_fast_path_matches_exact(
+            (dn, dd) in (-100_000i64..100_000, 0u32..30),
+            (rn, rd) in (-100_000i64..100_000, 1i64..100_000),
+        ) {
+            // The sign/magnitude short-circuit in the Dyadic-vs-Rational
+            // comparison must agree with the full rational promotion on
+            // arbitrary cross-variant pairs (and be antisymmetric).
+            let dy = Time::from_ratio(dn, 1i64 << dd);
+            let ra = Time::from_ratio(rn, rd);
+            let exact = dy.rational().cmp(&ra.rational());
+            prop_assert_eq!(dy.cmp(&ra), exact);
+            prop_assert_eq!(ra.cmp(&dy), exact.reverse());
+        }
+
+        #[test]
         fn time_display_roundtrips_value(t in arb_pos_time()) {
             // Display must never lose the exact value when it prints a
             // fraction; when it prints a decimal it must be the exact value.

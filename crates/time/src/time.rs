@@ -185,6 +185,32 @@ impl Time {
         self.rational().to_f64()
     }
 
+    /// A strictly monotone `u64` key over the on-grid (dyadic-variant)
+    /// non-negative times, for radix/calendar priority queues.
+    ///
+    /// **Monotonicity contract** (see `docs/time.md`): for any two times
+    /// `a`, `b` with `a.dyadic_key() == Some(ka)` and `b.dyadic_key() ==
+    /// Some(kb)`,
+    ///
+    /// * `ka < kb ⟺ a < b`, and
+    /// * `ka == kb ⟺ a == b` (the key is injective on its coverage).
+    ///
+    /// Coverage is exactly the non-negative dyadic-grid values whose
+    /// canonical mantissa fits 57 bits; everything else — negative
+    /// times, rational-variant times, and extreme mantissas — returns
+    /// `None`, and callers must fall back to exact [`Time`] ordering.
+    /// Because the key is a pure function of the *value* (and every
+    /// dyadic-representable value is stored dyadic, per the canonical
+    /// invariant), two equal times always agree on `Some`-ness: a keyed
+    /// and an unkeyed time are never equal.
+    #[must_use]
+    pub const fn dyadic_key(&self) -> Option<u64> {
+        match self.repr {
+            Repr::Dyadic(d) => d.radix_key(),
+            Repr::Rational(_) => None,
+        }
+    }
+
     /// Returns `true` if this time is zero.
     #[must_use]
     pub const fn is_zero(&self) -> bool {
@@ -329,11 +355,57 @@ impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         match (&self.repr, &other.repr) {
             (Repr::Dyadic(a), Repr::Dyadic(b)) => a.cmp(b),
-            // Mixed pairs convert the dyadic side exactly; values in
-            // different variants are never equal (canonical invariant)
-            // but the ordering still has to be decided exactly.
-            _ => self.rational().cmp(&other.rational()),
+            (Repr::Rational(a), Repr::Rational(b)) => a.cmp(b),
+            (Repr::Dyadic(a), Repr::Rational(b)) => cmp_dyadic_rational(a, b),
+            (Repr::Rational(a), Repr::Dyadic(b)) => cmp_dyadic_rational(b, a).reverse(),
         }
+    }
+}
+
+/// Exact mixed-variant comparison with a cheap short-circuit: signs
+/// first, then the magnitude-exponent bounds (the rational's magnitude
+/// is pinned to a 2-wide window by its numerator/denominator bit
+/// lengths), and only when the window overlaps the dyadic's exact
+/// magnitude does it promote to the full cross-multiplying rational
+/// compare. Mixed pairs are never *equal* (canonical invariant), but
+/// the promotion handles that case exactly anyway.
+fn cmp_dyadic_rational(d: &Dyadic, r: &Rational) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let ds = d.mantissa().signum() as i32;
+    let rs = if r.is_positive() {
+        1
+    } else if r.is_negative() {
+        -1
+    } else {
+        0
+    };
+    if ds != rs {
+        return ds.cmp(&rs);
+    }
+    if ds == 0 {
+        return Ordering::Equal;
+    }
+    // |numer| ∈ [2^(bn-1), 2^bn) and denom ∈ [2^(bd-1), 2^bd) bound
+    // |r| to (2^(bn-bd-1), 2^(bn-bd+1)): its magnitude exponent is
+    // `bn - bd` or `bn - bd + 1`.
+    let bn = 128 - r.numer().unsigned_abs().leading_zeros() as i32;
+    let bd = 128 - r.denom().unsigned_abs().leading_zeros() as i32;
+    let low = bn - bd;
+    let md = d.magnitude();
+    let abs_order = if md < low {
+        // |d| < 2^md <= 2^(low-1)·2 … precisely: md <= low-1 gives
+        // |d| < 2^(low-1) < |r|.
+        Some(Ordering::Less)
+    } else if md > low + 1 {
+        // md >= low+2 gives |d| >= 2^(low+1) > |r|.
+        Some(Ordering::Greater)
+    } else {
+        None
+    };
+    match abs_order {
+        Some(o) if ds > 0 => o,
+        Some(o) => o.reverse(),
+        None => d.to_rational().cmp(r),
     }
 }
 
@@ -657,5 +729,75 @@ mod tests {
     #[should_panic(expected = "thousandths")]
     fn from_millis_validates_range() {
         let _ = Time::from_millis(1, 1000);
+    }
+
+    #[test]
+    fn dyadic_key_monotone_on_grid() {
+        let on_grid = [
+            Time::ZERO,
+            Time::from_ratio(1, 1 << 20),
+            Time::from_ratio(3, 8),
+            Time::from_ratio(1, 2),
+            Time::ONE,
+            Time::from_millis(1, 500),
+            Time::from_int(7),
+            Time::from_dyadic(1, 60),
+            Time::from_dyadic((1 << 56) | 1, -20),
+        ];
+        for a in on_grid {
+            for b in on_grid {
+                let (ka, kb) = (a.dyadic_key().unwrap(), b.dyadic_key().unwrap());
+                assert_eq!(ka.cmp(&kb), a.cmp(&b), "key order for {a:?} vs {b:?}");
+                assert_eq!(ka == kb, a == b, "key injectivity for {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dyadic_key_rejects_off_grid_and_negative() {
+        // Rational-variant times have no key.
+        assert_eq!(Time::from_ratio(1, 3).dyadic_key(), None);
+        assert_eq!(Time::from_millis(6, 800).dyadic_key(), None);
+        // Negative times have no key (engine timestamps are
+        // non-negative; the overflow heap covers the rest).
+        assert_eq!((-Time::ONE).dyadic_key(), None);
+        // Oversized mantissas fall back too.
+        assert_eq!(Time::from_dyadic((1 << 57) | 1, -20).dyadic_key(), None);
+        assert_eq!(Time::ZERO.dyadic_key(), Some(0));
+    }
+
+    #[test]
+    fn mixed_variant_cmp_matches_exact_promotion() {
+        // Pairs chosen to land in every branch of the fast path: sign
+        // short-circuit, both magnitude-window short-circuits, and the
+        // overlapping-window promotion.
+        let dyadics = [
+            Time::from_ratio(1, 1024),
+            Time::from_ratio(1, 2),
+            Time::ONE,
+            Time::from_ratio(3, 2),
+            Time::from_int(1000),
+            -Time::from_ratio(1, 2),
+            -Time::from_int(4),
+            Time::ZERO,
+        ];
+        let rationals = [
+            Time::from_ratio(1, 3),
+            Time::from_ratio(2, 3),
+            Time::from_ratio(5, 7),
+            Time::from_millis(6, 800),
+            Time::from_ratio(999, 1000),
+            Time::from_ratio(1001, 1000),
+            -Time::from_ratio(1, 3),
+            -Time::from_millis(6, 800),
+        ];
+        for d in dyadics {
+            for r in rationals {
+                assert!(r.dyadic().is_none(), "{r:?} must be rational-variant");
+                let exact = d.rational().cmp(&r.rational());
+                assert_eq!(d.cmp(&r), exact, "{d:?} vs {r:?}");
+                assert_eq!(r.cmp(&d), exact.reverse(), "{r:?} vs {d:?}");
+            }
+        }
     }
 }
